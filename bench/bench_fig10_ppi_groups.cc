@@ -1,0 +1,11 @@
+// Figure 10: #iso-test speedup per query-size group on PPI/Grapes(6),
+// zipf-zipf(α=1.4), cache sizes C in {100, 200, 300}, W=20.
+#include "bench/speedup_figures.h"
+
+int main(int argc, char** argv) {
+  const igq::bench::Flags flags(argc, argv);
+  igq::bench::RunQueryGroupFigure(
+      "Figure 10 — #Iso-Test Speedup by Query Group (PPI)", "ppi",
+      flags.GetDouble("alpha", 1.4), igq::bench::Metric::kIsoTests, flags);
+  return 0;
+}

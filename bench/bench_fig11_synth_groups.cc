@@ -1,0 +1,11 @@
+// Figure 11: #iso-test speedup per query-size group on Synthetic/Grapes(6),
+// zipf-zipf(α=2.4).
+#include "bench/speedup_figures.h"
+
+int main(int argc, char** argv) {
+  const igq::bench::Flags flags(argc, argv);
+  igq::bench::RunQueryGroupFigure(
+      "Figure 11 — #Iso-Test Speedup by Query Group (Synthetic)", "synthetic",
+      flags.GetDouble("alpha", 2.4), igq::bench::Metric::kIsoTests, flags);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Figure 16: query-time speedup per query-size group on PPI/Grapes(6).
+#include "bench/speedup_figures.h"
+
+int main(int argc, char** argv) {
+  const igq::bench::Flags flags(argc, argv);
+  igq::bench::RunQueryGroupFigure(
+      "Figure 16 — Query Time Speedup by Query Group (PPI)", "ppi",
+      flags.GetDouble("alpha", 1.4), igq::bench::Metric::kTime, flags);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Figure 17: query-time speedup per query-size group on Synthetic/Grapes(6).
+#include "bench/speedup_figures.h"
+
+int main(int argc, char** argv) {
+  const igq::bench::Flags flags(argc, argv);
+  igq::bench::RunQueryGroupFigure(
+      "Figure 17 — Query Time Speedup by Query Group (Synthetic)", "synthetic",
+      flags.GetDouble("alpha", 2.4), igq::bench::Metric::kTime, flags);
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Figure 18: absolute index sizes (MB) on AIDS for the three host methods in
+// their default and next-larger configurations, versus the extra space iGQ
+// needs (cached query graphs + Isub + Isuper at C=500). Paper shape: iGQ
+// adds <1% of the base index, while bumping the base configuration roughly
+// doubles the index for <10% performance gain.
+#include "bench/bench_common.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "methods/ct_index.h"
+#include "methods/ggsx.h"
+#include "methods/grapes.h"
+
+namespace igq {
+namespace bench {
+namespace {
+
+double Mb(size_t bytes) { return static_cast<double>(bytes) / (1024.0 * 1024.0); }
+
+int Main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const double scale = flags.GetDouble("scale", 1.0);
+  const size_t num_queries = flags.GetSize("queries", 800);
+  const size_t capacity = flags.GetSize("cache", 500);
+  const uint64_t seed = flags.GetSize("seed", 2016);
+
+  PrintHeader("Figure 18 — Absolute Index Sizes on AIDS (MB)",
+              "Default vs next-larger method configurations, and the iGQ "
+              "query-index overhead at C=500. Paper shape: iGQ overhead is "
+              "negligible (~1%) next to the base indexes; larger base "
+              "configs nearly double the space.");
+
+  const GraphDatabase db = BuildDataset("aids", scale, seed);
+
+  TablePrinter table;
+  table.SetHeader({"index", "configuration", "size MB", "build s"});
+
+  auto measure = [&table](const std::string& name, const std::string& config,
+                          SubgraphMethod& method, const GraphDatabase& db) {
+    Timer timer;
+    method.Build(db);
+    table.AddRow({name, config, TablePrinter::Num(Mb(method.IndexMemoryBytes()), 2),
+                  TablePrinter::Num(timer.ElapsedSeconds(), 2)});
+  };
+
+  {
+    GgsxMethod ggsx4(4);
+    measure("GGSX", "paths<=4 (default)", ggsx4, db);
+    GgsxMethod ggsx5(5);
+    measure("GGSX", "paths<=5 (larger)", ggsx5, db);
+  }
+  {
+    GrapesMethod grapes4(6, 4);
+    measure("Grapes", "paths<=4 + locations (default)", grapes4, db);
+    GrapesMethod grapes5(6, 5);
+    measure("Grapes", "paths<=5 + locations (larger)", grapes5, db);
+  }
+  {
+    CtIndexMethod::Options default_options;
+    CtIndexMethod ct_default(default_options);
+    measure("CT-Index", "trees<=6, cycles<=8, 4096b (default)", ct_default, db);
+    CtIndexMethod::Options bigger;
+    bigger.max_tree_vertices = 7;
+    bigger.max_cycle_vertices = 9;
+    bigger.fingerprint_bits = 8192;
+    CtIndexMethod ct_big(bigger);
+    measure("CT-Index", "trees<=7, cycles<=9, 8192b (larger)", ct_big, db);
+  }
+
+  // iGQ overhead: run a workload so the cache reaches C cached queries, then
+  // measure the cache (graphs + answers + Isub + Isuper + metadata).
+  GgsxMethod host(4);
+  host.Build(db);
+  IgqOptions options;
+  options.cache_capacity = capacity;
+  options.window_size = 100;
+  IgqSubgraphEngine engine(db, &host, options);
+  const WorkloadSpec spec =
+      MakeWorkloadSpec("zipf-zipf", 1.4, num_queries, seed + 101);
+  for (const WorkloadQuery& wq : GenerateWorkload(db.graphs, spec)) {
+    engine.Process(wq.graph);
+  }
+  table.AddRow({"iGQ", "C=" + std::to_string(capacity) + " cached queries (" +
+                           std::to_string(engine.cache().size()) + " resident)",
+                TablePrinter::Num(Mb(engine.cache().MemoryBytes()), 2), "-"});
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace igq
+
+int main(int argc, char** argv) { return igq::bench::Main(argc, argv); }

@@ -1,0 +1,138 @@
+// Micro-benchmarks (google-benchmark) for the core substrates: VF2 vs
+// Ullmann matching, path enumeration, trie operations, Isuper filtering,
+// fingerprint subset tests, and the log-space cost model.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "features/fingerprint.h"
+#include "features/path_enumerator.h"
+#include "graph/algorithms.h"
+#include "isomorphism/cost_model.h"
+#include "isomorphism/ullmann.h"
+#include "isomorphism/vf2.h"
+#include "methods/feature_count_index.h"
+#include "methods/path_trie.h"
+
+namespace igq {
+namespace {
+
+Graph MakeRandomGraph(uint64_t seed, size_t vertices, size_t extra_edges,
+                      size_t labels) {
+  Rng rng(seed);
+  Graph g;
+  for (size_t v = 0; v < vertices; ++v) {
+    g.AddVertex(static_cast<Label>(rng.Below(labels)));
+  }
+  for (VertexId v = 1; v < vertices; ++v) {
+    g.AddEdge(v, static_cast<VertexId>(rng.Below(v)));
+  }
+  for (size_t e = 0; e < extra_edges; ++e) {
+    const VertexId u = static_cast<VertexId>(rng.Below(vertices));
+    const VertexId w = static_cast<VertexId>(rng.Below(vertices));
+    if (u != w) g.AddEdge(u, w);
+  }
+  return g;
+}
+
+void BM_Vf2PositiveMatch(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Graph target = MakeRandomGraph(7, n, n / 2, 4);
+  const Graph pattern = BfsNeighborhoodQuery(target, 0, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Vf2Matcher::FindEmbedding(pattern, target));
+  }
+}
+BENCHMARK(BM_Vf2PositiveMatch)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_Vf2NegativeMatch(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Graph target = MakeRandomGraph(7, n, n / 2, 4);
+  // A pattern from a different label universe: rejected quickly by pruning.
+  Graph pattern = MakeRandomGraph(9, 9, 4, 2);
+  for (VertexId v = 0; v < pattern.NumVertices(); ++v) {
+    pattern.set_label(v, pattern.label(v) + 10);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Vf2Matcher::FindEmbedding(pattern, target));
+  }
+}
+BENCHMARK(BM_Vf2NegativeMatch)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_UllmannPositiveMatch(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Graph target = MakeRandomGraph(7, n, n / 2, 4);
+  const Graph pattern = BfsNeighborhoodQuery(target, 0, 8);
+  UllmannMatcher matcher;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matcher.Contains(pattern, target));
+  }
+}
+BENCHMARK(BM_UllmannPositiveMatch)->Arg(50)->Arg(200);
+
+void BM_PathEnumeration(benchmark::State& state) {
+  const Graph g = MakeRandomGraph(3, static_cast<size_t>(state.range(0)),
+                                  static_cast<size_t>(state.range(0)), 8);
+  PathEnumeratorOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountPathFeatures(g, options));
+  }
+}
+BENCHMARK(BM_PathEnumeration)->Arg(50)->Arg(200);
+
+void BM_TrieInsertLookup(benchmark::State& state) {
+  const Graph g = MakeRandomGraph(5, 100, 100, 8);
+  const PathFeatureCounts features = CountPathFeatures(g, {});
+  for (auto _ : state) {
+    PathTrie trie;
+    uint32_t id = 0;
+    for (const auto& [key, count] : features) {
+      trie.Add(key, 0, count);
+      ++id;
+    }
+    size_t found = 0;
+    for (const auto& [key, count] : features) {
+      found += trie.Find(key) != nullptr;
+    }
+    benchmark::DoNotOptimize(found);
+  }
+}
+BENCHMARK(BM_TrieInsertLookup);
+
+void BM_IsuperFilter(benchmark::State& state) {
+  // Index `range` cached-query-sized graphs; filter a 20-edge query.
+  FeatureCountIndex index;
+  Rng rng(11);
+  const Graph host = MakeRandomGraph(13, 300, 150, 6);
+  for (uint32_t i = 0; i < static_cast<uint32_t>(state.range(0)); ++i) {
+    index.AddGraph(i, BfsNeighborhoodQuery(
+                          host, static_cast<VertexId>(rng.Below(300)),
+                          4 + (i % 5) * 4));
+  }
+  const Graph query = BfsNeighborhoodQuery(host, 7, 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.FindPotentialSubgraphsOf(query));
+  }
+}
+BENCHMARK(BM_IsuperFilter)->Arg(100)->Arg(500)->Arg(1500);
+
+void BM_FingerprintSubsetTest(benchmark::State& state) {
+  Fingerprint a(4096), b(4096);
+  for (int i = 0; i < 200; ++i) a.AddFeature("f" + std::to_string(i));
+  for (int i = 0; i < 40; ++i) b.AddFeature("f" + std::to_string(i * 3));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.CoversAllBitsOf(b));
+  }
+}
+BENCHMARK(BM_FingerprintSubsetTest);
+
+void BM_CostModel(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsomorphismCost(10, 20, 3000));
+  }
+}
+BENCHMARK(BM_CostModel);
+
+}  // namespace
+}  // namespace igq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Supergraph screening — the §4.4 use of iGQ. A fragment library (stored
+// dataset) is screened against incoming candidate molecules: for each new
+// molecule (the supergraph query), find every library fragment contained in
+// it. This is the classic "which known substructures does this compound
+// carry?" task in cheminformatics.
+//
+// The same iGQ cache serves supergraph queries with the union/intersection
+// roles inverted; repeated or structurally related molecules get cheaper.
+//
+// Build: cmake --build build && ./build/examples/supergraph_screening
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "datasets/profiles.h"
+#include "graph/algorithms.h"
+#include "igq/engine.h"
+#include "methods/feature_count_index.h"
+
+using igq::Graph;
+using igq::GraphDatabase;
+using igq::GraphId;
+
+int main() {
+  // Fragment library: small molecule pieces (4-10 bonds), extracted from a
+  // generated molecule universe.
+  igq::AidsLikeParams params;
+  params.num_graphs = 300;
+  const std::vector<Graph> universe = MakeAidsLike(params, /*seed=*/11);
+  igq::Rng rng(23);
+  GraphDatabase library;
+  for (int i = 0; i < 120; ++i) {
+    const Graph& molecule = universe[rng.Below(universe.size())];
+    library.graphs.push_back(igq::BfsNeighborhoodQuery(
+        molecule, static_cast<igq::VertexId>(rng.Below(molecule.NumVertices())),
+        4 + rng.Below(7)));
+  }
+  library.RefreshLabelCount();
+  std::printf("fragment library: %zu fragments\n", library.graphs.size());
+
+  // Host M_super: the Algorithm 1/2 feature-count index over the library.
+  igq::FeatureCountSupergraphMethod method;
+  method.Build(library);
+
+  igq::IgqOptions options;
+  options.cache_capacity = 100;
+  options.window_size = 10;
+  igq::IgqSupergraphEngine engine(library, &method, options);
+
+  // Incoming compounds to screen; some arrive twice (re-submissions).
+  std::vector<Graph> submissions;
+  for (int i = 0; i < 120; ++i) {
+    submissions.push_back(universe[rng.Below(universe.size())]);
+    if (i % 3 == 0) submissions.push_back(submissions[rng.Below(submissions.size())]);
+  }
+
+  size_t tests = 0, baseline = 0, shortcut_queries = 0;
+  size_t total_matches = 0;
+  for (const Graph& compound : submissions) {
+    igq::QueryStats stats;
+    const std::vector<GraphId> contained = engine.Process(compound, &stats);
+    total_matches += contained.size();
+    tests += stats.iso_tests;
+    baseline += stats.candidates_initial;
+    if (stats.shortcut != igq::ShortcutKind::kNone) ++shortcut_queries;
+  }
+
+  std::printf("screened %zu compounds: %.1f fragments matched on average\n",
+              submissions.size(),
+              static_cast<double>(total_matches) /
+                  static_cast<double>(submissions.size()));
+  std::printf("isomorphism tests: %zu (plain M_super would run %zu, %.2fx)\n",
+              tests, baseline,
+              static_cast<double>(baseline) /
+                  static_cast<double>(tests == 0 ? 1 : tests));
+  std::printf("queries resolved entirely from cache shortcuts: %zu\n",
+              shortcut_queries);
+  return 0;
+}

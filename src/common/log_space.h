@@ -1,0 +1,84 @@
+// Log-space non-negative arithmetic.
+//
+// The iGQ replacement policy (§5.1) accumulates the analytic cost model
+//   c(g', Gi) = Ni * Ni! / (L^{n+1} * (Ni - n)!)
+// which overflows double for paper-scale graphs (Ni ~ 3000 gives Ni! around
+// 10^9130). We therefore represent such costs as log-values and add them with
+// log-sum-exp; utility comparisons are unaffected since log is monotone.
+#ifndef IGQ_COMMON_LOG_SPACE_H_
+#define IGQ_COMMON_LOG_SPACE_H_
+
+#include <cmath>
+#include <limits>
+
+namespace igq {
+
+/// A non-negative real stored as its natural logarithm.
+/// LogValue::Zero() represents exactly 0 (log = -inf).
+class LogValue {
+ public:
+  /// Constructs the value 0.
+  constexpr LogValue() : log_(-std::numeric_limits<double>::infinity()) {}
+
+  /// Wraps an already-log-transformed magnitude.
+  static constexpr LogValue FromLog(double log_value) {
+    return LogValue(log_value);
+  }
+
+  /// Converts a plain non-negative double (must be finite and >= 0).
+  static LogValue FromLinear(double value) {
+    return LogValue(value <= 0.0 ? -std::numeric_limits<double>::infinity()
+                                 : std::log(value));
+  }
+
+  static constexpr LogValue Zero() { return LogValue(); }
+
+  /// The stored natural log (may be -inf for zero).
+  constexpr double log() const { return log_; }
+
+  bool IsZero() const { return std::isinf(log_) && log_ < 0; }
+
+  /// Linear value; +inf if it overflows double range.
+  double ToLinear() const { return std::exp(log_); }
+
+  /// log-sum-exp addition: returns a value equal to (*this + other).
+  LogValue operator+(const LogValue& other) const {
+    if (IsZero()) return other;
+    if (other.IsZero()) return *this;
+    const double hi = log_ > other.log_ ? log_ : other.log_;
+    const double lo = log_ > other.log_ ? other.log_ : log_;
+    return LogValue(hi + std::log1p(std::exp(lo - hi)));
+  }
+
+  LogValue& operator+=(const LogValue& other) {
+    *this = *this + other;
+    return *this;
+  }
+
+  /// Multiplication (log addition).
+  LogValue operator*(const LogValue& other) const {
+    if (IsZero() || other.IsZero()) return Zero();
+    return LogValue(log_ + other.log_);
+  }
+
+  /// Division (log subtraction). Dividing by zero yields +inf log.
+  LogValue operator/(const LogValue& other) const {
+    if (IsZero()) return Zero();
+    return LogValue(log_ - other.log_);
+  }
+
+  bool operator<(const LogValue& other) const { return log_ < other.log_; }
+  bool operator>(const LogValue& other) const { return log_ > other.log_; }
+  bool operator<=(const LogValue& other) const { return log_ <= other.log_; }
+  bool operator>=(const LogValue& other) const { return log_ >= other.log_; }
+  bool operator==(const LogValue& other) const { return log_ == other.log_; }
+
+ private:
+  explicit constexpr LogValue(double log_value) : log_(log_value) {}
+
+  double log_;
+};
+
+}  // namespace igq
+
+#endif  // IGQ_COMMON_LOG_SPACE_H_

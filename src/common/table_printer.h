@@ -1,0 +1,43 @@
+// Minimal fixed-width table formatting for the benchmark harnesses, which
+// regenerate the rows/series of the paper's tables and figures on stdout.
+#ifndef IGQ_COMMON_TABLE_PRINTER_H_
+#define IGQ_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace igq {
+
+/// Collects rows of string cells and renders them with aligned columns.
+class TablePrinter {
+ public:
+  /// `title` is printed above the table; pass "" to omit.
+  explicit TablePrinter(std::string title = "") : title_(std::move(title)) {}
+
+  /// Sets the header row.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends one data row (cells may be fewer than header columns).
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table to a string.
+  std::string ToString() const;
+
+  /// Renders the table to stdout.
+  void Print() const;
+
+  /// Formats a double with `digits` decimals.
+  static std::string Num(double value, int digits = 2);
+
+  /// Formats an integer.
+  static std::string Int(long long value);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace igq
+
+#endif  // IGQ_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,60 @@
+// Zipf-distributed sampling over {0..n-1}, used by the paper's query
+// workloads (§7.1): graph popularity and node popularity follow either a
+// uniform or a Zipf(alpha) distribution.
+#ifndef IGQ_COMMON_ZIPF_H_
+#define IGQ_COMMON_ZIPF_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace igq {
+
+/// Samples ranks 0..n-1 with p(rank k) proportional to (k+1)^-alpha.
+/// Uses a precomputed inverse-CDF table; O(log n) per sample.
+class ZipfSampler {
+ public:
+  /// Builds the CDF for `n` items with skew `alpha` (alpha = 0 is uniform).
+  ZipfSampler(size_t n, double alpha) : cdf_(n) {
+    double sum = 0.0;
+    for (size_t k = 0; k < n; ++k) {
+      sum += 1.0 / Pow(static_cast<double>(k + 1), alpha);
+      cdf_[k] = sum;
+    }
+    for (size_t k = 0; k < n; ++k) cdf_[k] /= sum;
+  }
+
+  /// Draws one rank in [0, n).
+  size_t Sample(Rng& rng) const {
+    const double u = rng.NextDouble();
+    size_t lo = 0;
+    size_t hi = cdf_.size();
+    while (lo < hi) {  // first index with cdf >= u
+      const size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo < cdf_.size() ? lo : cdf_.size() - 1;
+  }
+
+  size_t size() const { return cdf_.size(); }
+
+  /// Probability mass of a single rank (for tests).
+  double Mass(size_t rank) const {
+    return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+  }
+
+ private:
+  static double Pow(double base, double exp) { return __builtin_pow(base, exp); }
+
+  std::vector<double> cdf_;
+};
+
+}  // namespace igq
+
+#endif  // IGQ_COMMON_ZIPF_H_

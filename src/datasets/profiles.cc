@@ -1,0 +1,275 @@
+#include "datasets/profiles.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/zipf.h"
+
+namespace igq {
+namespace {
+
+// Standard normal via Box-Muller.
+double SampleNormal(Rng& rng) {
+  const double u1 = rng.NextDouble();
+  const double u2 = rng.NextDouble();
+  return std::sqrt(-2.0 * std::log(u1 + 1e-300)) *
+         std::cos(2.0 * M_PI * u2);
+}
+
+size_t SampleClampedNormal(Rng& rng, double mean, double stddev, size_t lo,
+                           size_t hi) {
+  const double x = mean + stddev * SampleNormal(rng);
+  if (x < static_cast<double>(lo)) return lo;
+  if (x > static_cast<double>(hi)) return hi;
+  return static_cast<size_t>(x);
+}
+
+size_t SampleClampedLogNormal(Rng& rng, double mean, double log_stddev,
+                              size_t lo, size_t hi) {
+  const double x = std::exp(std::log(mean) + log_stddev * SampleNormal(rng));
+  if (x < static_cast<double>(lo)) return lo;
+  if (x > static_cast<double>(hi)) return hi;
+  return static_cast<size_t>(x);
+}
+
+}  // namespace
+
+std::vector<Graph> MakeAidsLike(const AidsLikeParams& params, uint64_t seed) {
+  Rng rng(seed);
+  // Non-carbon labels (1..num_labels-1) are themselves skewed (N, O, S...).
+  ZipfSampler hetero_labels(params.num_labels - 1, params.label_skew);
+  std::vector<Graph> graphs;
+  graphs.reserve(params.num_graphs);
+  for (size_t g = 0; g < params.num_graphs; ++g) {
+    const size_t n = SampleClampedNormal(rng, params.avg_nodes,
+                                         params.stddev_nodes, params.min_nodes,
+                                         params.max_nodes);
+    Graph graph;
+    for (size_t v = 0; v < n; ++v) {
+      const Label label =
+          rng.Chance(params.carbon_fraction)
+              ? 0
+              : static_cast<Label>(1 + hetero_labels.Sample(rng));
+      graph.AddVertex(label);
+    }
+    // Molecule-like skeleton: mostly chains with occasional branching; a
+    // valence-style cap keeps degrees chemically plausible.
+    for (VertexId v = 1; v < n; ++v) {
+      VertexId parent = rng.Chance(0.7) ? v - 1
+                                        : static_cast<VertexId>(rng.Below(v));
+      for (int tries = 0; graph.Degree(parent) >= 4 && tries < 8; ++tries) {
+        parent = static_cast<VertexId>(rng.Below(v));
+      }
+      graph.AddEdge(v, parent);
+    }
+    // Ring closures.
+    const size_t rings = static_cast<size_t>(
+        params.ring_edge_fraction * static_cast<double>(n) + rng.NextDouble());
+    for (size_t r = 0; r < rings; ++r) {
+      const VertexId u = static_cast<VertexId>(rng.Below(n));
+      const VertexId w = static_cast<VertexId>(rng.Below(n));
+      if (u != w && graph.Degree(u) < 4 && graph.Degree(w) < 4) {
+        graph.AddEdge(u, w);
+      }
+    }
+    graphs.push_back(std::move(graph));
+  }
+  return graphs;
+}
+
+// Backbone label motifs shared across PDBS-like graphs (DNA, RNA and
+// protein backbones each repeat a short chemical pattern). The first motifs
+// are the most common "molecule families".
+const std::vector<std::vector<Label>>& PdbsMotifLibrary() {
+  static const std::vector<std::vector<Label>> kLibrary = {
+      {0, 1, 2},       // "protein" backbone
+      {0, 1, 2, 3},    // "DNA" backbone
+      {0, 2, 1, 4},    // "RNA" backbone
+      {1, 3},          // short repeat
+      {0, 1, 2, 3, 4}  // long repeat
+  };
+  return kLibrary;
+}
+
+std::vector<Graph> MakePdbsLike(const PdbsLikeParams& params, uint64_t seed) {
+  Rng rng(seed);
+  const auto& motifs = PdbsMotifLibrary();
+  ZipfSampler motif_choice(motifs.size(), 1.2);
+  std::vector<Graph> graphs;
+  graphs.reserve(params.num_graphs);
+  for (size_t g = 0; g < params.num_graphs; ++g) {
+    const size_t n = SampleClampedLogNormal(rng, params.avg_nodes,
+                                            params.log_stddev, params.min_nodes,
+                                            params.max_nodes);
+    const std::vector<Label>& motif = motifs[motif_choice.Sample(rng)];
+    Graph graph;
+    // Macromolecule shape: a long periodic backbone with short side chains.
+    const size_t backbone = std::max<size_t>(2, (n * 3) / 5);
+    for (size_t v = 0; v < n; ++v) {
+      Label label;
+      if (v < backbone) {
+        label = motif[v % motif.size()];
+        if (rng.Chance(params.motif_mutation_rate)) {
+          label = static_cast<Label>(rng.Below(params.num_labels));
+        }
+      } else {
+        // Side-chain chemistry: mostly the "residue" labels 5..9.
+        label = rng.Chance(0.8)
+                    ? static_cast<Label>(5 + rng.Below(params.num_labels - 5))
+                    : static_cast<Label>(rng.Below(params.num_labels));
+      }
+      graph.AddVertex(label);
+    }
+    for (VertexId v = 1; v < backbone; ++v) graph.AddEdge(v, v - 1);
+    for (VertexId v = static_cast<VertexId>(backbone); v < n; ++v) {
+      // Attach to the backbone or to an already-placed side-chain vertex.
+      VertexId anchor;
+      if (rng.Chance(0.5) || v == backbone) {
+        anchor = static_cast<VertexId>(rng.Below(backbone));
+      } else {
+        anchor = static_cast<VertexId>(backbone + rng.Below(v - backbone));
+      }
+      graph.AddEdge(v, anchor);
+    }
+    const size_t crossings = static_cast<size_t>(
+        params.cross_edge_fraction * static_cast<double>(n));
+    for (size_t c = 0; c < crossings; ++c) {
+      const VertexId u = static_cast<VertexId>(rng.Below(n));
+      const VertexId w = static_cast<VertexId>(rng.Below(n));
+      if (u != w) graph.AddEdge(u, w);
+    }
+    graphs.push_back(std::move(graph));
+  }
+  return graphs;
+}
+
+std::vector<Graph> MakePpiLike(const PpiLikeParams& params, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Graph> graphs;
+  graphs.reserve(params.num_graphs);
+  for (size_t g = 0; g < params.num_graphs; ++g) {
+    const size_t n = SampleClampedNormal(rng, params.avg_nodes,
+                                         params.stddev_nodes, params.min_nodes,
+                                         params.max_nodes);
+    Graph graph;
+    for (size_t v = 0; v < n; ++v) {
+      graph.AddVertex(static_cast<Label>(rng.Below(params.num_labels)));
+    }
+    // Barabási–Albert preferential attachment: `endpoints` holds one entry
+    // per edge endpoint, so uniform sampling from it is degree-biased.
+    std::vector<VertexId> endpoints;
+    const size_t seed_size = std::min<size_t>(params.attach_edges + 1, n);
+    for (VertexId u = 0; u < seed_size; ++u) {
+      for (VertexId w = u + 1; w < seed_size; ++w) {
+        if (graph.AddEdge(u, w)) {
+          endpoints.push_back(u);
+          endpoints.push_back(w);
+        }
+      }
+    }
+    for (VertexId v = static_cast<VertexId>(seed_size); v < n; ++v) {
+      for (size_t e = 0; e < params.attach_edges; ++e) {
+        const VertexId target =
+            endpoints.empty()
+                ? static_cast<VertexId>(rng.Below(v))
+                : endpoints[rng.Below(endpoints.size())];
+        if (graph.AddEdge(v, target)) {
+          endpoints.push_back(v);
+          endpoints.push_back(target);
+        }
+      }
+    }
+    graphs.push_back(std::move(graph));
+  }
+  return graphs;
+}
+
+std::vector<Graph> MakeSyntheticDense(const SyntheticDenseParams& params,
+                                      uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Graph> graphs;
+  graphs.reserve(params.num_graphs);
+  for (size_t g = 0; g < params.num_graphs; ++g) {
+    const size_t n = SampleClampedNormal(rng, params.avg_nodes,
+                                         params.stddev_nodes, params.min_nodes,
+                                         params.max_nodes);
+    Graph graph;
+    for (size_t v = 0; v < n; ++v) {
+      graph.AddVertex(static_cast<Label>(rng.Below(params.num_labels)));
+    }
+    // Spanning chain first so the graph is connected, then random edges up
+    // to the (near-constant) target, mimicking the [7] generator's output.
+    for (VertexId v = 1; v < n; ++v) graph.AddEdge(v, v - 1);
+    const size_t max_edges = n * (n - 1) / 2;
+    size_t target = params.edges_per_graph;
+    if (params.edge_jitter > 0) {
+      target += rng.Below(2 * params.edge_jitter + 1);
+      target -= params.edge_jitter;
+    }
+    target = std::min(target, max_edges);
+    size_t guard = 0;
+    while (graph.NumEdges() < target && guard < 50 * target) {
+      ++guard;
+      const VertexId u = static_cast<VertexId>(rng.Below(n));
+      const VertexId w = static_cast<VertexId>(rng.Below(n));
+      if (u != w) graph.AddEdge(u, w);
+    }
+    graphs.push_back(std::move(graph));
+  }
+  return graphs;
+}
+
+GraphDatabase MakeDataset(const std::string& name, double scale,
+                          uint64_t seed) {
+  GraphDatabase db;
+  auto scaled = [scale](size_t count) {
+    const double value = scale * static_cast<double>(count);
+    return value < 1.0 ? size_t{1} : static_cast<size_t>(value);
+  };
+  if (name == "aids") {
+    AidsLikeParams params;
+    params.num_graphs = scaled(params.num_graphs);
+    db.graphs = MakeAidsLike(params, seed);
+  } else if (name == "pdbs") {
+    PdbsLikeParams params;
+    params.num_graphs = scaled(params.num_graphs);
+    db.graphs = MakePdbsLike(params, seed);
+  } else if (name == "ppi") {
+    PpiLikeParams params;
+    params.num_graphs = scaled(params.num_graphs);
+    db.graphs = MakePpiLike(params, seed);
+  } else if (name == "synthetic") {
+    SyntheticDenseParams params;
+    params.num_graphs = scaled(params.num_graphs);
+    db.graphs = MakeSyntheticDense(params, seed);
+  }
+  db.RefreshLabelCount();
+  return db;
+}
+
+DatasetStats ComputeDatasetStats(const GraphDatabase& db) {
+  DatasetStats stats;
+  stats.num_graphs = db.graphs.size();
+  stats.distinct_labels = db.num_labels;
+  RunningStats nodes, edges;
+  double degree_sum = 0;
+  for (const Graph& g : db.graphs) {
+    nodes.Add(static_cast<double>(g.NumVertices()));
+    edges.Add(static_cast<double>(g.NumEdges()));
+    degree_sum += g.AverageDegree();
+  }
+  stats.avg_nodes = nodes.mean();
+  stats.stddev_nodes = nodes.stddev();
+  stats.max_nodes = nodes.max();
+  stats.avg_edges = edges.mean();
+  stats.stddev_edges = edges.stddev();
+  stats.max_edges = edges.max();
+  stats.avg_degree = db.graphs.empty()
+                         ? 0.0
+                         : degree_sum / static_cast<double>(db.graphs.size());
+  return stats;
+}
+
+}  // namespace igq

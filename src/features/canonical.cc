@@ -1,0 +1,87 @@
+#include "features/canonical.h"
+
+#include <algorithm>
+
+namespace igq {
+namespace {
+
+// AHU encoding of the subtree rooted at `v` (coming from `parent`):
+// "(<label>" + sorted child encodings + ")".
+std::string EncodeRooted(const Graph& tree, VertexId v, VertexId parent) {
+  std::vector<std::string> children;
+  for (VertexId w : tree.Neighbors(v)) {
+    if (w != parent) children.push_back(EncodeRooted(tree, w, v));
+  }
+  std::sort(children.begin(), children.end());
+  std::string out = "(";
+  out += std::to_string(tree.label(v));
+  for (const std::string& child : children) out += child;
+  out += ")";
+  return out;
+}
+
+// Returns the 1 or 2 centers of the tree (vertices minimizing eccentricity),
+// found by iteratively peeling leaves.
+std::vector<VertexId> TreeCenters(const Graph& tree) {
+  const size_t n = tree.NumVertices();
+  if (n == 0) return {};
+  if (n == 1) return {0};
+  std::vector<size_t> degree(n);
+  std::vector<VertexId> leaves;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = tree.Degree(v);
+    if (degree[v] <= 1) leaves.push_back(v);
+  }
+  size_t remaining = n;
+  std::vector<VertexId> current = leaves;
+  while (remaining > 2) {
+    remaining -= current.size();
+    std::vector<VertexId> next;
+    for (VertexId leaf : current) {
+      for (VertexId w : tree.Neighbors(leaf)) {
+        if (--degree[w] == 1) next.push_back(w);
+      }
+      degree[leaf] = 0;
+    }
+    current = std::move(next);
+  }
+  return current;
+}
+
+}  // namespace
+
+std::string TreeCanonicalForm(const Graph& tree) {
+  if (tree.NumVertices() == 0) return "()";
+  std::vector<VertexId> centers = TreeCenters(tree);
+  std::string best;
+  for (VertexId center : centers) {
+    std::string enc = EncodeRooted(tree, center, center);
+    if (best.empty() || enc < best) best = std::move(enc);
+  }
+  return best;
+}
+
+std::string CycleCanonicalForm(const std::vector<Label>& cycle_labels) {
+  const size_t n = cycle_labels.size();
+  std::vector<Label> best = cycle_labels;
+  std::vector<Label> candidate(n);
+  // All rotations, both directions.
+  for (int direction = 0; direction < 2; ++direction) {
+    for (size_t shift = 0; shift < n; ++shift) {
+      for (size_t i = 0; i < n; ++i) {
+        const size_t index = direction == 0 ? (shift + i) % n
+                                            : (shift + n - i) % n;
+        candidate[i] = cycle_labels[index];
+      }
+      if (candidate < best) best = candidate;
+    }
+  }
+  std::string out = "c";
+  for (Label label : best) {
+    out += ":";
+    out += std::to_string(label);
+  }
+  return out;
+}
+
+}  // namespace igq

@@ -1,0 +1,28 @@
+// Canonical string forms for tree and cycle features.
+//
+// CT-Index's key insight (cited in §2 of the paper) is that trees and cycles
+// admit linear-time string canonical forms — unlike general graphs — so
+// features can be deduplicated and hashed by string. We implement AHU-style
+// center-rooted canonicalization for trees and rotation/reflection
+// minimization for cycles.
+#ifndef IGQ_FEATURES_CANONICAL_H_
+#define IGQ_FEATURES_CANONICAL_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace igq {
+
+/// Canonical form of a labeled free tree. `tree` must be a connected acyclic
+/// graph; the result is identical for all isomorphic labeled trees.
+std::string TreeCanonicalForm(const Graph& tree);
+
+/// Canonical form of a labeled cycle given as the label sequence around the
+/// cycle: the lexicographically smallest rotation over both directions.
+std::string CycleCanonicalForm(const std::vector<Label>& cycle_labels);
+
+}  // namespace igq
+
+#endif  // IGQ_FEATURES_CANONICAL_H_

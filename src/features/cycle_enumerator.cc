@@ -1,0 +1,76 @@
+#include "features/cycle_enumerator.h"
+
+#include "features/canonical.h"
+
+namespace igq {
+namespace {
+
+// Cycles are discovered from their minimum vertex (`root`): DFS over simple
+// paths whose interior vertices are all > root; a neighbor equal to root
+// closes a cycle. Each undirected cycle is seen twice (both directions);
+// requiring path[1] < path.back() keeps exactly one orientation.
+class CycleSearch {
+ public:
+  CycleSearch(const Graph& graph, const CycleEnumeratorOptions& options,
+              CycleFeatureResult& result)
+      : graph_(graph),
+        options_(options),
+        result_(result),
+        on_path_(graph.NumVertices(), false) {}
+
+  void Run() {
+    for (VertexId root = 0; root < graph_.NumVertices() && !result_.saturated;
+         ++root) {
+      path_.assign(1, root);
+      on_path_[root] = true;
+      Dfs(root);
+      on_path_[root] = false;
+    }
+  }
+
+ private:
+  void Dfs(VertexId last) {
+    if (result_.saturated) return;
+    for (VertexId next : graph_.Neighbors(last)) {
+      if (result_.saturated) return;
+      const VertexId root = path_.front();
+      if (next == root && path_.size() >= 3 && path_[1] < path_.back()) {
+        EmitCycle();
+        continue;
+      }
+      if (next <= root || on_path_[next]) continue;
+      if (path_.size() >= options_.max_vertices) continue;
+      path_.push_back(next);
+      on_path_[next] = true;
+      Dfs(next);
+      on_path_[next] = false;
+      path_.pop_back();
+    }
+  }
+
+  void EmitCycle() {
+    std::vector<Label> labels(path_.size());
+    for (size_t i = 0; i < path_.size(); ++i) labels[i] = graph_.label(path_[i]);
+    ++result_.counts[CycleCanonicalForm(labels)];
+    if (++instances_ >= options_.max_instances) result_.saturated = true;
+  }
+
+  const Graph& graph_;
+  const CycleEnumeratorOptions& options_;
+  CycleFeatureResult& result_;
+  std::vector<VertexId> path_;
+  std::vector<bool> on_path_;
+  size_t instances_ = 0;
+};
+
+}  // namespace
+
+CycleFeatureResult CountCycleFeatures(const Graph& graph,
+                                      const CycleEnumeratorOptions& options) {
+  CycleFeatureResult result;
+  CycleSearch search(graph, options, result);
+  search.Run();
+  return result;
+}
+
+}  // namespace igq

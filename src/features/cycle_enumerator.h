@@ -1,0 +1,33 @@
+// Simple-cycle enumeration up to a maximum length (CT-Index indexes cycles
+// of up to 8 vertices alongside trees).
+#ifndef IGQ_FEATURES_CYCLE_ENUMERATOR_H_
+#define IGQ_FEATURES_CYCLE_ENUMERATOR_H_
+
+#include <cstddef>
+
+#include "features/feature_set.h"
+#include "graph/graph.h"
+
+namespace igq {
+
+struct CycleEnumeratorOptions {
+  /// Maximum cycle length in vertices (CT-Index default 8).
+  size_t max_vertices = 8;
+  /// Instance budget; beyond it the result is marked saturated (see
+  /// TreeEnumeratorOptions::max_instances for semantics).
+  size_t max_instances = 2'000'000;
+};
+
+struct CycleFeatureResult {
+  StringFeatureCounts counts;
+  bool saturated = false;
+};
+
+/// Enumerates each simple cycle of 3..max_vertices vertices exactly once and
+/// returns canonical-form counts.
+CycleFeatureResult CountCycleFeatures(const Graph& graph,
+                                      const CycleEnumeratorOptions& options);
+
+}  // namespace igq
+
+#endif  // IGQ_FEATURES_CYCLE_ENUMERATOR_H_

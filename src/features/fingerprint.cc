@@ -1,0 +1,41 @@
+#include "features/fingerprint.h"
+
+namespace igq {
+namespace {
+
+// FNV-1a 64-bit string hash.
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+void Fingerprint::AddFeature(const std::string& canonical_form) {
+  const uint64_t h = Fnv1a(canonical_form);
+  const size_t bit = h % bits_;
+  words_[bit / 64] |= 1ULL << (bit % 64);
+}
+
+void Fingerprint::Saturate() {
+  for (uint64_t& word : words_) word = ~0ULL;
+}
+
+bool Fingerprint::CoversAllBitsOf(const Fingerprint& other) const {
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((other.words_[i] & ~words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+size_t Fingerprint::PopCount() const {
+  size_t count = 0;
+  for (uint64_t word : words_) count += __builtin_popcountll(word);
+  return count;
+}
+
+}  // namespace igq

@@ -1,0 +1,46 @@
+// Hash fingerprints (bitmaps) over canonical feature strings — CT-Index's
+// per-graph index structure. Checking "query may be subgraph of G" reduces
+// to a bitwise subset test between the two fingerprints.
+#ifndef IGQ_FEATURES_FINGERPRINT_H_
+#define IGQ_FEATURES_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace igq {
+
+/// Fixed-width bitmap with feature hashing (CT-Index default: 4096 bits).
+class Fingerprint {
+ public:
+  /// `bits` must be a positive multiple of 64.
+  explicit Fingerprint(size_t bits = 4096)
+      : bits_(bits), words_(bits / 64, 0) {}
+
+  /// Hashes a canonical feature string into the bitmap.
+  void AddFeature(const std::string& canonical_form);
+
+  /// Sets every bit; used for saturated graphs so they are never filtered
+  /// out (preserves the no-false-negative guarantee).
+  void Saturate();
+
+  /// True iff every set bit of `other` is also set here — i.e. this graph
+  /// may contain everything `other` (a query fingerprint) requires.
+  bool CoversAllBitsOf(const Fingerprint& other) const;
+
+  size_t bit_count() const { return bits_; }
+  size_t PopCount() const;
+  size_t MemoryBytes() const { return sizeof(*this) + words_.capacity() * 8; }
+
+  bool operator==(const Fingerprint& other) const {
+    return words_ == other.words_;
+  }
+
+ private:
+  size_t bits_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace igq
+
+#endif  // IGQ_FEATURES_FINGERPRINT_H_

@@ -1,0 +1,56 @@
+#include "features/path_enumerator.h"
+
+namespace igq {
+namespace {
+
+// Iterative-deepening-free DFS extending the current simple path. `labels`
+// carries the label sequence; vertices on the path are marked in `on_path`.
+void Extend(const Graph& graph, const PathEnumeratorOptions& options,
+            VertexId start, VertexId last, std::vector<Label>& labels,
+            std::vector<bool>& on_path,
+            const std::function<void(PathKey, VertexId)>& sink) {
+  if (labels.size() - 1 >= options.max_edges) return;
+  for (VertexId next : graph.Neighbors(last)) {
+    if (on_path[next]) continue;
+    labels.push_back(graph.label(next));
+    sink(PackPathKey(labels), start);
+    on_path[next] = true;
+    Extend(graph, options, start, next, labels, on_path, sink);
+    on_path[next] = false;
+    labels.pop_back();
+  }
+}
+
+}  // namespace
+
+void EnumeratePathsFromRange(
+    const Graph& graph, const PathEnumeratorOptions& options,
+    VertexId begin_vertex, VertexId end_vertex,
+    const std::function<void(PathKey, VertexId)>& sink) {
+  std::vector<bool> on_path(graph.NumVertices(), false);
+  std::vector<Label> labels;
+  labels.reserve(options.max_edges + 1);
+  for (VertexId v = begin_vertex; v < end_vertex; ++v) {
+    labels.assign(1, graph.label(v));
+    if (options.include_single_vertices) sink(PackPathKey(labels), v);
+    on_path[v] = true;
+    Extend(graph, options, v, v, labels, on_path, sink);
+    on_path[v] = false;
+  }
+}
+
+void EnumeratePaths(const Graph& graph, const PathEnumeratorOptions& options,
+                    const std::function<void(PathKey, VertexId)>& sink) {
+  EnumeratePathsFromRange(graph, options, 0,
+                          static_cast<VertexId>(graph.NumVertices()), sink);
+}
+
+PathFeatureCounts CountPathFeatures(const Graph& graph,
+                                    const PathEnumeratorOptions& options) {
+  PathFeatureCounts counts;
+  EnumeratePaths(graph, options,
+                 [&counts](PathKey key, VertexId) { ++counts[key]; });
+  return counts;
+}
+
+}  // namespace igq

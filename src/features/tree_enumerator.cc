@@ -1,0 +1,198 @@
+#include "features/tree_enumerator.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "features/canonical.h"
+
+namespace igq {
+namespace {
+
+// Union-find over <= max_vertices elements for spanning-tree checks.
+class TinyUnionFind {
+ public:
+  explicit TinyUnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) x = parent_[x] = parent_[parent_[x]];
+    return x;
+  }
+  bool Union(size_t a, size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+struct Edge {
+  uint8_t a;
+  uint8_t b;
+};
+
+// Emits every spanning tree of the induced subgraph on `subset` (local edge
+// list `edges`, |subset| = k) by trying all (k-1)-subsets of edges and
+// keeping the acyclic connected ones. k <= 6 so this is tiny.
+class SpanningTreeEmitter {
+ public:
+  SpanningTreeEmitter(const Graph& graph, const std::vector<VertexId>& subset,
+                      TreeFeatureResult& result,
+                      const TreeEnumeratorOptions& options, size_t& instances)
+      : graph_(graph),
+        subset_(subset),
+        result_(result),
+        options_(options),
+        instances_(instances) {
+    const size_t k = subset.size();
+    for (size_t i = 0; i < k; ++i) {
+      for (size_t j = i + 1; j < k; ++j) {
+        if (graph.HasEdge(subset[i], subset[j])) {
+          edges_.push_back({static_cast<uint8_t>(i), static_cast<uint8_t>(j)});
+        }
+      }
+    }
+  }
+
+  void Run() {
+    const size_t k = subset_.size();
+    if (k == 1) {
+      Emit({});
+      return;
+    }
+    if (edges_.size() < k - 1) return;  // cannot span
+    chosen_.clear();
+    Choose(0, k - 1);
+  }
+
+ private:
+  void Choose(size_t from, size_t needed) {
+    if (result_.saturated) return;
+    if (needed == 0) {
+      TryEmit();
+      return;
+    }
+    if (edges_.size() - from < needed) return;
+    for (size_t i = from; i < edges_.size(); ++i) {
+      chosen_.push_back(i);
+      Choose(i + 1, needed - 1);
+      chosen_.pop_back();
+      if (result_.saturated) return;
+    }
+  }
+
+  void TryEmit() {
+    TinyUnionFind uf(subset_.size());
+    for (size_t index : chosen_) {
+      if (!uf.Union(edges_[index].a, edges_[index].b)) return;  // cycle
+    }
+    // k-1 acyclic edges over k vertices => spanning tree.
+    Emit(chosen_);
+  }
+
+  void Emit(const std::vector<size_t>& edge_indices) {
+    Graph tree;
+    for (VertexId v : subset_) tree.AddVertex(graph_.label(v));
+    for (size_t index : edge_indices) {
+      tree.AddEdge(edges_[index].a, edges_[index].b);
+    }
+    ++result_.counts[TreeCanonicalForm(tree)];
+    if (++instances_ >= options_.max_instances) result_.saturated = true;
+  }
+
+  const Graph& graph_;
+  const std::vector<VertexId>& subset_;
+  TreeFeatureResult& result_;
+  const TreeEnumeratorOptions& options_;
+  size_t& instances_;
+  std::vector<Edge> edges_;
+  std::vector<size_t> chosen_;
+};
+
+// ESU (Wernicke) enumeration of connected vertex subsets of size
+// <= max_vertices; each subset is visited exactly once.
+class EsuEnumerator {
+ public:
+  EsuEnumerator(const Graph& graph, const TreeEnumeratorOptions& options,
+                TreeFeatureResult& result)
+      : graph_(graph),
+        options_(options),
+        result_(result),
+        in_subset_(graph.NumVertices(), false),
+        in_neighborhood_(graph.NumVertices(), false) {}
+
+  void Run() {
+    for (VertexId v = 0; v < graph_.NumVertices() && !result_.saturated; ++v) {
+      subset_.assign(1, v);
+      in_subset_[v] = true;
+      std::vector<VertexId> extension;
+      std::vector<VertexId> touched;
+      for (VertexId u : graph_.Neighbors(v)) {
+        if (u > v) {
+          extension.push_back(u);
+          in_neighborhood_[u] = true;
+          touched.push_back(u);
+        }
+      }
+      EmitSubset();
+      Extend(extension, v);
+      in_subset_[v] = false;
+      for (VertexId u : touched) in_neighborhood_[u] = false;
+    }
+  }
+
+ private:
+  void EmitSubset() {
+    SpanningTreeEmitter emitter(graph_, subset_, result_, options_, instances_);
+    emitter.Run();
+  }
+
+  void Extend(std::vector<VertexId> extension, VertexId root) {
+    if (subset_.size() >= options_.max_vertices || result_.saturated) return;
+    while (!extension.empty() && !result_.saturated) {
+      const VertexId w = extension.back();
+      extension.pop_back();
+      std::vector<VertexId> next = extension;
+      std::vector<VertexId> touched;
+      for (VertexId u : graph_.Neighbors(w)) {
+        // Exclusive neighborhood: not in subset, not already adjacent to it.
+        if (u > root && !in_subset_[u] && !in_neighborhood_[u]) {
+          next.push_back(u);
+          in_neighborhood_[u] = true;
+          touched.push_back(u);
+        }
+      }
+      subset_.push_back(w);
+      in_subset_[w] = true;
+      EmitSubset();
+      Extend(std::move(next), root);
+      in_subset_[w] = false;
+      subset_.pop_back();
+      for (VertexId u : touched) in_neighborhood_[u] = false;
+    }
+  }
+
+  const Graph& graph_;
+  const TreeEnumeratorOptions& options_;
+  TreeFeatureResult& result_;
+  std::vector<VertexId> subset_;
+  std::vector<bool> in_subset_;
+  std::vector<bool> in_neighborhood_;
+  size_t instances_ = 0;
+};
+
+}  // namespace
+
+TreeFeatureResult CountTreeFeatures(const Graph& graph,
+                                    const TreeEnumeratorOptions& options) {
+  TreeFeatureResult result;
+  EsuEnumerator enumerator(graph, options, result);
+  enumerator.Run();
+  return result;
+}
+
+}  // namespace igq

@@ -1,0 +1,35 @@
+// Exhaustive subtree enumeration (CT-Index feature generator): every edge
+// subset of the graph that forms a tree with at most `max_vertices` vertices
+// is emitted once, keyed by its canonical form.
+#ifndef IGQ_FEATURES_TREE_ENUMERATOR_H_
+#define IGQ_FEATURES_TREE_ENUMERATOR_H_
+
+#include <cstddef>
+
+#include "features/feature_set.h"
+#include "graph/graph.h"
+
+namespace igq {
+
+struct TreeEnumeratorOptions {
+  /// Maximum subtree size in vertices (CT-Index default 6).
+  size_t max_vertices = 6;
+  /// Safety valve for dense graphs: once this many distinct tree *instances*
+  /// have been generated the enumeration stops and `saturated` is set. The
+  /// CT-Index fingerprint treats a saturated graph as matching everything,
+  /// which preserves the no-false-negative guarantee (see DESIGN.md §6).
+  size_t max_instances = 2'000'000;
+};
+
+struct TreeFeatureResult {
+  StringFeatureCounts counts;
+  bool saturated = false;
+};
+
+/// Enumerates all subtree instances and returns canonical-form counts.
+TreeFeatureResult CountTreeFeatures(const Graph& graph,
+                                    const TreeEnumeratorOptions& options);
+
+}  // namespace igq
+
+#endif  // IGQ_FEATURES_TREE_ENUMERATOR_H_

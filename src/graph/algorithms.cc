@@ -1,0 +1,115 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+namespace igq {
+
+std::vector<VertexId> BfsOrder(const Graph& graph, VertexId start) {
+  std::vector<VertexId> order;
+  if (start >= graph.NumVertices()) return order;
+  std::vector<bool> visited(graph.NumVertices(), false);
+  std::deque<VertexId> frontier{start};
+  visited[start] = true;
+  while (!frontier.empty()) {
+    const VertexId v = frontier.front();
+    frontier.pop_front();
+    order.push_back(v);
+    for (VertexId w : graph.Neighbors(v)) {
+      if (!visited[w]) {
+        visited[w] = true;
+        frontier.push_back(w);
+      }
+    }
+  }
+  return order;
+}
+
+ComponentLabeling ConnectedComponents(const Graph& graph) {
+  ComponentLabeling result;
+  result.component_of.assign(graph.NumVertices(), UINT32_MAX);
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    if (result.component_of[v] != UINT32_MAX) continue;
+    const uint32_t id = result.num_components++;
+    std::deque<VertexId> frontier{v};
+    result.component_of[v] = id;
+    while (!frontier.empty()) {
+      const VertexId u = frontier.front();
+      frontier.pop_front();
+      for (VertexId w : graph.Neighbors(u)) {
+        if (result.component_of[w] == UINT32_MAX) {
+          result.component_of[w] = id;
+          frontier.push_back(w);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+bool IsConnected(const Graph& graph) {
+  if (graph.NumVertices() <= 1) return true;
+  return BfsOrder(graph, 0).size() == graph.NumVertices();
+}
+
+Graph InducedSubgraph(const Graph& graph,
+                      const std::vector<VertexId>& vertices) {
+  Graph sub;
+  std::unordered_map<VertexId, VertexId> remap;
+  remap.reserve(vertices.size());
+  for (VertexId v : vertices) {
+    remap.emplace(v, sub.AddVertex(graph.label(v)));
+  }
+  for (VertexId v : vertices) {
+    for (VertexId w : graph.Neighbors(v)) {
+      if (v < w) {
+        auto it = remap.find(w);
+        if (it != remap.end()) sub.AddEdge(remap[v], it->second);
+      }
+    }
+  }
+  return sub;
+}
+
+Graph BfsNeighborhoodQuery(const Graph& graph, VertexId seed,
+                           size_t target_edges) {
+  Graph query;
+  if (seed >= graph.NumVertices() || target_edges == 0) return query;
+
+  std::unordered_map<VertexId, VertexId> remap;
+  std::deque<VertexId> frontier{seed};
+  std::vector<bool> enqueued(graph.NumVertices(), false);
+  enqueued[seed] = true;
+  remap.emplace(seed, query.AddVertex(graph.label(seed)));
+  size_t edges = 0;
+
+  while (!frontier.empty() && edges < target_edges) {
+    const VertexId v = frontier.front();
+    frontier.pop_front();
+    for (VertexId w : graph.Neighbors(v)) {
+      if (edges >= target_edges) break;
+      auto it = remap.find(w);
+      if (it == remap.end()) {
+        it = remap.emplace(w, query.AddVertex(graph.label(w))).first;
+      }
+      // "unvisited edges of each traversed node included" (§7.1):
+      if (query.AddEdge(remap[v], it->second)) ++edges;
+      if (!enqueued[w]) {
+        enqueued[w] = true;
+        frontier.push_back(w);
+      }
+    }
+  }
+  return query;
+}
+
+std::vector<size_t> LabelHistogram(const Graph& graph) {
+  std::vector<size_t> histogram(graph.LabelUpperBound(), 0);
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    ++histogram[graph.label(v)];
+  }
+  return histogram;
+}
+
+}  // namespace igq

@@ -1,0 +1,43 @@
+// Basic graph algorithms shared across the library: traversal, connected
+// components, neighborhood extraction (workload generation, §7.1) and
+// per-candidate component restriction (Grapes verification).
+#ifndef IGQ_GRAPH_ALGORITHMS_H_
+#define IGQ_GRAPH_ALGORITHMS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace igq {
+
+/// Vertices reachable from `start`, in BFS order.
+std::vector<VertexId> BfsOrder(const Graph& graph, VertexId start);
+
+/// Component id per vertex (ids are 0..k-1 in discovery order) and the
+/// number of components.
+struct ComponentLabeling {
+  std::vector<uint32_t> component_of;
+  uint32_t num_components = 0;
+};
+ComponentLabeling ConnectedComponents(const Graph& graph);
+
+/// True iff the graph is connected (the empty graph counts as connected).
+bool IsConnected(const Graph& graph);
+
+/// Extracts the subgraph induced by `vertices` (order defines new ids).
+/// Labels are preserved; edges between selected vertices are kept.
+Graph InducedSubgraph(const Graph& graph, const std::vector<VertexId>& vertices);
+
+/// Grows a connected query graph from `seed` by BFS, adding unvisited edges
+/// of each traversed vertex until `target_edges` edges are collected — the
+/// paper's query-generation procedure (§7.1). The result may have fewer
+/// edges if the seed's component is exhausted first.
+Graph BfsNeighborhoodQuery(const Graph& graph, VertexId seed,
+                           size_t target_edges);
+
+/// Total degree-sum histogram helper: vertex count per label.
+std::vector<size_t> LabelHistogram(const Graph& graph);
+
+}  // namespace igq
+
+#endif  // IGQ_GRAPH_ALGORITHMS_H_

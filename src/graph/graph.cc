@@ -1,0 +1,62 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+namespace igq {
+
+bool Graph::AddEdge(VertexId u, VertexId v) {
+  if (u == v) return false;
+  if (u >= labels_.size() || v >= labels_.size()) return false;
+  auto& nu = adjacency_[u];
+  auto it = std::lower_bound(nu.begin(), nu.end(), v);
+  if (it != nu.end() && *it == v) return false;
+  nu.insert(it, v);
+  auto& nv = adjacency_[v];
+  nv.insert(std::lower_bound(nv.begin(), nv.end(), u), u);
+  ++num_edges_;
+  return true;
+}
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  if (u >= labels_.size() || v >= labels_.size()) return false;
+  // Probe the smaller adjacency list.
+  const auto& smaller =
+      adjacency_[u].size() <= adjacency_[v].size() ? adjacency_[u] : adjacency_[v];
+  const VertexId needle =
+      adjacency_[u].size() <= adjacency_[v].size() ? v : u;
+  return std::binary_search(smaller.begin(), smaller.end(), needle);
+}
+
+size_t Graph::CountDistinctLabels() const {
+  std::set<Label> seen(labels_.begin(), labels_.end());
+  return seen.size();
+}
+
+size_t Graph::LabelUpperBound() const {
+  size_t bound = 0;
+  for (Label l : labels_) bound = std::max(bound, static_cast<size_t>(l) + 1);
+  return bound;
+}
+
+size_t Graph::MemoryBytes() const {
+  size_t bytes = sizeof(Graph);
+  bytes += labels_.capacity() * sizeof(Label);
+  bytes += adjacency_.capacity() * sizeof(std::vector<VertexId>);
+  for (const auto& adj : adjacency_) bytes += adj.capacity() * sizeof(VertexId);
+  return bytes;
+}
+
+bool Graph::operator==(const Graph& other) const {
+  return labels_ == other.labels_ && adjacency_ == other.adjacency_;
+}
+
+std::string Graph::DebugString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "Graph(v=%zu, e=%zu, labels=%zu)",
+                NumVertices(), NumEdges(), CountDistinctLabels());
+  return buf;
+}
+
+}  // namespace igq

@@ -1,0 +1,85 @@
+// Labeled undirected graph (paper Definition 1): G = (V, E, l) with vertex
+// labels l : V -> U. This is the single graph representation shared by the
+// dataset store, the query workloads, all indexing methods and the matchers.
+#ifndef IGQ_GRAPH_GRAPH_H_
+#define IGQ_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace igq {
+
+using VertexId = uint32_t;
+using Label = uint32_t;
+
+/// An undirected vertex-labeled graph with contiguous vertex ids 0..n-1.
+/// Adjacency lists are kept sorted, giving O(log d) HasEdge tests — the hot
+/// operation inside subgraph-isomorphism verification.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Creates a graph with `num_vertices` vertices all labeled 0.
+  explicit Graph(size_t num_vertices)
+      : labels_(num_vertices, 0), adjacency_(num_vertices) {}
+
+  /// Appends a vertex with the given label; returns its id.
+  VertexId AddVertex(Label label) {
+    labels_.push_back(label);
+    adjacency_.emplace_back();
+    return static_cast<VertexId>(labels_.size() - 1);
+  }
+
+  /// Inserts the undirected edge {u, v}. Self-loops and duplicates are
+  /// ignored (the paper's graphs are simple). Returns true if inserted.
+  bool AddEdge(VertexId u, VertexId v);
+
+  /// True iff the undirected edge {u, v} exists.
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  size_t NumVertices() const { return labels_.size(); }
+  size_t NumEdges() const { return num_edges_; }
+  bool Empty() const { return labels_.empty(); }
+
+  Label label(VertexId v) const { return labels_[v]; }
+  void set_label(VertexId v, Label label) { labels_[v] = label; }
+
+  /// Sorted neighbor list of `v`.
+  const std::vector<VertexId>& Neighbors(VertexId v) const {
+    return adjacency_[v];
+  }
+
+  size_t Degree(VertexId v) const { return adjacency_[v].size(); }
+
+  /// Number of distinct labels present (not the domain size).
+  size_t CountDistinctLabels() const;
+
+  /// Largest label value + 1, or 0 for the empty graph.
+  size_t LabelUpperBound() const;
+
+  /// Average vertex degree: 2|E| / |V| (0 for the empty graph).
+  double AverageDegree() const {
+    return labels_.empty() ? 0.0
+                           : 2.0 * static_cast<double>(num_edges_) /
+                                 static_cast<double>(labels_.size());
+  }
+
+  /// Estimated heap footprint in bytes (used by the Fig. 18 index-size bench).
+  size_t MemoryBytes() const;
+
+  /// Structural equality: same labels, same edge set (not isomorphism).
+  bool operator==(const Graph& other) const;
+
+  /// Human-readable one-line summary, e.g. "Graph(v=5, e=4, labels=3)".
+  std::string DebugString() const;
+
+ private:
+  std::vector<Label> labels_;
+  std::vector<std::vector<VertexId>> adjacency_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace igq
+
+#endif  // IGQ_GRAPH_GRAPH_H_

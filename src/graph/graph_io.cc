@@ -1,0 +1,66 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace igq {
+
+void WriteGraphs(std::ostream& out, const std::vector<Graph>& graphs) {
+  for (size_t i = 0; i < graphs.size(); ++i) {
+    const Graph& g = graphs[i];
+    out << "#g" << i << "\n" << g.NumVertices() << "\n";
+    for (VertexId v = 0; v < g.NumVertices(); ++v) out << g.label(v) << "\n";
+    out << g.NumEdges() << "\n";
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      for (VertexId w : g.Neighbors(v)) {
+        if (v < w) out << v << " " << w << "\n";
+      }
+    }
+  }
+}
+
+std::optional<std::vector<Graph>> ReadGraphs(std::istream& in) {
+  std::vector<Graph> graphs;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] != '#') return std::nullopt;  // expected a graph header
+    size_t num_vertices = 0;
+    if (!(in >> num_vertices)) return std::nullopt;
+    Graph g;
+    for (size_t v = 0; v < num_vertices; ++v) {
+      Label label;
+      if (!(in >> label)) return std::nullopt;
+      g.AddVertex(label);
+    }
+    size_t num_edges = 0;
+    if (!(in >> num_edges)) return std::nullopt;
+    for (size_t e = 0; e < num_edges; ++e) {
+      VertexId u, v;
+      if (!(in >> u >> v)) return std::nullopt;
+      if (u >= num_vertices || v >= num_vertices) return std::nullopt;
+      g.AddEdge(u, v);
+    }
+    std::getline(in, line);  // consume trailing newline of the edge list
+    graphs.push_back(std::move(g));
+  }
+  return graphs;
+}
+
+bool WriteGraphsToFile(const std::string& path,
+                       const std::vector<Graph>& graphs) {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteGraphs(out, graphs);
+  return static_cast<bool>(out);
+}
+
+std::optional<std::vector<Graph>> ReadGraphsFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return ReadGraphs(in);
+}
+
+}  // namespace igq

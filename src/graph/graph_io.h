@@ -1,0 +1,39 @@
+// Text serialization of graph collections, compatible in spirit with the
+// formats shipped by GraphGrepSX/Grapes ("#name / nodes / edges" blocks).
+// Lets users load the real AIDS/PDBS/PPI files if they have them, and lets
+// the benches persist generated datasets.
+#ifndef IGQ_GRAPH_GRAPH_IO_H_
+#define IGQ_GRAPH_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace igq {
+
+// Format, one graph per block:
+//   #<graph-name>
+//   <num-vertices>
+//   <label-of-v0>
+//   ...
+//   <num-edges>
+//   <u> <v>
+//   ...
+
+/// Writes `graphs` to the stream. Names are "g<index>".
+void WriteGraphs(std::ostream& out, const std::vector<Graph>& graphs);
+
+/// Parses all graph blocks from the stream. Returns std::nullopt on a
+/// malformed input (premature EOF, out-of-range vertex ids, ...).
+std::optional<std::vector<Graph>> ReadGraphs(std::istream& in);
+
+/// Convenience file wrappers. Return false / nullopt on I/O failure.
+bool WriteGraphsToFile(const std::string& path, const std::vector<Graph>& graphs);
+std::optional<std::vector<Graph>> ReadGraphsFromFile(const std::string& path);
+
+}  // namespace igq
+
+#endif  // IGQ_GRAPH_GRAPH_IO_H_

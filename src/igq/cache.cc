@@ -1,0 +1,152 @@
+#include "igq/cache.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/timer.h"
+
+namespace igq {
+
+QueryCache::QueryCache(const IgqOptions& options) : options_(options) {
+  enumerator_options_.max_edges = options.path_max_edges;
+  enumerator_options_.include_single_vertices = true;
+  isub_ = IsubIndex(enumerator_options_);
+  isuper_ = IsuperIndex(enumerator_options_);
+}
+
+PathFeatureCounts QueryCache::ExtractFeatures(const Graph& query) const {
+  return CountPathFeatures(query, enumerator_options_);
+}
+
+CacheProbe QueryCache::Probe(const Graph& query,
+                             const PathFeatureCounts& query_features) const {
+  CacheProbe probe;
+  if (entries_.empty()) return probe;
+  probe.supergraph_positions =
+      isub_.FindSupergraphsOf(query, query_features, &probe.probe_iso_tests);
+  probe.subgraph_positions =
+      isuper_.FindSubgraphsOf(query, query_features, &probe.probe_iso_tests);
+
+  // Exact-match shortcut (§4.3): g related to G by containment and equal in
+  // node and edge count means g and G are isomorphic.
+  auto is_exact = [this, &query](size_t position) {
+    const Graph& g = entries_[position].graph;
+    return g.NumVertices() == query.NumVertices() &&
+           g.NumEdges() == query.NumEdges();
+  };
+  for (size_t position : probe.supergraph_positions) {
+    if (is_exact(position)) {
+      probe.exact_position = position;
+      return probe;
+    }
+  }
+  for (size_t position : probe.subgraph_positions) {
+    if (is_exact(position)) {
+      probe.exact_position = position;
+      return probe;
+    }
+  }
+  return probe;
+}
+
+void QueryCache::CreditHit(size_t position) {
+  QueryGraphMetadata& meta = entries_[position].meta;
+  ++meta.hits;
+  meta.last_hit_at = queries_processed_;
+}
+
+void QueryCache::CreditPrune(size_t position, uint64_t removed,
+                             LogValue cost) {
+  QueryGraphMetadata& meta = entries_[position].meta;
+  meta.removed_candidates += removed;
+  meta.cost_saved += cost;
+}
+
+void QueryCache::Insert(const Graph& query, std::vector<GraphId> answer) {
+  for (const CachedQuery& queued : window_) {
+    if (queued.graph == query) return;  // window-level duplicate
+  }
+  CachedQuery record;
+  record.id = next_id_++;
+  record.graph = query;
+  record.answer = std::move(answer);
+  std::sort(record.answer.begin(), record.answer.end());
+  record.meta.inserted_at = queries_processed_;
+  window_.push_back(std::move(record));
+  if (window_.size() >= options_.window_size) Flush();
+}
+
+void QueryCache::Flush() {
+  if (window_.empty()) return;
+  Timer timer;
+
+  // Eviction (§5.1): only pre-existing entries compete; the incoming window
+  // always enters so fresh queries get a chance to accumulate utility.
+  const size_t incoming = window_.size();
+  const size_t target_old =
+      options_.cache_capacity > incoming ? options_.cache_capacity - incoming
+                                         : 0;
+  if (entries_.size() > target_old) {
+    const size_t evict = entries_.size() - target_old;
+    // Eviction score: lower evicts first. kUtility is the paper's policy;
+    // the alternatives back the replacement ablation bench.
+    auto score = [this](const CachedQuery& entry) {
+      const QueryGraphMetadata& meta = entry.meta;
+      switch (options_.replacement_policy) {
+        case ReplacementPolicy::kUtility:
+          return meta.Utility(queries_processed_).log();
+        case ReplacementPolicy::kPopularity:
+          return static_cast<double>(meta.hits) /
+                 static_cast<double>(meta.QueriesSinceInsertion(queries_processed_));
+        case ReplacementPolicy::kLru:
+          return static_cast<double>(meta.last_hit_at);
+        case ReplacementPolicy::kFifo:
+          return static_cast<double>(entry.id);
+      }
+      return 0.0;
+    };
+    std::vector<size_t> order(entries_.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [this, &score](size_t a, size_t b) {
+                       const double sa = score(entries_[a]);
+                       const double sb = score(entries_[b]);
+                       if (sa != sb) return sa < sb;
+                       return entries_[a].id < entries_[b].id;  // older first
+                     });
+    std::vector<bool> evicted(entries_.size(), false);
+    for (size_t i = 0; i < evict; ++i) evicted[order[i]] = true;
+    std::vector<CachedQuery> survivors;
+    survivors.reserve(entries_.size() - evict);
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (!evicted[i]) survivors.push_back(std::move(entries_[i]));
+    }
+    entries_ = std::move(survivors);
+  }
+
+  for (CachedQuery& record : window_) entries_.push_back(std::move(record));
+  window_.clear();
+
+  // Shadow rebuild (§5.2): build fresh sub-indexes over the new Igraphs and
+  // swap them in atomically from the query path's perspective.
+  IsubIndex fresh_isub(enumerator_options_);
+  fresh_isub.Build(entries_);
+  IsuperIndex fresh_isuper(enumerator_options_);
+  fresh_isuper.Build(entries_);
+  isub_ = std::move(fresh_isub);
+  isuper_ = std::move(fresh_isuper);
+
+  maintenance_micros_ += timer.ElapsedMicros();
+}
+
+size_t QueryCache::MemoryBytes() const {
+  size_t bytes = sizeof(*this) + isub_.MemoryBytes() + isuper_.MemoryBytes();
+  for (const CachedQuery& record : entries_) {
+    bytes += record.graph.MemoryBytes();
+    bytes += record.answer.capacity() * sizeof(GraphId);
+    bytes += sizeof(CachedQuery);
+  }
+  return bytes;
+}
+
+}  // namespace igq

@@ -1,0 +1,99 @@
+// The iGQ query cache: Igraphs (cached query graphs + answers), the two
+// sub-indexes Isub/Isuper, the metadata store, and the window-based
+// maintenance with utility replacement (§5).
+#ifndef IGQ_IGQ_CACHE_H_
+#define IGQ_IGQ_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "features/feature_set.h"
+#include "features/path_enumerator.h"
+#include "igq/isub_index.h"
+#include "igq/isuper_index.h"
+#include "igq/options.h"
+#include "igq/query_record.h"
+
+namespace igq {
+
+/// Result of probing the cache with a new query g.
+struct CacheProbe {
+  /// Positions of cached G with g ⊆ G (the Isub(g) set).
+  std::vector<size_t> supergraph_positions;
+  /// Positions of cached G with G ⊆ g (the Isuper(g) set).
+  std::vector<size_t> subgraph_positions;
+  /// Position of a cached query identical in size to g and related by
+  /// containment — the §4.3 exact-match shortcut; SIZE_MAX if none.
+  size_t exact_position = SIZE_MAX;
+  /// VF2 tests run against cached graphs during the probe.
+  size_t probe_iso_tests = 0;
+};
+
+/// Igraphs + Isub + Isuper + Stat(iGQ Graph) + Itemp, with the §5.2
+/// maintenance protocol (batch window, utility eviction, shadow rebuild).
+class QueryCache {
+ public:
+  explicit QueryCache(const IgqOptions& options);
+
+  // The sub-indexes hold a pointer to entries_; keep the object pinned.
+  QueryCache(const QueryCache&) = delete;
+  QueryCache& operator=(const QueryCache&) = delete;
+
+  /// Extracts the path features the probe needs (shared with callers so the
+  /// extraction happens once per query).
+  PathFeatureCounts ExtractFeatures(const Graph& query) const;
+
+  /// Looks up sub/supergraph relationships between `query` and the cached
+  /// queries. Does not see window (Itemp) entries — they become visible
+  /// after the next flush, as in the paper.
+  CacheProbe Probe(const Graph& query,
+                   const PathFeatureCounts& query_features) const;
+
+  /// Advances the global query counter (the denominator clock for M(g)).
+  void RecordQueryProcessed() { ++queries_processed_; }
+
+  /// Metadata update for a cached graph that was hit (H += 1).
+  void CreditHit(size_t position);
+
+  /// Metadata update: `removed` candidate graphs pruned thanks to the
+  /// cached graph, with total analytic cost `cost` (C += cost, R += removed).
+  void CreditPrune(size_t position, uint64_t removed, LogValue cost);
+
+  /// Queues the executed query and its answer into Itemp; when the window
+  /// fills, triggers Flush(). Duplicates (structurally equal graphs) already
+  /// queued in the window are dropped.
+  void Insert(const Graph& query, std::vector<GraphId> answer);
+
+  /// Forces window integration: evicts the lowest-utility graphs to respect
+  /// the capacity, appends the window, rebuilds Isub/Isuper ("shadow"
+  /// instances swapped in) and clears Itemp.
+  void Flush();
+
+  const std::vector<CachedQuery>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+  size_t window_fill() const { return window_.size(); }
+  uint64_t queries_processed() const { return queries_processed_; }
+
+  /// Total time spent in Flush(), reported separately from query latency
+  /// (the paper performs maintenance on a shadow index off the query path).
+  int64_t maintenance_micros() const { return maintenance_micros_; }
+
+  /// Heap footprint of the cache indexes + stored graphs (Fig. 18).
+  size_t MemoryBytes() const;
+
+ private:
+  IgqOptions options_;
+  PathEnumeratorOptions enumerator_options_;
+  std::vector<CachedQuery> entries_;
+  std::vector<CachedQuery> window_;  // Itemp
+  IsubIndex isub_;
+  IsuperIndex isuper_;
+  uint64_t queries_processed_ = 0;
+  uint64_t next_id_ = 0;
+  int64_t maintenance_micros_ = 0;
+};
+
+}  // namespace igq
+
+#endif  // IGQ_IGQ_CACHE_H_

@@ -1,0 +1,386 @@
+#include "igq/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <thread>
+
+#include "common/timer.h"
+#include "isomorphism/cost_model.h"
+
+namespace igq {
+namespace {
+
+// True iff `id` is in the sorted answer vector.
+bool AnswerContains(const std::vector<GraphId>& answer, GraphId id) {
+  return std::binary_search(answer.begin(), answer.end(), id);
+}
+
+// Sum of §5.1 analytic costs of testing `query_nodes`-node queries against
+// each graph in `ids`.
+LogValue SumCosts(const GraphDatabase& db, size_t query_nodes,
+                  const std::vector<GraphId>& ids) {
+  LogValue total = LogValue::Zero();
+  for (GraphId id : ids) {
+    total += IsomorphismCost(db.num_labels, query_nodes,
+                             db.graphs[id].NumVertices());
+  }
+  return total;
+}
+
+// Runs `verify` over candidates with `threads` workers; returns the subset
+// that verified, preserving candidate order. `verify` must be thread-safe.
+template <typename VerifyFn>
+std::vector<GraphId> RunVerification(const std::vector<GraphId>& candidates,
+                                     size_t threads, const VerifyFn& verify) {
+  std::vector<GraphId> verified;
+  if (candidates.empty()) return verified;
+  if (threads <= 1 || candidates.size() < 2 * threads) {
+    for (GraphId id : candidates) {
+      if (verify(id)) verified.push_back(id);
+    }
+    return verified;
+  }
+  std::vector<char> outcome(candidates.size(), 0);
+  std::vector<std::thread> workers;
+  std::atomic<size_t> cursor{0};
+  for (size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&candidates, &outcome, &cursor, &verify] {
+      for (;;) {
+        const size_t index = cursor.fetch_add(1);
+        if (index >= candidates.size()) return;
+        outcome[index] = verify(candidates[index]) ? 1 : 0;
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (outcome[i] != 0) verified.push_back(candidates[i]);
+  }
+  return verified;
+}
+
+}  // namespace
+
+IgqSubgraphEngine::IgqSubgraphEngine(const GraphDatabase& db,
+                                     SubgraphMethod* method,
+                                     const IgqOptions& options)
+    : db_(&db),
+      method_(method),
+      options_(options),
+      cache_(std::make_unique<QueryCache>(options)) {}
+
+std::vector<GraphId> IgqSubgraphEngine::Process(const Graph& query,
+                                                QueryStats* stats) {
+  QueryStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = QueryStats{};
+  Timer total_timer;
+
+  std::unique_ptr<PreparedQuery> prepared = method_->Prepare(query);
+
+  // Stage 1+2 (Fig. 6): host-method filtering and the two cache probes —
+  // optionally on separate threads, as in the paper's three-way parallelism.
+  std::vector<GraphId> candidates;
+  CacheProbe probe;
+  if (!options_.enabled) {
+    ScopedTimer filter_timer(&stats->filter_micros);
+    candidates = method_->Filter(*prepared);
+  } else if (options_.parallel_probes) {
+    std::thread filter_thread([&] {
+      ScopedTimer filter_timer(&stats->filter_micros);
+      candidates = method_->Filter(*prepared);
+    });
+    {
+      ScopedTimer probe_timer(&stats->probe_micros);
+      const PathFeatureCounts features = cache_->ExtractFeatures(query);
+      probe = cache_->Probe(query, features);
+    }
+    filter_thread.join();
+  } else {
+    {
+      ScopedTimer filter_timer(&stats->filter_micros);
+      candidates = method_->Filter(*prepared);
+    }
+    ScopedTimer probe_timer(&stats->probe_micros);
+    const PathFeatureCounts features = cache_->ExtractFeatures(query);
+    probe = cache_->Probe(query, features);
+  }
+  stats->candidates_initial = candidates.size();
+  stats->probe_iso_tests = probe.probe_iso_tests;
+  stats->isub_hits = probe.supergraph_positions.size();
+  stats->isuper_hits = probe.subgraph_positions.size();
+
+  if (!options_.enabled) {
+    std::vector<GraphId> answer;
+    {
+      ScopedTimer verify_timer(&stats->verify_micros);
+      stats->iso_tests = candidates.size();
+      answer = RunVerification(candidates, options_.verify_threads,
+                               [&](GraphId id) {
+                                 return method_->Verify(*prepared, id);
+                               });
+    }
+    stats->candidates_final = candidates.size();
+    stats->answer_size = answer.size();
+    stats->total_micros = total_timer.ElapsedMicros();
+    return answer;
+  }
+
+  cache_->RecordQueryProcessed();
+  const size_t query_nodes = query.NumVertices();
+
+  // §4.3 case 1: identical previous query — return its answer outright.
+  if (probe.exact_position != SIZE_MAX) {
+    const CachedQuery& entry = cache_->entries()[probe.exact_position];
+    cache_->CreditHit(probe.exact_position);
+    cache_->CreditPrune(probe.exact_position, candidates.size(),
+                        SumCosts(*db_, query_nodes, candidates));
+    stats->shortcut = ShortcutKind::kExactHit;
+    stats->candidates_final = 0;
+    stats->answer_size = entry.answer.size();
+    stats->total_micros = total_timer.ElapsedMicros();
+    return entry.answer;
+  }
+
+  std::vector<GraphId> guaranteed;
+  std::vector<GraphId> remaining;
+  bool empty_answer_shortcut = false;
+  {
+  ScopedTimer prune_timer(&stats->probe_micros);
+
+  // Subgraph case (§4.2.1, formulas (3)/(4)): graphs in the answer set of
+  // any cached supergraph of the query are guaranteed answers.
+  if (!probe.supergraph_positions.empty()) {
+    for (size_t position : probe.supergraph_positions) {
+      cache_->CreditHit(position);
+      const std::vector<GraphId>& answer = cache_->entries()[position].answer;
+      std::vector<GraphId> removed_here;
+      for (GraphId id : candidates) {
+        if (AnswerContains(answer, id)) removed_here.push_back(id);
+      }
+      cache_->CreditPrune(position, removed_here.size(),
+                          SumCosts(*db_, query_nodes, removed_here));
+      for (GraphId id : removed_here) guaranteed.push_back(id);
+    }
+    std::sort(guaranteed.begin(), guaranteed.end());
+    guaranteed.erase(std::unique(guaranteed.begin(), guaranteed.end()),
+                     guaranteed.end());
+    for (GraphId id : candidates) {
+      if (!AnswerContains(guaranteed, id)) remaining.push_back(id);
+    }
+  } else {
+    remaining = std::move(candidates);
+  }
+
+  // Supergraph case (§4.2.2, formula (5)): only graphs in the answer set of
+  // every cached subgraph of the query can still contain it.
+  for (size_t position : probe.subgraph_positions) {
+    cache_->CreditHit(position);
+    const std::vector<GraphId>& answer = cache_->entries()[position].answer;
+    std::vector<GraphId> kept;
+    std::vector<GraphId> removed_here;
+    for (GraphId id : remaining) {
+      if (AnswerContains(answer, id)) {
+        kept.push_back(id);
+      } else {
+        removed_here.push_back(id);
+      }
+    }
+    cache_->CreditPrune(position, removed_here.size(),
+                        SumCosts(*db_, query_nodes, removed_here));
+    remaining = std::move(kept);
+    // §4.3 case 2: a cached subgraph with an empty answer proves the final
+    // answer empty; guaranteed answers cannot coexist with it.
+    if (answer.empty()) {
+      empty_answer_shortcut = true;
+      assert(guaranteed.empty());
+      remaining.clear();
+      break;
+    }
+  }
+  }  // prune_timer scope
+
+  stats->candidates_final = remaining.size();
+  if (empty_answer_shortcut) stats->shortcut = ShortcutKind::kEmptyAnswerPruning;
+
+  std::vector<GraphId> verified;
+  {
+    ScopedTimer verify_timer(&stats->verify_micros);
+    stats->iso_tests = remaining.size();
+    verified = RunVerification(remaining, options_.verify_threads,
+                               [&](GraphId id) {
+                                 return method_->Verify(*prepared, id);
+                               });
+  }
+
+  // Formula (4): Answer(g) = verified ∪ (pruned guaranteed answers).
+  std::vector<GraphId> answer;
+  answer.reserve(verified.size() + guaranteed.size());
+  std::merge(verified.begin(), verified.end(), guaranteed.begin(),
+             guaranteed.end(), std::back_inserter(answer));
+  answer.erase(std::unique(answer.begin(), answer.end()), answer.end());
+
+  stats->answer_size = answer.size();
+  stats->total_micros = total_timer.ElapsedMicros();
+
+  // Stage 6-8 (Fig. 6): store the executed query; maintenance (window flush
+  // + shadow rebuild) is timed inside the cache, off the query path.
+  cache_->Insert(query, answer);
+  return answer;
+}
+
+IgqSupergraphEngine::IgqSupergraphEngine(const GraphDatabase& db,
+                                         SupergraphMethod* method,
+                                         const IgqOptions& options)
+    : db_(&db),
+      method_(method),
+      options_(options),
+      cache_(std::make_unique<QueryCache>(options)) {}
+
+std::vector<GraphId> IgqSupergraphEngine::Process(const Graph& query,
+                                                  QueryStats* stats) {
+  QueryStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = QueryStats{};
+  Timer total_timer;
+
+  std::vector<GraphId> candidates;
+  {
+    ScopedTimer filter_timer(&stats->filter_micros);
+    candidates = method_->Filter(query);
+  }
+  stats->candidates_initial = candidates.size();
+
+  if (!options_.enabled) {
+    std::vector<GraphId> answer;
+    {
+      ScopedTimer verify_timer(&stats->verify_micros);
+      stats->iso_tests = candidates.size();
+      answer = RunVerification(candidates, options_.verify_threads,
+                               [&](GraphId id) {
+                                 return method_->Verify(query, id);
+                               });
+    }
+    stats->candidates_final = candidates.size();
+    stats->answer_size = answer.size();
+    stats->total_micros = total_timer.ElapsedMicros();
+    return answer;
+  }
+
+  CacheProbe probe;
+  {
+    ScopedTimer probe_timer(&stats->probe_micros);
+    const PathFeatureCounts features = cache_->ExtractFeatures(query);
+    probe = cache_->Probe(query, features);
+  }
+  stats->probe_iso_tests = probe.probe_iso_tests;
+  stats->isub_hits = probe.supergraph_positions.size();
+  stats->isuper_hits = probe.subgraph_positions.size();
+
+  cache_->RecordQueryProcessed();
+  const size_t query_nodes = query.NumVertices();
+  auto cost_of = [&](const std::vector<GraphId>& ids) {
+    // For supergraph queries the pattern is the *stored* graph; cost model
+    // arguments are per-test (pattern = Gi, target = query).
+    LogValue total = LogValue::Zero();
+    for (GraphId id : ids) {
+      total += IsomorphismCost(db_->num_labels, db_->graphs[id].NumVertices(),
+                               query_nodes);
+    }
+    return total;
+  };
+
+  // §4.3 case 1 (unchanged for supergraph queries).
+  if (probe.exact_position != SIZE_MAX) {
+    const CachedQuery& entry = cache_->entries()[probe.exact_position];
+    cache_->CreditHit(probe.exact_position);
+    cache_->CreditPrune(probe.exact_position, candidates.size(),
+                        cost_of(candidates));
+    stats->shortcut = ShortcutKind::kExactHit;
+    stats->answer_size = entry.answer.size();
+    stats->total_micros = total_timer.ElapsedMicros();
+    return entry.answer;
+  }
+
+  std::vector<GraphId> guaranteed;
+  std::vector<GraphId> remaining;
+  bool empty_answer_shortcut = false;
+  {
+  ScopedTimer prune_timer(&stats->probe_micros);
+
+  // §4.4, inverted subgraph case: answers of cached queries G ⊆ g are
+  // guaranteed answers of g (Gi ⊆ G ⊆ g).
+  if (!probe.subgraph_positions.empty()) {
+    for (size_t position : probe.subgraph_positions) {
+      cache_->CreditHit(position);
+      const std::vector<GraphId>& answer = cache_->entries()[position].answer;
+      std::vector<GraphId> removed_here;
+      for (GraphId id : candidates) {
+        if (AnswerContains(answer, id)) removed_here.push_back(id);
+      }
+      cache_->CreditPrune(position, removed_here.size(), cost_of(removed_here));
+      for (GraphId id : removed_here) guaranteed.push_back(id);
+    }
+    std::sort(guaranteed.begin(), guaranteed.end());
+    guaranteed.erase(std::unique(guaranteed.begin(), guaranteed.end()),
+                     guaranteed.end());
+    for (GraphId id : candidates) {
+      if (!AnswerContains(guaranteed, id)) remaining.push_back(id);
+    }
+  } else {
+    remaining = std::move(candidates);
+  }
+
+  // §4.4, inverted supergraph case: any answer of g must appear in the
+  // answer set of every cached query G with g ⊆ G; empty Answer(G) proves
+  // the answer empty.
+  for (size_t position : probe.supergraph_positions) {
+    cache_->CreditHit(position);
+    const std::vector<GraphId>& answer = cache_->entries()[position].answer;
+    std::vector<GraphId> kept;
+    std::vector<GraphId> removed_here;
+    for (GraphId id : remaining) {
+      if (AnswerContains(answer, id)) {
+        kept.push_back(id);
+      } else {
+        removed_here.push_back(id);
+      }
+    }
+    cache_->CreditPrune(position, removed_here.size(), cost_of(removed_here));
+    remaining = std::move(kept);
+    if (answer.empty()) {
+      empty_answer_shortcut = true;
+      assert(guaranteed.empty());
+      remaining.clear();
+      break;
+    }
+  }
+  }  // prune_timer scope
+
+  stats->candidates_final = remaining.size();
+  if (empty_answer_shortcut) stats->shortcut = ShortcutKind::kEmptyAnswerPruning;
+
+  std::vector<GraphId> verified;
+  {
+    ScopedTimer verify_timer(&stats->verify_micros);
+    stats->iso_tests = remaining.size();
+    verified = RunVerification(remaining, options_.verify_threads,
+                               [&](GraphId id) {
+                                 return method_->Verify(query, id);
+                               });
+  }
+
+  std::vector<GraphId> answer;
+  answer.reserve(verified.size() + guaranteed.size());
+  std::merge(verified.begin(), verified.end(), guaranteed.begin(),
+             guaranteed.end(), std::back_inserter(answer));
+  answer.erase(std::unique(answer.begin(), answer.end()), answer.end());
+
+  stats->answer_size = answer.size();
+  stats->total_micros = total_timer.ElapsedMicros();
+  cache_->Insert(query, answer);
+  return answer;
+}
+
+}  // namespace igq

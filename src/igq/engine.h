@@ -1,0 +1,87 @@
+// The iGQ query engines (§4.2, §4.4, §6.3): wrap a host method M with the
+// query cache, prune its candidate set using formulas (3)-(5), apply the
+// §4.3 shortcut optimizations, run the verification stage (optionally
+// multi-threaded), assemble the final answer, and maintain the cache.
+#ifndef IGQ_IGQ_ENGINE_H_
+#define IGQ_IGQ_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "igq/cache.h"
+#include "igq/options.h"
+#include "methods/method.h"
+
+namespace igq {
+
+/// How a query was resolved (§4.3 shortcuts).
+enum class ShortcutKind {
+  kNone,               // full pipeline ran
+  kExactHit,           // identical previous query: cached answer returned
+  kEmptyAnswerPruning  // a cached relation proved the answer empty
+};
+
+/// Per-query measurements, the raw material of every figure in §7.
+struct QueryStats {
+  int64_t filter_micros = 0;   // host-method filtering stage
+  int64_t probe_micros = 0;    // iGQ index probing + candidate pruning
+  int64_t verify_micros = 0;   // verification stage
+  int64_t total_micros = 0;    // end-to-end (excludes amortized maintenance)
+
+  size_t candidates_initial = 0;  // |CS(g)| from the host method
+  size_t candidates_final = 0;    // |CS_igq(g)| actually verified
+  size_t iso_tests = 0;           // verification tests against dataset graphs
+  size_t probe_iso_tests = 0;     // tests against cached (small) query graphs
+  size_t answer_size = 0;
+  size_t isub_hits = 0;    // |Isub(g)|
+  size_t isuper_hits = 0;  // |Isuper(g)|
+  ShortcutKind shortcut = ShortcutKind::kNone;
+};
+
+/// iGQ for *subgraph* queries on top of a SubgraphMethod.
+class IgqSubgraphEngine {
+ public:
+  /// `db` and `method` must outlive the engine; `method` must already be
+  /// Build()-ed on `db`.
+  IgqSubgraphEngine(const GraphDatabase& db, SubgraphMethod* method,
+                    const IgqOptions& options);
+
+  /// Executes one subgraph query end-to-end and returns the ids of all
+  /// dataset graphs containing `query` (sorted). Fills `stats` if non-null.
+  std::vector<GraphId> Process(const Graph& query, QueryStats* stats = nullptr);
+
+  const QueryCache& cache() const { return *cache_; }
+  QueryCache& mutable_cache() { return *cache_; }
+  const IgqOptions& options() const { return options_; }
+
+ private:
+  const GraphDatabase* db_;
+  SubgraphMethod* method_;
+  IgqOptions options_;
+  std::unique_ptr<QueryCache> cache_;
+};
+
+/// iGQ for *supergraph* queries on top of a SupergraphMethod (§4.4): the
+/// same two indexes, with the union/intersection roles inverted.
+class IgqSupergraphEngine {
+ public:
+  IgqSupergraphEngine(const GraphDatabase& db, SupergraphMethod* method,
+                      const IgqOptions& options);
+
+  /// Returns the ids of all dataset graphs contained in `query` (sorted).
+  std::vector<GraphId> Process(const Graph& query, QueryStats* stats = nullptr);
+
+  const QueryCache& cache() const { return *cache_; }
+  const IgqOptions& options() const { return options_; }
+
+ private:
+  const GraphDatabase* db_;
+  SupergraphMethod* method_;
+  IgqOptions options_;
+  std::unique_ptr<QueryCache> cache_;
+};
+
+}  // namespace igq
+
+#endif  // IGQ_IGQ_ENGINE_H_

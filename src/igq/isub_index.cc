@@ -1,0 +1,66 @@
+#include "igq/isub_index.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "isomorphism/vf2.h"
+
+namespace igq {
+
+void IsubIndex::Build(const std::vector<CachedQuery>& cached) {
+  cached_ = &cached;
+  trie_ = PathTrie(/*store_locations=*/false);
+  for (size_t i = 0; i < cached.size(); ++i) {
+    std::map<PathKey, uint32_t> features;
+    EnumeratePaths(cached[i].graph, options_,
+                   [&features](PathKey key, VertexId) { ++features[key]; });
+    for (const auto& [key, count] : features) {
+      trie_.Add(key, static_cast<GraphId>(i), count);
+    }
+  }
+}
+
+std::vector<size_t> IsubIndex::FindSupergraphsOf(
+    const Graph& query, const PathFeatureCounts& query_features,
+    size_t* probe_tests) const {
+  std::vector<size_t> result;
+  if (cached_ == nullptr || cached_->empty()) return result;
+
+  // Counting filter: candidate G must contain every query feature at least
+  // as often as the query does (same filter the host methods use).
+  std::vector<GraphId> candidates;
+  bool first = true;
+  for (const auto& [key, query_count] : query_features) {
+    const std::vector<PathPosting>* postings = trie_.Find(key);
+    if (postings == nullptr) return result;
+    std::vector<GraphId> eligible;
+    for (const PathPosting& posting : *postings) {
+      if (posting.count >= query_count) eligible.push_back(posting.graph_id);
+    }
+    if (first) {
+      candidates = std::move(eligible);
+      first = false;
+    } else {
+      std::vector<GraphId> merged;
+      std::set_intersection(candidates.begin(), candidates.end(),
+                            eligible.begin(), eligible.end(),
+                            std::back_inserter(merged));
+      candidates = std::move(merged);
+    }
+    if (candidates.empty()) return result;
+  }
+
+  for (GraphId candidate : candidates) {
+    const CachedQuery& record = (*cached_)[candidate];
+    if (probe_tests != nullptr) ++(*probe_tests);
+    if (Vf2Matcher::FindEmbedding(query, record.graph).has_value()) {
+      result.push_back(candidate);
+    }
+  }
+  return result;
+}
+
+size_t IsubIndex::MemoryBytes() const { return trie_.MemoryBytes(); }
+
+}  // namespace igq

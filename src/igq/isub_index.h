@@ -1,0 +1,47 @@
+// Isub — iGQ's subgraph component (§4.2.1, §6.1): indexes the features of
+// previously executed queries so that, given a new query g, it returns the
+// cached queries G with g ⊆ G. "A microcosm of the original problem": we
+// reuse the path-trie counting filter over the cached graphs and verify
+// candidates with VF2, which satisfies assumption (1) by construction.
+#ifndef IGQ_IGQ_ISUB_INDEX_H_
+#define IGQ_IGQ_ISUB_INDEX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "features/feature_set.h"
+#include "features/path_enumerator.h"
+#include "igq/query_record.h"
+#include "methods/path_trie.h"
+
+namespace igq {
+
+/// Subgraph index over the cached query graphs.
+class IsubIndex {
+ public:
+  explicit IsubIndex(const PathEnumeratorOptions& options = {})
+      : options_(options) {}
+
+  /// (Re)builds the index over `cached` (the shadow-rebuild step of §5.2
+  /// constructs a fresh instance and swaps it in).
+  void Build(const std::vector<CachedQuery>& cached);
+
+  /// Positions (into the Build() vector) of cached queries G with
+  /// query ⊆ G, verified by VF2. `query_features` must use the same
+  /// enumerator options. `probe_tests` (optional) accumulates the number of
+  /// verification tests run against cached graphs.
+  std::vector<size_t> FindSupergraphsOf(const Graph& query,
+                                        const PathFeatureCounts& query_features,
+                                        size_t* probe_tests = nullptr) const;
+
+  size_t MemoryBytes() const;
+
+ private:
+  PathEnumeratorOptions options_;
+  PathTrie trie_{/*store_locations=*/false};
+  const std::vector<CachedQuery>* cached_ = nullptr;
+};
+
+}  // namespace igq
+
+#endif  // IGQ_IGQ_ISUB_INDEX_H_

@@ -1,0 +1,30 @@
+#include "igq/isuper_index.h"
+
+#include "isomorphism/vf2.h"
+
+namespace igq {
+
+void IsuperIndex::Build(const std::vector<CachedQuery>& cached) {
+  cached_ = &cached;
+  index_ = FeatureCountIndex(index_.options());
+  for (size_t i = 0; i < cached.size(); ++i) {
+    index_.AddGraph(static_cast<GraphId>(i), cached[i].graph);
+  }
+}
+
+std::vector<size_t> IsuperIndex::FindSubgraphsOf(
+    const Graph& query, const PathFeatureCounts& query_features,
+    size_t* probe_tests) const {
+  std::vector<size_t> result;
+  if (cached_ == nullptr || cached_->empty()) return result;
+  for (GraphId candidate : index_.FindPotentialSubgraphsOf(query_features)) {
+    const CachedQuery& record = (*cached_)[candidate];
+    if (probe_tests != nullptr) ++(*probe_tests);
+    if (Vf2Matcher::FindEmbedding(record.graph, query).has_value()) {
+      result.push_back(candidate);
+    }
+  }
+  return result;
+}
+
+}  // namespace igq

@@ -1,0 +1,41 @@
+// Isuper — iGQ's supergraph component (§4.2.2, §6.2, Algorithms 1-2): given
+// a new query g, returns the cached queries G with G ⊆ g. Filtering uses
+// the FeatureCountIndex (trie with occurrence counts + NF), verification
+// uses VF2, so assumption (2) holds by construction.
+#ifndef IGQ_IGQ_ISUPER_INDEX_H_
+#define IGQ_IGQ_ISUPER_INDEX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "features/feature_set.h"
+#include "features/path_enumerator.h"
+#include "igq/query_record.h"
+#include "methods/feature_count_index.h"
+
+namespace igq {
+
+/// Supergraph index over the cached query graphs.
+class IsuperIndex {
+ public:
+  explicit IsuperIndex(const PathEnumeratorOptions& options = {})
+      : index_(options) {}
+
+  /// (Re)builds the index over `cached`.
+  void Build(const std::vector<CachedQuery>& cached);
+
+  /// Positions of cached queries G with G ⊆ query, verified by VF2.
+  std::vector<size_t> FindSubgraphsOf(const Graph& query,
+                                      const PathFeatureCounts& query_features,
+                                      size_t* probe_tests = nullptr) const;
+
+  size_t MemoryBytes() const { return index_.MemoryBytes(); }
+
+ private:
+  FeatureCountIndex index_;
+  const std::vector<CachedQuery>* cached_ = nullptr;
+};
+
+}  // namespace igq
+
+#endif  // IGQ_IGQ_ISUPER_INDEX_H_

@@ -1,0 +1,47 @@
+// Configuration of the iGQ framework (cache geometry per §5.2, probe and
+// verification parallelism per §4.2/§6.3).
+#ifndef IGQ_IGQ_OPTIONS_H_
+#define IGQ_IGQ_OPTIONS_H_
+
+#include <cstddef>
+
+namespace igq {
+
+/// Which metric the cache evicts by. kUtility is the paper's §5.1 policy;
+/// the others exist for the ablation benchmark (bench_ablation_replacement)
+/// that justifies the design choice.
+enum class ReplacementPolicy {
+  kUtility,     // U(g) = C(g)/M(g): cost-aware (the paper's policy)
+  kPopularity,  // H(g)/M(g): hit rate only, ignores test costs
+  kLru,         // least-recently-hit
+  kFifo         // insertion order
+};
+
+struct IgqOptions {
+  /// Master switch: false degrades the engine to the plain host method M
+  /// (used as the baseline in every speedup experiment).
+  bool enabled = true;
+
+  /// Cache size C: maximum number of cached query graphs (paper default 500).
+  size_t cache_capacity = 500;
+
+  /// Query window size W (paper default 100; must be <= cache_capacity).
+  size_t window_size = 100;
+
+  /// Maximum path-feature length (edges) used by Isub/Isuper (paper: 4).
+  size_t path_max_edges = 4;
+
+  /// Worker threads for the verification stage (Grapes(6) configs use 6).
+  size_t verify_threads = 1;
+
+  /// Run the host-method filter and the two cache probes on three threads,
+  /// as in Fig. 6. Off by default so tests are deterministic.
+  bool parallel_probes = false;
+
+  /// Eviction policy (§5.1); kUtility unless running the ablation.
+  ReplacementPolicy replacement_policy = ReplacementPolicy::kUtility;
+};
+
+}  // namespace igq
+
+#endif  // IGQ_IGQ_OPTIONS_H_

@@ -1,0 +1,49 @@
+// Cached query graphs and their §5.1 replacement metadata.
+#ifndef IGQ_IGQ_QUERY_RECORD_H_
+#define IGQ_IGQ_QUERY_RECORD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/log_space.h"
+#include "graph/graph.h"
+#include "methods/method.h"
+
+namespace igq {
+
+/// Replacement-policy statistics for one cached query graph g (§5.1):
+///   H(g) hits, M(g) queries processed since insertion, R(g) candidates
+///   removed thanks to g, C(g) accumulated analytic cost of the tests
+///   avoided. Utility U(g) = C(g) / M(g).
+struct QueryGraphMetadata {
+  uint64_t hits = 0;
+  uint64_t inserted_at = 0;
+  uint64_t removed_candidates = 0;
+  LogValue cost_saved = LogValue::Zero();
+  /// Query-counter value at the most recent hit (for the LRU ablation).
+  uint64_t last_hit_at = 0;
+
+  /// M(g) given the engine's current global query counter.
+  uint64_t QueriesSinceInsertion(uint64_t now) const {
+    return now > inserted_at ? now - inserted_at : 1;
+  }
+
+  /// U(g) = C(g)/M(g) in log space.
+  LogValue Utility(uint64_t now) const {
+    return cost_saved /
+           LogValue::FromLinear(static_cast<double>(QueriesSinceInsertion(now)));
+  }
+};
+
+/// One entry of Igraphs: the query graph, its answer set (ids into the
+/// dataset; semantics depend on the engine's query type), and metadata.
+struct CachedQuery {
+  uint64_t id = 0;
+  Graph graph;
+  std::vector<GraphId> answer;  // sorted ascending
+  QueryGraphMetadata meta;
+};
+
+}  // namespace igq
+
+#endif  // IGQ_IGQ_QUERY_RECORD_H_

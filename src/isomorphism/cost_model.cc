@@ -1,0 +1,22 @@
+#include "isomorphism/cost_model.h"
+
+#include <cmath>
+
+namespace igq {
+
+LogValue IsomorphismCost(size_t num_labels, size_t pattern_nodes,
+                         size_t target_nodes) {
+  if (pattern_nodes > target_nodes || target_nodes == 0) {
+    return LogValue::Zero();
+  }
+  const double ni = static_cast<double>(target_nodes);
+  const double n = static_cast<double>(pattern_nodes);
+  const double labels = num_labels < 1 ? 1.0 : static_cast<double>(num_labels);
+  // log c = log Ni + log(Ni!) - log((Ni-n)!) - (n+1) log L
+  const double log_cost = std::log(ni) + std::lgamma(ni + 1.0) -
+                          std::lgamma(ni - n + 1.0) -
+                          (n + 1.0) * std::log(labels);
+  return LogValue::FromLog(log_cost);
+}
+
+}  // namespace igq

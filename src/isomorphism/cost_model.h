@@ -1,0 +1,28 @@
+// Analytic subgraph-isomorphism cost model (§5.1). The paper extends the
+// VF-complexity analysis of Cordella et al. [8]: given L labels, a pattern
+// g' with n nodes, and a stored graph Gi with Ni >= n nodes,
+//
+//   c(g', Gi) = Ni * Ni! / (L^{n+1} * (Ni - n)!).
+//
+// The replacement policy uses these costs to prefer caching query graphs
+// that spare *expensive* verifications, not merely many of them.
+#ifndef IGQ_ISOMORPHISM_COST_MODEL_H_
+#define IGQ_ISOMORPHISM_COST_MODEL_H_
+
+#include <cstddef>
+
+#include "common/log_space.h"
+
+namespace igq {
+
+/// Evaluates c(g', Gi) in log space (see DESIGN.md: Ni! overflows any
+/// fixed-width float for paper-scale graphs).
+///
+/// `num_labels` L, `pattern_nodes` n, `target_nodes` Ni. Returns Zero when
+/// n > Ni (no test would be run) and treats L < 1 as L = 1.
+LogValue IsomorphismCost(size_t num_labels, size_t pattern_nodes,
+                         size_t target_nodes);
+
+}  // namespace igq
+
+#endif  // IGQ_ISOMORPHISM_COST_MODEL_H_

@@ -1,0 +1,29 @@
+// Abstract interface for subgraph-isomorphism testing (paper Definition 2):
+// pattern ⊆ target iff an injective, label-preserving mapping exists under
+// which every pattern edge maps to a target edge (non-induced monomorphism,
+// the semantics used throughout the filter-then-verify literature).
+#ifndef IGQ_ISOMORPHISM_MATCHER_H_
+#define IGQ_ISOMORPHISM_MATCHER_H_
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace igq {
+
+/// Strategy interface so the verification stage of any method can swap
+/// matching algorithms (VF2 by default, Ullmann as the classic baseline).
+class SubgraphMatcher {
+ public:
+  virtual ~SubgraphMatcher() = default;
+
+  /// True iff `pattern` is subgraph-isomorphic to `target`.
+  virtual bool Contains(const Graph& pattern, const Graph& target) const = 0;
+
+  /// Algorithm name for reports.
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace igq
+
+#endif  // IGQ_ISOMORPHISM_MATCHER_H_

@@ -1,0 +1,115 @@
+#include "isomorphism/ullmann.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace igq {
+namespace {
+
+// Row-major bit matrix: candidates[u] is a bitset over target vertices.
+class BitMatrix {
+ public:
+  BitMatrix(size_t rows, size_t cols)
+      : cols_(cols), words_((cols + 63) / 64), bits_(rows * words_, 0) {}
+
+  void Set(size_t r, size_t c) { bits_[r * words_ + c / 64] |= 1ULL << (c % 64); }
+  void Clear(size_t r, size_t c) {
+    bits_[r * words_ + c / 64] &= ~(1ULL << (c % 64));
+  }
+  bool Test(size_t r, size_t c) const {
+    return (bits_[r * words_ + c / 64] >> (c % 64)) & 1ULL;
+  }
+  bool RowEmpty(size_t r) const {
+    for (size_t w = 0; w < words_; ++w) {
+      if (bits_[r * words_ + w] != 0) return false;
+    }
+    return true;
+  }
+  size_t cols() const { return cols_; }
+
+ private:
+  size_t cols_;
+  size_t words_;
+  std::vector<uint64_t> bits_;
+};
+
+// Refinement: candidate (u, x) survives only if every pattern-neighbor of u
+// has at least one surviving candidate among target-neighbors of x.
+// Iterates to a fixed point. Returns false if some row becomes empty.
+bool Refine(const Graph& pattern, const Graph& target, BitMatrix& m) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (VertexId u = 0; u < pattern.NumVertices(); ++u) {
+      for (VertexId x = 0; x < target.NumVertices(); ++x) {
+        if (!m.Test(u, x)) continue;
+        bool supported = true;
+        for (VertexId un : pattern.Neighbors(u)) {
+          bool neighbor_ok = false;
+          for (VertexId xn : target.Neighbors(x)) {
+            if (m.Test(un, xn)) {
+              neighbor_ok = true;
+              break;
+            }
+          }
+          if (!neighbor_ok) {
+            supported = false;
+            break;
+          }
+        }
+        if (!supported) {
+          m.Clear(u, x);
+          changed = true;
+        }
+      }
+      if (m.RowEmpty(u)) return false;
+    }
+  }
+  return true;
+}
+
+bool Recurse(const Graph& pattern, const Graph& target, BitMatrix& m,
+             std::vector<bool>& used, size_t depth) {
+  if (depth == pattern.NumVertices()) return true;
+  for (VertexId x = 0; x < target.NumVertices(); ++x) {
+    if (used[x] || !m.Test(depth, x)) continue;
+    // Tentatively fix depth -> x: restrict row `depth` to x only.
+    BitMatrix saved = m;
+    for (VertexId other = 0; other < target.NumVertices(); ++other) {
+      if (other != x) m.Clear(depth, other);
+    }
+    used[x] = true;
+    if (Refine(pattern, target, m) &&
+        Recurse(pattern, target, m, used, depth + 1)) {
+      return true;
+    }
+    used[x] = false;
+    m = saved;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool UllmannMatcher::Contains(const Graph& pattern, const Graph& target) const {
+  if (pattern.NumVertices() == 0) return true;
+  if (pattern.NumVertices() > target.NumVertices() ||
+      pattern.NumEdges() > target.NumEdges()) {
+    return false;
+  }
+  BitMatrix m(pattern.NumVertices(), target.NumVertices());
+  for (VertexId u = 0; u < pattern.NumVertices(); ++u) {
+    for (VertexId x = 0; x < target.NumVertices(); ++x) {
+      if (pattern.label(u) == target.label(x) &&
+          target.Degree(x) >= pattern.Degree(u)) {
+        m.Set(u, x);
+      }
+    }
+    if (m.RowEmpty(u)) return false;
+  }
+  if (!Refine(pattern, target, m)) return false;
+  std::vector<bool> used(target.NumVertices(), false);
+  return Recurse(pattern, target, m, used, 0);
+}
+
+}  // namespace igq

@@ -1,0 +1,21 @@
+// Ullmann's subgraph-isomorphism algorithm (J.ACM 1976) — the classic
+// baseline the paper cites as the ancestor of most matchers. Included both
+// as a correctness cross-check for VF2 and for the micro-benchmarks.
+#ifndef IGQ_ISOMORPHISM_ULLMANN_H_
+#define IGQ_ISOMORPHISM_ULLMANN_H_
+
+#include "isomorphism/matcher.h"
+
+namespace igq {
+
+/// Ullmann matcher with the standard refinement procedure over a boolean
+/// candidate matrix (bitset rows).
+class UllmannMatcher : public SubgraphMatcher {
+ public:
+  bool Contains(const Graph& pattern, const Graph& target) const override;
+  std::string Name() const override { return "Ullmann"; }
+};
+
+}  // namespace igq
+
+#endif  // IGQ_ISOMORPHISM_ULLMANN_H_

@@ -1,0 +1,44 @@
+// VF2 subgraph-isomorphism algorithm (Cordella et al., TPAMI 2004) — the
+// matcher the paper's three host methods use for their verification stage.
+// Implements label/degree feasibility rules, a connectivity-driven variable
+// order, and an optional restriction of the target vertex set (used by the
+// Grapes-style connected-component verification).
+#ifndef IGQ_ISOMORPHISM_VF2_H_
+#define IGQ_ISOMORPHISM_VF2_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "isomorphism/matcher.h"
+
+namespace igq {
+
+/// VF2-based matcher with first-match early exit.
+class Vf2Matcher : public SubgraphMatcher {
+ public:
+  bool Contains(const Graph& pattern, const Graph& target) const override;
+  std::string Name() const override { return "VF2"; }
+
+  /// Returns one embedding (pattern vertex -> target vertex) if any exists.
+  static std::optional<std::vector<VertexId>> FindEmbedding(
+      const Graph& pattern, const Graph& target);
+
+  /// As FindEmbedding, but target vertices with allowed[v] == false are
+  /// excluded from the mapping. `allowed` may be nullptr (no restriction).
+  static std::optional<std::vector<VertexId>> FindEmbeddingRestricted(
+      const Graph& pattern, const Graph& target,
+      const std::vector<bool>* allowed);
+
+  /// Counts embeddings, stopping at `limit` (0 = count all). Used by tests.
+  static uint64_t CountEmbeddings(const Graph& pattern, const Graph& target,
+                                  uint64_t limit = 0);
+
+  /// Total recursive states explored by the last call on this thread;
+  /// exposed for the micro benchmarks.
+  static uint64_t LastSearchStates();
+};
+
+}  // namespace igq
+
+#endif  // IGQ_ISOMORPHISM_VF2_H_

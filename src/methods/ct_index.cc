@@ -1,0 +1,84 @@
+#include "methods/ct_index.h"
+
+#include "isomorphism/vf2.h"
+
+namespace igq {
+namespace {
+
+/// PreparedQuery carrying the query's fingerprint.
+class CtPreparedQuery : public PreparedQuery {
+ public:
+  CtPreparedQuery(const Graph& query, Fingerprint fingerprint)
+      : PreparedQuery(query), fingerprint_(std::move(fingerprint)) {}
+
+  const Fingerprint& fingerprint() const { return fingerprint_; }
+
+ private:
+  Fingerprint fingerprint_;
+};
+
+}  // namespace
+
+Fingerprint CtIndexMethod::FingerprintOf(const Graph& graph) const {
+  Fingerprint fp(options_.fingerprint_bits);
+  TreeEnumeratorOptions tree_options;
+  tree_options.max_vertices = options_.max_tree_vertices;
+  tree_options.max_instances = options_.max_instances_per_graph;
+  const TreeFeatureResult trees = CountTreeFeatures(graph, tree_options);
+  CycleEnumeratorOptions cycle_options;
+  cycle_options.max_vertices = options_.max_cycle_vertices;
+  cycle_options.max_instances = options_.max_instances_per_graph;
+  const CycleFeatureResult cycles = CountCycleFeatures(graph, cycle_options);
+  if (trees.saturated || cycles.saturated) {
+    fp.Saturate();
+    return fp;
+  }
+  for (const auto& [canonical, count] : trees.counts) {
+    (void)count;
+    fp.AddFeature(canonical);
+  }
+  for (const auto& [canonical, count] : cycles.counts) {
+    (void)count;
+    fp.AddFeature(canonical);
+  }
+  return fp;
+}
+
+void CtIndexMethod::Build(const GraphDatabase& db) {
+  db_ = &db;
+  fingerprints_.clear();
+  fingerprints_.reserve(db.graphs.size());
+  for (const Graph& graph : db.graphs) {
+    fingerprints_.push_back(FingerprintOf(graph));
+  }
+}
+
+std::unique_ptr<PreparedQuery> CtIndexMethod::Prepare(
+    const Graph& query) const {
+  return std::make_unique<CtPreparedQuery>(query, FingerprintOf(query));
+}
+
+std::vector<GraphId> CtIndexMethod::Filter(
+    const PreparedQuery& prepared) const {
+  const auto& pq = static_cast<const CtPreparedQuery&>(prepared);
+  std::vector<GraphId> candidates;
+  for (GraphId id = 0; id < fingerprints_.size(); ++id) {
+    if (fingerprints_[id].CoversAllBitsOf(pq.fingerprint())) {
+      candidates.push_back(id);
+    }
+  }
+  return candidates;
+}
+
+bool CtIndexMethod::Verify(const PreparedQuery& prepared, GraphId id) const {
+  return Vf2Matcher::FindEmbedding(prepared.query(), db_->graphs[id])
+      .has_value();
+}
+
+size_t CtIndexMethod::IndexMemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const Fingerprint& fp : fingerprints_) bytes += fp.MemoryBytes();
+  return bytes;
+}
+
+}  // namespace igq

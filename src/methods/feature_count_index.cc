@@ -1,0 +1,68 @@
+#include "methods/feature_count_index.h"
+
+#include <algorithm>
+#include <map>
+
+#include "isomorphism/vf2.h"
+
+namespace igq {
+
+void FeatureCountIndex::AddGraph(GraphId id, const Graph& graph) {
+  // Ordered map so trie postings are appended deterministically.
+  std::map<PathKey, uint32_t> features;
+  EnumeratePaths(graph, options_,
+                 [&features](PathKey key, VertexId) { ++features[key]; });
+  for (const auto& [key, count] : features) {
+    trie_.Add(key, id, count);
+  }
+  nf_[id] = static_cast<uint32_t>(features.size());
+  // A graph with no features (zero vertices) is vacuously a subgraph of any
+  // query; track it explicitly since the trie will never surface it.
+  if (features.empty()) empty_graphs_.push_back(id);
+}
+
+std::vector<GraphId> FeatureCountIndex::FindPotentialSubgraphsOf(
+    const Graph& query) const {
+  return FindPotentialSubgraphsOf(CountPathFeatures(query, options_));
+}
+
+std::vector<GraphId> FeatureCountIndex::FindPotentialSubgraphsOf(
+    const PathFeatureCounts& query_features) const {
+  // Algorithm 2: count, per indexed graph gi, how many of the query's
+  // features f satisfy occurrences(f, gi) <= occurrences(f, query); gi is a
+  // candidate iff that tally equals NF[gi] (all of gi's features are covered
+  // by the query with sufficient multiplicity).
+  std::unordered_map<GraphId, uint32_t> matched;
+  for (const auto& [key, query_count] : query_features) {
+    const std::vector<PathPosting>* postings = trie_.Find(key);
+    if (postings == nullptr) continue;
+    for (const PathPosting& posting : *postings) {
+      if (posting.count <= query_count) ++matched[posting.graph_id];
+    }
+  }
+  std::vector<GraphId> candidates = empty_graphs_;
+  for (const auto& [id, count] : matched) {
+    if (count == nf_.at(id)) candidates.push_back(id);
+  }
+  std::sort(candidates.begin(), candidates.end());
+  return candidates;
+}
+
+size_t FeatureCountIndex::MemoryBytes() const {
+  return trie_.MemoryBytes() +
+         nf_.size() * (sizeof(GraphId) + sizeof(uint32_t) + 16);
+}
+
+void FeatureCountSupergraphMethod::Build(const GraphDatabase& db) {
+  db_ = &db;
+  for (GraphId id = 0; id < db.graphs.size(); ++id) {
+    index_.AddGraph(id, db.graphs[id]);
+  }
+}
+
+bool FeatureCountSupergraphMethod::Verify(const Graph& query,
+                                          GraphId id) const {
+  return Vf2Matcher::FindEmbedding(db_->graphs[id], query).has_value();
+}
+
+}  // namespace igq

@@ -1,0 +1,80 @@
+// The paper's supergraph index (Algorithms 1 and 2, §6.2): a feature trie
+// storing per-graph occurrence counts plus the number of distinct features
+// NF[g] of every indexed graph. Given a query q it returns the graphs all of
+// whose features occur in q at least as often — the candidate set of
+// potential *subgraphs of q*, with no false negatives.
+//
+// The same structure serves two roles in this repository:
+//   * iGQ's Isuper component (over cached query graphs), and
+//   * the baseline supergraph-query method M_super (over dataset graphs).
+#ifndef IGQ_METHODS_FEATURE_COUNT_INDEX_H_
+#define IGQ_METHODS_FEATURE_COUNT_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "features/feature_set.h"
+#include "features/path_enumerator.h"
+#include "methods/method.h"
+#include "methods/path_trie.h"
+
+namespace igq {
+
+/// Algorithm 1's index: trie of features with {graph, occurrences} postings
+/// and per-graph distinct-feature counts.
+class FeatureCountIndex {
+ public:
+  explicit FeatureCountIndex(const PathEnumeratorOptions& options = {})
+      : options_(options) {}
+
+  /// Indexes `graph` under `id`. Ids must be added in increasing order.
+  void AddGraph(GraphId id, const Graph& graph);
+
+  /// Algorithm 2: ids of indexed graphs that may be subgraphs of `query`
+  /// (every indexed feature of the graph occurs in the query with at least
+  /// the graph's multiplicity). No false negatives.
+  std::vector<GraphId> FindPotentialSubgraphsOf(const Graph& query) const;
+
+  /// Same, reusing precomputed query features (must come from the same
+  /// PathEnumeratorOptions).
+  std::vector<GraphId> FindPotentialSubgraphsOf(
+      const PathFeatureCounts& query_features) const;
+
+  size_t NumGraphs() const { return nf_.size(); }
+  size_t MemoryBytes() const;
+  const PathEnumeratorOptions& options() const { return options_; }
+
+ private:
+  PathEnumeratorOptions options_;
+  PathTrie trie_{/*store_locations=*/false};
+  std::unordered_map<GraphId, uint32_t> nf_;  // NF[g]: distinct features
+  std::vector<GraphId> empty_graphs_;         // zero-feature graphs (v = 0)
+};
+
+/// Baseline M_super: FeatureCountIndex over the dataset + VF2 verification.
+class FeatureCountSupergraphMethod : public SupergraphMethod {
+ public:
+  explicit FeatureCountSupergraphMethod(
+      const PathEnumeratorOptions& options = {})
+      : index_(options) {}
+
+  std::string Name() const override { return "FeatureCount"; }
+
+  void Build(const GraphDatabase& db) override;
+
+  std::vector<GraphId> Filter(const Graph& query) const override {
+    return index_.FindPotentialSubgraphsOf(query);
+  }
+
+  bool Verify(const Graph& query, GraphId id) const override;
+
+  size_t IndexMemoryBytes() const override { return index_.MemoryBytes(); }
+
+ private:
+  FeatureCountIndex index_;
+  const GraphDatabase* db_ = nullptr;
+};
+
+}  // namespace igq
+
+#endif  // IGQ_METHODS_FEATURE_COUNT_INDEX_H_

@@ -1,0 +1,32 @@
+// GraphGrepSX (Bonnici et al., PRIB 2010): exhaustive path enumeration up to
+// length 4 into a suffix-trie, counting filter, VF2 verification — one of
+// the three host methods the paper integrates iGQ with.
+#ifndef IGQ_METHODS_GGSX_H_
+#define IGQ_METHODS_GGSX_H_
+
+#include <string>
+
+#include "isomorphism/vf2.h"
+#include "methods/path_method_base.h"
+
+namespace igq {
+
+/// GraphGrepSX subgraph-query method.
+class GgsxMethod : public PathMethodBase {
+ public:
+  explicit GgsxMethod(size_t max_path_edges = 4)
+      : PathMethodBase({.max_path_edges = max_path_edges,
+                        .build_threads = 1,
+                        .store_locations = false}) {}
+
+  std::string Name() const override { return "GGSX"; }
+
+  bool Verify(const PreparedQuery& prepared, GraphId id) const override {
+    return Vf2Matcher::FindEmbedding(prepared.query(), db()->graphs[id])
+        .has_value();
+  }
+};
+
+}  // namespace igq
+
+#endif  // IGQ_METHODS_GGSX_H_

@@ -1,0 +1,72 @@
+#include "methods/grapes.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "isomorphism/vf2.h"
+
+namespace igq {
+
+bool GrapesMethod::Verify(const PreparedQuery& prepared, GraphId id) const {
+  const auto& pq = static_cast<const PathPreparedQuery&>(prepared);
+  const Graph& query = pq.query();
+  const Graph& target = db()->graphs[id];
+
+  // Covered vertex set: start locations of any query feature of length >= 1
+  // edge (every vertex of a potential embedding starts such an instance —
+  // see DESIGN.md §6 — so restricting VF2 to this set is lossless).
+  std::vector<bool> covered(target.NumVertices(), false);
+  size_t covered_count = 0;
+  for (const auto& [key, query_count] : pq.features()) {
+    (void)query_count;
+    if (PathKeyLength(key) < 2) continue;  // single-vertex features dilute
+    const std::vector<PathPosting>* postings = trie().Find(key);
+    if (postings == nullptr) continue;
+    // Postings are sorted by graph id (built in ascending order).
+    auto it = std::lower_bound(postings->begin(), postings->end(), id,
+                               [](const PathPosting& p, GraphId g) {
+                                 return p.graph_id < g;
+                               });
+    if (it == postings->end() || it->graph_id != id) continue;
+    for (VertexId v : it->locations) {
+      if (!covered[v]) {
+        covered[v] = true;
+        ++covered_count;
+      }
+    }
+  }
+  if (covered_count < query.NumVertices()) return false;
+
+  // Connected components of the covered set; VF2 runs per component, so a
+  // huge candidate graph is verified only on its (typically small) covered
+  // regions.
+  std::vector<bool> visited(target.NumVertices(), false);
+  std::vector<VertexId> component;
+  for (VertexId seed = 0; seed < target.NumVertices(); ++seed) {
+    if (!covered[seed] || visited[seed]) continue;
+    component.clear();
+    std::deque<VertexId> frontier{seed};
+    visited[seed] = true;
+    while (!frontier.empty()) {
+      const VertexId v = frontier.front();
+      frontier.pop_front();
+      component.push_back(v);
+      for (VertexId w : target.Neighbors(v)) {
+        if (covered[w] && !visited[w]) {
+          visited[w] = true;
+          frontier.push_back(w);
+        }
+      }
+    }
+    if (component.size() < query.NumVertices()) continue;
+    std::vector<bool> allowed(target.NumVertices(), false);
+    for (VertexId v : component) allowed[v] = true;
+    if (Vf2Matcher::FindEmbeddingRestricted(query, target, &allowed)
+            .has_value()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace igq

@@ -1,0 +1,44 @@
+// Grapes (Giugno et al., PLoS One 2013): parallel path indexing with
+// location info; verification restricted to the connected components of the
+// candidate graph that are covered by query-feature occurrences. The paper
+// evaluates Grapes with 1 and 6 threads (Grapes / Grapes(6)).
+#ifndef IGQ_METHODS_GRAPES_H_
+#define IGQ_METHODS_GRAPES_H_
+
+#include <string>
+
+#include "methods/path_method_base.h"
+
+namespace igq {
+
+/// Grapes subgraph-query method.
+class GrapesMethod : public PathMethodBase {
+ public:
+  /// `threads` is used for index construction (and advertised to the engine
+  /// for parallel verification, matching the original's behaviour).
+  explicit GrapesMethod(size_t threads = 1, size_t max_path_edges = 4)
+      : PathMethodBase({.max_path_edges = max_path_edges,
+                        .build_threads = threads,
+                        .store_locations = true}),
+        threads_(threads) {}
+
+  std::string Name() const override {
+    return threads_ > 1 ? "Grapes(" + std::to_string(threads_) + ")" : "Grapes";
+  }
+
+  /// Location-aware verification: builds the set of vertices of graph `id`
+  /// covered by occurrences of the query's features, splits it into
+  /// connected components, and runs component-restricted VF2.
+  bool Verify(const PreparedQuery& prepared, GraphId id) const override;
+
+  /// Number of worker threads the method was configured with; the query
+  /// engine uses this to size its verification pool.
+  size_t threads() const { return threads_; }
+
+ private:
+  size_t threads_;
+};
+
+}  // namespace igq
+
+#endif  // IGQ_METHODS_GRAPES_H_

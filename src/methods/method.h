@@ -1,0 +1,110 @@
+// Interfaces for filter-then-verify query processing methods.
+//
+// The paper's framework (§4.2) treats the host method M as a black box that
+// (a) indexes the dataset graphs and (b) given a query produces a candidate
+// set which is then verified by subgraph-isomorphism tests. iGQ wraps any
+// such method; GGSX, Grapes and CT-Index are provided implementations.
+#ifndef IGQ_METHODS_METHOD_H_
+#define IGQ_METHODS_METHOD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace igq {
+
+using GraphId = uint32_t;
+
+/// A graph dataset D = {G1..Gn} plus global label-domain information
+/// (L, needed by the §5.1 cost model).
+struct GraphDatabase {
+  std::vector<Graph> graphs;
+  /// Number of distinct vertex labels across the dataset.
+  size_t num_labels = 0;
+
+  /// Recomputes num_labels from the graphs.
+  void RefreshLabelCount() {
+    size_t bound = 0;
+    for (const Graph& g : graphs) {
+      const size_t b = g.LabelUpperBound();
+      if (b > bound) bound = b;
+    }
+    std::vector<bool> seen(bound, false);
+    size_t distinct = 0;
+    for (const Graph& g : graphs) {
+      for (VertexId v = 0; v < g.NumVertices(); ++v) {
+        if (!seen[g.label(v)]) {
+          seen[g.label(v)] = true;
+          ++distinct;
+        }
+      }
+    }
+    num_labels = distinct;
+  }
+};
+
+/// Per-query state computed once by Prepare() and shared by Filter() and all
+/// Verify() calls (e.g. the query's path features). Methods subclass this.
+/// Owns a copy of the query graph so the prepared state may outlive the
+/// caller's argument (queries are small; the copy is cheap).
+class PreparedQuery {
+ public:
+  explicit PreparedQuery(const Graph& query) : query_(query) {}
+  virtual ~PreparedQuery() = default;
+
+  const Graph& query() const { return query_; }
+
+ private:
+  Graph query_;
+};
+
+/// A subgraph-query processing method M_sub: find all Gi in D with q ⊆ Gi.
+class SubgraphMethod {
+ public:
+  virtual ~SubgraphMethod() = default;
+
+  virtual std::string Name() const = 0;
+
+  /// Indexes the dataset. `db` must outlive the method.
+  virtual void Build(const GraphDatabase& db) = 0;
+
+  /// Computes per-query state (features etc.). Called once per query.
+  virtual std::unique_ptr<PreparedQuery> Prepare(const Graph& query) const {
+    return std::make_unique<PreparedQuery>(query);
+  }
+
+  /// Filtering stage: ids of all graphs that may contain the query.
+  /// Guaranteed no false negatives.
+  virtual std::vector<GraphId> Filter(const PreparedQuery& prepared) const = 0;
+
+  /// Verification stage for one candidate: true iff query ⊆ graphs[id].
+  virtual bool Verify(const PreparedQuery& prepared, GraphId id) const = 0;
+
+  /// Heap footprint of the index structure (Fig. 18).
+  virtual size_t IndexMemoryBytes() const = 0;
+};
+
+/// A supergraph-query processing method M_super: find all Gi with Gi ⊆ q.
+class SupergraphMethod {
+ public:
+  virtual ~SupergraphMethod() = default;
+
+  virtual std::string Name() const = 0;
+  virtual void Build(const GraphDatabase& db) = 0;
+
+  /// Ids of all graphs that may be contained in the query (no false
+  /// negatives).
+  virtual std::vector<GraphId> Filter(const Graph& query) const = 0;
+
+  /// True iff graphs[id] ⊆ query.
+  virtual bool Verify(const Graph& query, GraphId id) const = 0;
+
+  virtual size_t IndexMemoryBytes() const = 0;
+};
+
+}  // namespace igq
+
+#endif  // IGQ_METHODS_METHOD_H_

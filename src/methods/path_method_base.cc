@@ -1,0 +1,119 @@
+#include "methods/path_method_base.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace igq {
+namespace {
+
+// Per-graph aggregation buffer: feature -> (count, locations).
+struct FeatureAggregate {
+  uint32_t count = 0;
+  std::vector<VertexId> locations;
+};
+using GraphFeatureMap = std::map<PathKey, FeatureAggregate>;
+
+GraphFeatureMap AggregateGraph(const Graph& graph,
+                               const PathEnumeratorOptions& options,
+                               bool keep_locations) {
+  GraphFeatureMap features;
+  EnumeratePaths(graph, options,
+                 [&features, keep_locations](PathKey key, VertexId start) {
+                   FeatureAggregate& agg = features[key];
+                   ++agg.count;
+                   if (keep_locations) agg.locations.push_back(start);
+                 });
+  return features;
+}
+
+}  // namespace
+
+void PathMethodBase::Build(const GraphDatabase& db) {
+  db_ = &db;
+  const size_t num_graphs = db.graphs.size();
+  const size_t threads =
+      std::min(options_.build_threads == 0 ? size_t{1} : options_.build_threads,
+               num_graphs == 0 ? size_t{1} : num_graphs);
+
+  // Each worker enumerates a slice of graphs into local per-graph maps; the
+  // maps are merged into the shared trie under a lock, in ascending graph-id
+  // order so postings lists stay sorted (this mirrors Grapes' per-thread
+  // trie construction followed by a merge step).
+  std::vector<GraphFeatureMap> per_graph(num_graphs);
+  if (threads <= 1) {
+    for (size_t i = 0; i < num_graphs; ++i) {
+      per_graph[i] = AggregateGraph(db.graphs[i], EnumeratorOptions(),
+                                    options_.store_locations);
+    }
+  } else {
+    std::vector<std::thread> workers;
+    std::mutex mutex;
+    size_t next = 0;
+    for (size_t t = 0; t < threads; ++t) {
+      workers.emplace_back([this, &db, &per_graph, &mutex, &next, num_graphs] {
+        for (;;) {
+          size_t index;
+          {
+            std::lock_guard<std::mutex> lock(mutex);
+            if (next >= num_graphs) return;
+            index = next++;
+          }
+          per_graph[index] = AggregateGraph(db.graphs[index],
+                                            EnumeratorOptions(),
+                                            options_.store_locations);
+        }
+      });
+    }
+    for (auto& worker : workers) worker.join();
+  }
+
+  for (size_t i = 0; i < num_graphs; ++i) {
+    for (const auto& [key, agg] : per_graph[i]) {
+      trie_.Add(key, static_cast<GraphId>(i), agg.count,
+                options_.store_locations ? &agg.locations : nullptr);
+    }
+    per_graph[i].clear();
+  }
+}
+
+std::unique_ptr<PreparedQuery> PathMethodBase::Prepare(
+    const Graph& query) const {
+  return std::make_unique<PathPreparedQuery>(
+      query, CountPathFeatures(query, EnumeratorOptions()));
+}
+
+std::vector<GraphId> PathMethodBase::Filter(
+    const PreparedQuery& prepared) const {
+  const auto& pq = static_cast<const PathPreparedQuery&>(prepared);
+  const PathFeatureCounts& features = pq.features();
+  if (db_ == nullptr) return {};
+  if (features.empty()) {
+    // A query with no features (empty graph) is contained everywhere.
+    std::vector<GraphId> all(db_->graphs.size());
+    for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<GraphId>(i);
+    return all;
+  }
+
+  // Counting intersection: each feature contributes at most one tally per
+  // graph, so a graph is a candidate iff its tally equals the number of
+  // distinct query features. One pass over the postings, no allocations
+  // beyond the tally array.
+  std::vector<uint32_t> matched(db_->graphs.size(), 0);
+  for (const auto& [key, query_count] : features) {
+    const std::vector<PathPosting>* postings = trie_.Find(key);
+    if (postings == nullptr) return {};  // feature absent from every graph
+    for (const PathPosting& posting : *postings) {
+      if (posting.count >= query_count) ++matched[posting.graph_id];
+    }
+  }
+  const uint32_t required = static_cast<uint32_t>(features.size());
+  std::vector<GraphId> candidates;
+  for (GraphId id = 0; id < matched.size(); ++id) {
+    if (matched[id] == required) candidates.push_back(id);
+  }
+  return candidates;
+}
+
+}  // namespace igq

@@ -1,0 +1,76 @@
+// Shared machinery for the two path-based host methods (GGSX, Grapes):
+// exhaustive path enumeration into a trie at build time, and the counting
+// filter (graph is a candidate iff it contains every query path feature at
+// least as often as the query does).
+#ifndef IGQ_METHODS_PATH_METHOD_BASE_H_
+#define IGQ_METHODS_PATH_METHOD_BASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "features/feature_set.h"
+#include "features/path_enumerator.h"
+#include "methods/method.h"
+#include "methods/path_trie.h"
+
+namespace igq {
+
+/// PreparedQuery carrying the query's path-feature multiset.
+class PathPreparedQuery : public PreparedQuery {
+ public:
+  PathPreparedQuery(const Graph& query, PathFeatureCounts features)
+      : PreparedQuery(query), features_(std::move(features)) {}
+
+  const PathFeatureCounts& features() const { return features_; }
+
+ private:
+  PathFeatureCounts features_;
+};
+
+/// Common base: builds the path trie (optionally multi-threaded, optionally
+/// with location info) and implements Prepare/Filter. Subclasses provide the
+/// verification strategy.
+class PathMethodBase : public SubgraphMethod {
+ public:
+  struct Options {
+    /// Maximum indexed path length in edges (paper configuration: 4).
+    size_t max_path_edges = 4;
+    /// Worker threads for index construction (Grapes(6) uses 6).
+    size_t build_threads = 1;
+    /// Whether the trie stores instance start locations (Grapes: yes).
+    bool store_locations = false;
+  };
+
+  explicit PathMethodBase(const Options& options)
+      : options_(options), trie_(options.store_locations) {}
+
+  void Build(const GraphDatabase& db) override;
+
+  std::unique_ptr<PreparedQuery> Prepare(const Graph& query) const override;
+
+  std::vector<GraphId> Filter(const PreparedQuery& prepared) const override;
+
+  size_t IndexMemoryBytes() const override { return trie_.MemoryBytes(); }
+
+  const PathTrie& trie() const { return trie_; }
+
+ protected:
+  const GraphDatabase* db() const { return db_; }
+  PathEnumeratorOptions EnumeratorOptions() const {
+    PathEnumeratorOptions opts;
+    opts.max_edges = options_.max_path_edges;
+    opts.include_single_vertices = true;
+    return opts;
+  }
+
+  Options options_;
+
+ private:
+  const GraphDatabase* db_ = nullptr;
+  PathTrie trie_;
+};
+
+}  // namespace igq
+
+#endif  // IGQ_METHODS_PATH_METHOD_BASE_H_

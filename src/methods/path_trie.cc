@@ -1,0 +1,79 @@
+#include "methods/path_trie.h"
+
+#include <algorithm>
+
+namespace igq {
+
+uint32_t PathTrie::DescendOrCreate(PathKey key) {
+  const std::vector<Label> labels = UnpackPathKey(key);
+  uint32_t node = 0;
+  for (Label label : labels) {
+    auto& children = nodes_[node].children;
+    auto it = std::lower_bound(
+        children.begin(), children.end(), label,
+        [](const auto& entry, Label l) { return entry.first < l; });
+    if (it != children.end() && it->first == label) {
+      node = it->second;
+    } else {
+      const uint32_t fresh = static_cast<uint32_t>(nodes_.size());
+      // Note: nodes_.emplace_back() may invalidate `children`; insert first.
+      nodes_[node].children.insert(it, {label, fresh});
+      nodes_.emplace_back();
+      node = fresh;
+    }
+  }
+  return node;
+}
+
+int64_t PathTrie::DescendConst(PathKey key) const {
+  const std::vector<Label> labels = UnpackPathKey(key);
+  uint32_t node = 0;
+  for (Label label : labels) {
+    const auto& children = nodes_[node].children;
+    auto it = std::lower_bound(
+        children.begin(), children.end(), label,
+        [](const auto& entry, Label l) { return entry.first < l; });
+    if (it == children.end() || it->first != label) return -1;
+    node = it->second;
+  }
+  return node;
+}
+
+void PathTrie::Add(PathKey key, uint32_t graph_id, uint32_t count,
+                   const std::vector<VertexId>* locations) {
+  const uint32_t node = DescendOrCreate(key);
+  auto& postings = nodes_[node].postings;
+  if (postings.empty()) ++num_features_;
+  PathPosting posting;
+  posting.graph_id = graph_id;
+  posting.count = count;
+  if (store_locations_ && locations != nullptr) {
+    posting.locations = *locations;
+    std::sort(posting.locations.begin(), posting.locations.end());
+    posting.locations.erase(
+        std::unique(posting.locations.begin(), posting.locations.end()),
+        posting.locations.end());
+  }
+  postings.push_back(std::move(posting));
+}
+
+const std::vector<PathPosting>* PathTrie::Find(PathKey key) const {
+  const int64_t node = DescendConst(key);
+  if (node < 0) return nullptr;
+  const auto& postings = nodes_[static_cast<size_t>(node)].postings;
+  return postings.empty() ? nullptr : &postings;
+}
+
+size_t PathTrie::MemoryBytes() const {
+  size_t bytes = sizeof(*this) + nodes_.capacity() * sizeof(Node);
+  for (const Node& node : nodes_) {
+    bytes += node.children.capacity() * sizeof(std::pair<Label, uint32_t>);
+    bytes += node.postings.capacity() * sizeof(PathPosting);
+    for (const PathPosting& posting : node.postings) {
+      bytes += posting.locations.capacity() * sizeof(VertexId);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace igq

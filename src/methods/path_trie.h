@@ -1,0 +1,71 @@
+// Trie over path-feature label sequences with per-graph postings — the index
+// structure of GraphGrepSX ("suffix tree" of paths), Grapes (paths +
+// location info) and iGQ's Isuper (Algorithm 1: features with occurrence
+// counts).
+#ifndef IGQ_METHODS_PATH_TRIE_H_
+#define IGQ_METHODS_PATH_TRIE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "features/feature_set.h"
+#include "graph/graph.h"
+
+namespace igq {
+
+/// Posting for one (feature, graph) pair.
+struct PathPosting {
+  uint32_t graph_id = 0;
+  /// Number of directed instances of the feature in the graph.
+  uint32_t count = 0;
+  /// Start vertices of the instances (only if the trie stores locations).
+  std::vector<VertexId> locations;
+};
+
+/// Label trie; each node corresponds to a canonical path prefix and holds
+/// the postings of the feature ending there.
+class PathTrie {
+ public:
+  /// `store_locations` enables Grapes-style location info.
+  explicit PathTrie(bool store_locations = false)
+      : store_locations_(store_locations) {
+    nodes_.emplace_back();
+  }
+
+  /// Adds `count` instances of feature `key` for `graph_id`, with optional
+  /// instance start `locations` (ignored unless location storage is on).
+  /// Postings for a given key must be added in nondecreasing graph_id order.
+  void Add(PathKey key, uint32_t graph_id, uint32_t count,
+           const std::vector<VertexId>* locations = nullptr);
+
+  /// Postings of `key`, or nullptr if the feature is absent.
+  const std::vector<PathPosting>* Find(PathKey key) const;
+
+  /// Number of distinct features stored.
+  size_t NumFeatures() const { return num_features_; }
+
+  size_t NumNodes() const { return nodes_.size(); }
+
+  /// Estimated heap footprint (Fig. 18).
+  size_t MemoryBytes() const;
+
+  bool store_locations() const { return store_locations_; }
+
+ private:
+  struct Node {
+    // Sorted (label, child node index) pairs.
+    std::vector<std::pair<Label, uint32_t>> children;
+    std::vector<PathPosting> postings;
+  };
+
+  uint32_t DescendOrCreate(PathKey key);
+  int64_t DescendConst(PathKey key) const;
+
+  bool store_locations_;
+  std::vector<Node> nodes_;
+  size_t num_features_ = 0;
+};
+
+}  // namespace igq
+
+#endif  // IGQ_METHODS_PATH_TRIE_H_

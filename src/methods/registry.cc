@@ -1,0 +1,25 @@
+#include "methods/registry.h"
+
+#include "methods/ct_index.h"
+#include "methods/ggsx.h"
+#include "methods/grapes.h"
+
+namespace igq {
+
+std::unique_ptr<SubgraphMethod> CreateSubgraphMethod(const std::string& name) {
+  if (name == "ggsx") return std::make_unique<GgsxMethod>();
+  if (name == "grapes") return std::make_unique<GrapesMethod>(1);
+  if (name == "grapes6") return std::make_unique<GrapesMethod>(6);
+  if (name == "ctindex") return std::make_unique<CtIndexMethod>();
+  return nullptr;
+}
+
+std::vector<std::string> KnownSubgraphMethods() {
+  return {"ggsx", "grapes", "grapes6", "ctindex"};
+}
+
+size_t MethodVerifyThreads(const std::string& name) {
+  return name == "grapes6" ? 6 : 1;
+}
+
+}  // namespace igq

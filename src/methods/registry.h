@@ -1,0 +1,27 @@
+// Name-based factory for the host methods, used by the benchmark harnesses
+// ("ggsx", "grapes", "grapes6", "ctindex").
+#ifndef IGQ_METHODS_REGISTRY_H_
+#define IGQ_METHODS_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "methods/method.h"
+
+namespace igq {
+
+/// Creates a subgraph method by name; returns nullptr for unknown names.
+/// Known names: "ggsx", "grapes", "grapes6", "ctindex".
+std::unique_ptr<SubgraphMethod> CreateSubgraphMethod(const std::string& name);
+
+/// All known method names, in the order the paper's figures list them.
+std::vector<std::string> KnownSubgraphMethods();
+
+/// Verification-thread count the paper's configuration implies for `name`
+/// (6 for "grapes6", otherwise 1).
+size_t MethodVerifyThreads(const std::string& name);
+
+}  // namespace igq
+
+#endif  // IGQ_METHODS_REGISTRY_H_

@@ -1,0 +1,91 @@
+#include "workload/query_generator.h"
+
+#include <memory>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "graph/algorithms.h"
+
+namespace igq {
+namespace {
+
+constexpr int kMaxAttempts = 64;
+
+}  // namespace
+
+std::vector<WorkloadQuery> GenerateWorkload(const std::vector<Graph>& dataset,
+                                            const WorkloadSpec& spec) {
+  std::vector<WorkloadQuery> queries;
+  if (dataset.empty() || spec.sizes.empty()) return queries;
+  queries.reserve(spec.num_queries);
+  Rng rng(spec.seed);
+
+  std::unique_ptr<ZipfSampler> graph_sampler;
+  if (spec.graph_dist == SelectionDist::kZipf) {
+    graph_sampler = std::make_unique<ZipfSampler>(dataset.size(), spec.alpha);
+  }
+  // Node samplers are built lazily per distinct node count (graphs share
+  // samplers of equal size to avoid rebuilding CDFs).
+  std::vector<std::unique_ptr<ZipfSampler>> node_samplers;
+  auto node_sampler_for = [&](size_t n) -> ZipfSampler* {
+    if (node_samplers.size() <= n) node_samplers.resize(n + 1);
+    if (node_samplers[n] == nullptr) {
+      node_samplers[n] = std::make_unique<ZipfSampler>(n, spec.alpha);
+    }
+    return node_samplers[n].get();
+  };
+
+  for (size_t q = 0; q < spec.num_queries; ++q) {
+    const size_t size_edges = spec.sizes[rng.Below(spec.sizes.size())];
+    WorkloadQuery best;
+    best.size_edges = size_edges;
+    for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+      const size_t graph_index = spec.graph_dist == SelectionDist::kZipf
+                                     ? graph_sampler->Sample(rng)
+                                     : rng.Below(dataset.size());
+      const Graph& source = dataset[graph_index];
+      if (source.NumVertices() == 0) continue;
+      const VertexId seed_node =
+          spec.node_dist == SelectionDist::kZipf
+              ? static_cast<VertexId>(
+                    node_sampler_for(source.NumVertices())->Sample(rng))
+              : static_cast<VertexId>(rng.Below(source.NumVertices()));
+      Graph query = BfsNeighborhoodQuery(source, seed_node, size_edges);
+      if (query.NumEdges() > best.graph.NumEdges()) {
+        best.graph = query;
+        best.source_graph = graph_index;
+      }
+      if (best.graph.NumEdges() >= size_edges) break;
+    }
+    queries.push_back(std::move(best));
+  }
+  return queries;
+}
+
+WorkloadSpec MakeWorkloadSpec(const std::string& name, double alpha,
+                              size_t num_queries, uint64_t seed) {
+  WorkloadSpec spec;
+  spec.alpha = alpha;
+  spec.num_queries = num_queries;
+  spec.seed = seed;
+  if (name == "uni-uni") {
+    spec.graph_dist = SelectionDist::kUniform;
+    spec.node_dist = SelectionDist::kUniform;
+  } else if (name == "uni-zipf") {
+    spec.graph_dist = SelectionDist::kUniform;
+    spec.node_dist = SelectionDist::kZipf;
+  } else if (name == "zipf-uni") {
+    spec.graph_dist = SelectionDist::kZipf;
+    spec.node_dist = SelectionDist::kUniform;
+  } else {  // "zipf-zipf"
+    spec.graph_dist = SelectionDist::kZipf;
+    spec.node_dist = SelectionDist::kZipf;
+  }
+  return spec;
+}
+
+std::vector<std::string> WorkloadNames() {
+  return {"uni-uni", "uni-zipf", "zipf-uni", "zipf-zipf"};
+}
+
+}  // namespace igq

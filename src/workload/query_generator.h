@@ -1,0 +1,54 @@
+// Query workload generation (§7.1): queries are BFS neighborhoods extracted
+// from the dataset graphs. Three distributions govern the process — which
+// graph (uniform or Zipf), which seed node within it (uniform or Zipf), and
+// the query size (uniform over {4, 8, 12, 16, 20} edges).
+#ifndef IGQ_WORKLOAD_QUERY_GENERATOR_H_
+#define IGQ_WORKLOAD_QUERY_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace igq {
+
+enum class SelectionDist { kUniform, kZipf };
+
+/// Full specification of a query workload.
+struct WorkloadSpec {
+  SelectionDist graph_dist = SelectionDist::kUniform;
+  SelectionDist node_dist = SelectionDist::kUniform;
+  /// Zipf skew α (paper default 1.4; also evaluated at 1.1, 2.0, 2.4).
+  double alpha = 1.4;
+  /// Query sizes in edges, selected uniformly at random.
+  std::vector<size_t> sizes = {4, 8, 12, 16, 20};
+  size_t num_queries = 1000;
+  uint64_t seed = 42;
+};
+
+/// One generated query plus its provenance (the size class drives the
+/// per-group figures 10/11/16/17).
+struct WorkloadQuery {
+  Graph graph;
+  size_t size_edges = 0;     // requested size class
+  size_t source_graph = 0;   // dataset graph it was extracted from
+};
+
+/// Generates `spec.num_queries` connected queries. If a BFS extraction
+/// cannot reach the requested size (tiny component), another seed is drawn;
+/// after `kMaxAttempts` the smaller query is kept.
+std::vector<WorkloadQuery> GenerateWorkload(const std::vector<Graph>& dataset,
+                                            const WorkloadSpec& spec);
+
+/// Parses the paper's workload names: "uni-uni", "uni-zipf", "zipf-uni",
+/// "zipf-zipf". Returns the spec with the given α/queries/seed.
+WorkloadSpec MakeWorkloadSpec(const std::string& name, double alpha,
+                              size_t num_queries, uint64_t seed);
+
+/// The four workload names in the paper's order.
+std::vector<std::string> WorkloadNames();
+
+}  // namespace igq
+
+#endif  // IGQ_WORKLOAD_QUERY_GENERATOR_H_

@@ -1,0 +1,180 @@
+// Tests for the query cache: window mechanics, utility-based replacement
+// (§5.1), probe semantics, exact-match detection, maintenance accounting.
+#include "igq/cache.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace igq {
+namespace {
+
+using testing::PathGraph;
+using testing::RandomConnectedGraph;
+using testing::RandomSubgraphOf;
+
+IgqOptions SmallOptions(size_t capacity, size_t window) {
+  IgqOptions options;
+  options.cache_capacity = capacity;
+  options.window_size = window;
+  return options;
+}
+
+TEST(QueryCacheTest, WindowHoldsUntilFull) {
+  QueryCache cache(SmallOptions(10, 3));
+  cache.Insert(PathGraph({0, 1}), {});
+  cache.Insert(PathGraph({1, 2}), {});
+  EXPECT_EQ(cache.size(), 0u);  // still in Itemp
+  EXPECT_EQ(cache.window_fill(), 2u);
+  cache.Insert(PathGraph({2, 3}), {});
+  EXPECT_EQ(cache.size(), 3u);  // flushed
+  EXPECT_EQ(cache.window_fill(), 0u);
+}
+
+TEST(QueryCacheTest, ProbeSeesOnlyFlushedEntries) {
+  QueryCache cache(SmallOptions(10, 2));
+  const Graph big = PathGraph({0, 1, 2, 3});
+  cache.Insert(big, {5, 7});
+  const Graph small = PathGraph({1, 2});
+  CacheProbe probe = cache.Probe(small, cache.ExtractFeatures(small));
+  EXPECT_TRUE(probe.supergraph_positions.empty());  // big still in window
+  cache.Insert(PathGraph({8, 9}), {});              // triggers flush
+  probe = cache.Probe(small, cache.ExtractFeatures(small));
+  ASSERT_EQ(probe.supergraph_positions.size(), 1u);
+  EXPECT_EQ(cache.entries()[probe.supergraph_positions[0]].graph, big);
+}
+
+TEST(QueryCacheTest, ProbeFindsSubgraphsToo) {
+  QueryCache cache(SmallOptions(10, 1));
+  const Graph small = PathGraph({1, 2});
+  cache.Insert(small, {3});
+  const Graph big = PathGraph({0, 1, 2, 3});
+  const CacheProbe probe = cache.Probe(big, cache.ExtractFeatures(big));
+  ASSERT_EQ(probe.subgraph_positions.size(), 1u);
+  EXPECT_TRUE(probe.supergraph_positions.empty());
+}
+
+TEST(QueryCacheTest, ExactMatchDetected) {
+  QueryCache cache(SmallOptions(10, 1));
+  const Graph q = PathGraph({1, 2, 3});
+  cache.Insert(q, {1});
+  const CacheProbe probe = cache.Probe(q, cache.ExtractFeatures(q));
+  EXPECT_NE(probe.exact_position, SIZE_MAX);
+}
+
+TEST(QueryCacheTest, IsomorphicButDifferentOrderIsStillExact) {
+  QueryCache cache(SmallOptions(10, 1));
+  cache.Insert(PathGraph({1, 2, 3}), {1});
+  // Same path written from the other end: isomorphic, equal sizes, and a
+  // containment holds — the §4.3 definition of "exactly the same".
+  const Graph reversed = PathGraph({3, 2, 1});
+  const CacheProbe probe =
+      cache.Probe(reversed, cache.ExtractFeatures(reversed));
+  EXPECT_NE(probe.exact_position, SIZE_MAX);
+}
+
+TEST(QueryCacheTest, WindowDeduplicatesEqualGraphs) {
+  QueryCache cache(SmallOptions(10, 3));
+  const Graph q = PathGraph({1, 2});
+  cache.Insert(q, {1});
+  cache.Insert(q, {1});
+  EXPECT_EQ(cache.window_fill(), 1u);
+}
+
+TEST(QueryCacheTest, CapacityEnforcedAfterFlush) {
+  QueryCache cache(SmallOptions(4, 2));
+  for (int i = 0; i < 10; ++i) {
+    Graph g = PathGraph({static_cast<Label>(i), static_cast<Label>(i + 1)});
+    cache.Insert(g, {});
+  }
+  EXPECT_LE(cache.size(), 4u);
+}
+
+TEST(QueryCacheTest, LowestUtilityEvictedFirst) {
+  QueryCache cache(SmallOptions(2, 1));
+  const Graph a = PathGraph({1, 1});
+  const Graph b = PathGraph({2, 2});
+  cache.Insert(a, {});  // flushes immediately (W = 1)
+  cache.Insert(b, {});
+  ASSERT_EQ(cache.size(), 2u);
+
+  // Give `b` utility; `a` stays at zero.
+  size_t b_position = SIZE_MAX;
+  for (size_t i = 0; i < cache.entries().size(); ++i) {
+    if (cache.entries()[i].graph == b) b_position = i;
+  }
+  ASSERT_NE(b_position, SIZE_MAX);
+  cache.RecordQueryProcessed();
+  cache.CreditHit(b_position);
+  cache.CreditPrune(b_position, 5, LogValue::FromLinear(1e6));
+
+  // Insert c: capacity 2 forces one eviction; it must be `a`.
+  const Graph c = PathGraph({3, 3});
+  cache.Insert(c, {});
+  ASSERT_EQ(cache.size(), 2u);
+  bool has_a = false, has_b = false, has_c = false;
+  for (const CachedQuery& entry : cache.entries()) {
+    has_a |= entry.graph == a;
+    has_b |= entry.graph == b;
+    has_c |= entry.graph == c;
+  }
+  EXPECT_FALSE(has_a);
+  EXPECT_TRUE(has_b);
+  EXPECT_TRUE(has_c);
+}
+
+TEST(QueryCacheTest, TieBreakEvictsOlderEntry) {
+  QueryCache cache(SmallOptions(2, 1));
+  const Graph a = PathGraph({1, 1});
+  const Graph b = PathGraph({2, 2});
+  cache.Insert(a, {});
+  cache.Insert(b, {});
+  cache.Insert(PathGraph({3, 3}), {});  // both a and b have utility 0
+  bool has_a = false;
+  for (const CachedQuery& entry : cache.entries()) has_a |= entry.graph == a;
+  EXPECT_FALSE(has_a) << "older zero-utility entry should go first";
+}
+
+TEST(QueryCacheTest, MetadataClockAdvances) {
+  QueryCache cache(SmallOptions(4, 1));
+  cache.Insert(PathGraph({1, 2}), {});
+  cache.RecordQueryProcessed();
+  cache.RecordQueryProcessed();
+  const QueryGraphMetadata& meta = cache.entries()[0].meta;
+  EXPECT_EQ(meta.QueriesSinceInsertion(cache.queries_processed()), 2u);
+}
+
+TEST(QueryCacheTest, UtilityUsesCostOverM) {
+  QueryGraphMetadata meta;
+  meta.inserted_at = 0;
+  meta.cost_saved = LogValue::FromLinear(100.0);
+  EXPECT_NEAR(meta.Utility(4).ToLinear(), 25.0, 1e-9);
+  // More elapsed queries, lower utility.
+  EXPECT_TRUE(meta.Utility(10) < meta.Utility(4));
+}
+
+TEST(QueryCacheTest, MaintenanceTimeTracked) {
+  QueryCache cache(SmallOptions(4, 1));
+  cache.Insert(PathGraph({1, 2}), {});
+  EXPECT_GE(cache.maintenance_micros(), 0);
+}
+
+TEST(QueryCacheTest, MemoryBytesGrowWithEntries) {
+  QueryCache cache(SmallOptions(100, 1));
+  const size_t before = cache.MemoryBytes();
+  Rng rng(9);
+  for (int i = 0; i < 10; ++i) {
+    cache.Insert(RandomConnectedGraph(rng, 10, 5, 3), {1, 2, 3});
+  }
+  EXPECT_GT(cache.MemoryBytes(), before);
+}
+
+TEST(QueryCacheTest, AnswersStoredSorted) {
+  QueryCache cache(SmallOptions(4, 1));
+  cache.Insert(PathGraph({1, 2}), {9, 3, 7});
+  const std::vector<GraphId> expected{3, 7, 9};
+  EXPECT_EQ(cache.entries()[0].answer, expected);
+}
+
+}  // namespace
+}  // namespace igq

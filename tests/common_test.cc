@@ -1,0 +1,184 @@
+// Unit tests for the common utilities: RNG, Zipf sampling, log-space
+// arithmetic, running statistics and the table printer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/log_space.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table_printer.h"
+#include "common/zipf.h"
+
+namespace igq {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Below(17), 17u);
+}
+
+TEST(RngTest, BetweenInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t x = rng.Between(3, 5);
+    EXPECT_GE(x, 3u);
+    EXPECT_LE(x, 5u);
+    saw_lo |= (x == 3);
+    saw_hi |= (x == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(9);
+  Rng child = parent.Fork();
+  EXPECT_NE(parent(), child());
+}
+
+TEST(ZipfTest, UniformWhenAlphaZero) {
+  ZipfSampler sampler(10, 0.0);
+  for (size_t k = 0; k < 10; ++k) EXPECT_NEAR(sampler.Mass(k), 0.1, 1e-12);
+}
+
+TEST(ZipfTest, MassesSumToOne) {
+  ZipfSampler sampler(100, 1.4);
+  double total = 0;
+  for (size_t k = 0; k < 100; ++k) total += sampler.Mass(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, MassRatioMatchesPowerLaw) {
+  const double alpha = 1.4;
+  ZipfSampler sampler(50, alpha);
+  // p(k) / p(2k) should equal 2^alpha.
+  EXPECT_NEAR(sampler.Mass(0) / sampler.Mass(1), std::pow(2.0, alpha), 1e-9);
+  EXPECT_NEAR(sampler.Mass(1) / sampler.Mass(3), std::pow(2.0, alpha), 1e-9);
+}
+
+TEST(ZipfTest, EmpiricalSkewIncreasesWithAlpha) {
+  Rng rng(3);
+  auto top_rank_fraction = [&rng](double alpha) {
+    ZipfSampler sampler(100, alpha);
+    int hits = 0;
+    for (int i = 0; i < 5000; ++i) {
+      if (sampler.Sample(rng) == 0) ++hits;
+    }
+    return static_cast<double>(hits) / 5000.0;
+  };
+  const double skew_low = top_rank_fraction(1.1);
+  const double skew_high = top_rank_fraction(2.0);
+  EXPECT_GT(skew_high, skew_low);
+}
+
+TEST(ZipfTest, SampleAlwaysInRange) {
+  Rng rng(4);
+  ZipfSampler sampler(7, 1.4);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(sampler.Sample(rng), 7u);
+}
+
+TEST(LogValueTest, ZeroBehaviour) {
+  const LogValue zero = LogValue::Zero();
+  EXPECT_TRUE(zero.IsZero());
+  const LogValue five = LogValue::FromLinear(5.0);
+  EXPECT_FALSE(five.IsZero());
+  EXPECT_DOUBLE_EQ((zero + five).ToLinear(), 5.0);
+  EXPECT_TRUE((zero * five).IsZero());
+}
+
+TEST(LogValueTest, AdditionMatchesLinear) {
+  const LogValue a = LogValue::FromLinear(3.0);
+  const LogValue b = LogValue::FromLinear(4.5);
+  EXPECT_NEAR((a + b).ToLinear(), 7.5, 1e-9);
+}
+
+TEST(LogValueTest, AdditionHandlesHugeMagnitudes) {
+  // 10^500 + 10^499 — overflows double in linear space, fine in log space.
+  const LogValue big = LogValue::FromLog(500 * std::log(10.0));
+  const LogValue smaller = LogValue::FromLog(499 * std::log(10.0));
+  const LogValue sum = big + smaller;
+  EXPECT_NEAR(sum.log(), std::log(1.1) + 500 * std::log(10.0), 1e-9);
+}
+
+TEST(LogValueTest, MultiplicationAndDivision) {
+  const LogValue a = LogValue::FromLinear(6.0);
+  const LogValue b = LogValue::FromLinear(2.0);
+  EXPECT_NEAR((a * b).ToLinear(), 12.0, 1e-9);
+  EXPECT_NEAR((a / b).ToLinear(), 3.0, 1e-9);
+}
+
+TEST(LogValueTest, Ordering) {
+  EXPECT_TRUE(LogValue::FromLinear(1.0) < LogValue::FromLinear(2.0));
+  EXPECT_TRUE(LogValue::Zero() < LogValue::FromLinear(1e-12));
+  EXPECT_TRUE(LogValue::FromLinear(3.0) >= LogValue::FromLinear(3.0));
+}
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats stats;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) stats.Add(x);
+  EXPECT_EQ(stats.count(), 4);
+  EXPECT_DOUBLE_EQ(stats.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 4.0);
+  EXPECT_NEAR(stats.stddev(), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 10; ++i) {
+    const double x = i * 1.7 - 3;
+    (i % 2 == 0 ? a : b).Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.stddev(), all.stddev(), 1e-9);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table("demo");
+  table.SetHeader({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer", "2.50"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("longer  2.50"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumberFormatting) {
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Int(42), "42");
+}
+
+}  // namespace
+}  // namespace igq

@@ -1,0 +1,175 @@
+// Tests for the Table-1 dataset generators and the §7.1 workload generator.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datasets/profiles.h"
+#include "graph/algorithms.h"
+#include "workload/query_generator.h"
+
+namespace igq {
+namespace {
+
+TEST(DatasetsTest, AidsLikeMatchesProfile) {
+  AidsLikeParams params;
+  params.num_graphs = 400;
+  GraphDatabase db;
+  db.graphs = MakeAidsLike(params, 1);
+  db.RefreshLabelCount();
+  const DatasetStats stats = ComputeDatasetStats(db);
+  EXPECT_EQ(stats.num_graphs, 400u);
+  EXPECT_NEAR(stats.avg_nodes, 45, 10);
+  EXPECT_NEAR(stats.avg_degree, 2.09, 0.35);
+  EXPECT_LE(stats.distinct_labels, 62u);
+  EXPECT_GE(stats.distinct_labels, 20u);  // skewed but broad
+  EXPECT_LE(stats.max_nodes, 245);
+}
+
+TEST(DatasetsTest, PdbsLikeMatchesProfile) {
+  PdbsLikeParams params;
+  params.num_graphs = 60;
+  GraphDatabase db;
+  db.graphs = MakePdbsLike(params, 2);
+  db.RefreshLabelCount();
+  const DatasetStats stats = ComputeDatasetStats(db);
+  EXPECT_NEAR(stats.avg_degree, 2.13, 0.4);
+  EXPECT_LE(stats.distinct_labels, 10u);
+  EXPECT_GT(stats.avg_nodes, 150);
+}
+
+TEST(DatasetsTest, PpiLikeIsDense) {
+  PpiLikeParams params;
+  GraphDatabase db;
+  db.graphs = MakePpiLike(params, 3);
+  db.RefreshLabelCount();
+  const DatasetStats stats = ComputeDatasetStats(db);
+  EXPECT_EQ(stats.num_graphs, 20u);
+  EXPECT_GT(stats.avg_degree, 3.5);  // denser than the molecule profiles
+  EXPECT_LE(stats.distinct_labels, 46u);
+}
+
+TEST(DatasetsTest, SyntheticEdgeCountNearConstant) {
+  SyntheticDenseParams params;
+  params.num_graphs = 30;
+  GraphDatabase db;
+  db.graphs = MakeSyntheticDense(params, 4);
+  for (const Graph& g : db.graphs) {
+    if (g.NumVertices() * (g.NumVertices() - 1) / 2 >
+        params.edges_per_graph + params.edge_jitter) {
+      EXPECT_NEAR(static_cast<double>(g.NumEdges()),
+                  static_cast<double>(params.edges_per_graph),
+                  static_cast<double>(params.edge_jitter));
+    }
+  }
+}
+
+TEST(DatasetsTest, GeneratorsDeterministic) {
+  AidsLikeParams params;
+  params.num_graphs = 20;
+  const auto a = MakeAidsLike(params, 7);
+  const auto b = MakeAidsLike(params, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_TRUE(a[i] == b[i]);
+  const auto c = MakeAidsLike(params, 8);
+  bool any_differs = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == c[i])) any_differs = true;
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(DatasetsTest, MakeDatasetByNameAndScale) {
+  const GraphDatabase aids = MakeDataset("aids", 0.01, 5);
+  EXPECT_EQ(aids.graphs.size(), 60u);  // 6000 * 0.01
+  EXPECT_GT(aids.num_labels, 0u);
+  const GraphDatabase unknown = MakeDataset("bogus", 1.0, 5);
+  EXPECT_TRUE(unknown.graphs.empty());
+}
+
+TEST(DatasetsTest, StatsComputedCorrectlyOnKnownInput) {
+  GraphDatabase db;
+  Graph g1(3);
+  g1.AddEdge(0, 1);
+  Graph g2(5);
+  g2.AddEdge(0, 1);
+  g2.AddEdge(1, 2);
+  db.graphs = {g1, g2};
+  db.RefreshLabelCount();
+  const DatasetStats stats = ComputeDatasetStats(db);
+  EXPECT_EQ(stats.num_graphs, 2u);
+  EXPECT_DOUBLE_EQ(stats.avg_nodes, 4.0);
+  EXPECT_DOUBLE_EQ(stats.max_nodes, 5.0);
+  EXPECT_DOUBLE_EQ(stats.avg_edges, 1.5);
+}
+
+TEST(WorkloadTest, QueriesHaveRequestedSizes) {
+  const GraphDatabase db = MakeDataset("aids", 0.02, 11);
+  WorkloadSpec spec;
+  spec.num_queries = 60;
+  spec.seed = 5;
+  const auto workload = GenerateWorkload(db.graphs, spec);
+  ASSERT_EQ(workload.size(), 60u);
+  size_t full_size = 0;
+  for (const WorkloadQuery& wq : workload) {
+    EXPECT_TRUE(IsConnected(wq.graph));
+    EXPECT_LE(wq.graph.NumEdges(), wq.size_edges);
+    if (wq.graph.NumEdges() == wq.size_edges) ++full_size;
+    EXPECT_TRUE(std::set<size_t>({4, 8, 12, 16, 20}).count(wq.size_edges));
+  }
+  // AIDS-like graphs have >= 8 nodes, so nearly all queries reach full size.
+  EXPECT_GE(full_size, 55u);
+}
+
+TEST(WorkloadTest, Deterministic) {
+  const GraphDatabase db = MakeDataset("aids", 0.01, 11);
+  WorkloadSpec spec;
+  spec.num_queries = 20;
+  const auto a = GenerateWorkload(db.graphs, spec);
+  const auto b = GenerateWorkload(db.graphs, spec);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i].graph == b[i].graph);
+  }
+}
+
+TEST(WorkloadTest, ZipfConcentratesSourceGraphs) {
+  const GraphDatabase db = MakeDataset("aids", 0.05, 11);
+  WorkloadSpec uni = MakeWorkloadSpec("uni-uni", 1.4, 300, 9);
+  WorkloadSpec zipf = MakeWorkloadSpec("zipf-zipf", 2.0, 300, 9);
+  const auto uni_queries = GenerateWorkload(db.graphs, uni);
+  const auto zipf_queries = GenerateWorkload(db.graphs, zipf);
+  std::set<size_t> uni_sources, zipf_sources;
+  for (const auto& wq : uni_queries) uni_sources.insert(wq.source_graph);
+  for (const auto& wq : zipf_queries) zipf_sources.insert(wq.source_graph);
+  EXPECT_LT(zipf_sources.size(), uni_sources.size());
+}
+
+TEST(WorkloadTest, SpecParserCoversAllNames) {
+  for (const std::string& name : WorkloadNames()) {
+    const WorkloadSpec spec = MakeWorkloadSpec(name, 1.4, 10, 1);
+    EXPECT_EQ(spec.num_queries, 10u);
+    if (name == "uni-uni") {
+      EXPECT_EQ(spec.graph_dist, SelectionDist::kUniform);
+      EXPECT_EQ(spec.node_dist, SelectionDist::kUniform);
+    }
+    if (name == "zipf-uni") {
+      EXPECT_EQ(spec.graph_dist, SelectionDist::kZipf);
+      EXPECT_EQ(spec.node_dist, SelectionDist::kUniform);
+    }
+    if (name == "uni-zipf") {
+      EXPECT_EQ(spec.graph_dist, SelectionDist::kUniform);
+      EXPECT_EQ(spec.node_dist, SelectionDist::kZipf);
+    }
+    if (name == "zipf-zipf") {
+      EXPECT_EQ(spec.graph_dist, SelectionDist::kZipf);
+      EXPECT_EQ(spec.node_dist, SelectionDist::kZipf);
+    }
+  }
+}
+
+TEST(WorkloadTest, EmptyDatasetYieldsNoQueries) {
+  WorkloadSpec spec;
+  EXPECT_TRUE(GenerateWorkload({}, spec).empty());
+}
+
+}  // namespace
+}  // namespace igq

@@ -1,0 +1,277 @@
+// Tests for feature extraction: path keys, path enumeration counts,
+// canonical tree/cycle forms, subtree and cycle enumeration, fingerprints.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "features/canonical.h"
+#include "features/cycle_enumerator.h"
+#include "features/feature_set.h"
+#include "features/fingerprint.h"
+#include "features/path_enumerator.h"
+#include "features/tree_enumerator.h"
+#include "tests/test_util.h"
+
+namespace igq {
+namespace {
+
+using testing::CycleGraph;
+using testing::PathGraph;
+using testing::PermuteVertices;
+using testing::RandomConnectedGraph;
+using testing::StarGraph;
+using testing::Triangle;
+
+TEST(PathKeyTest, RoundTrip) {
+  const std::vector<Label> labels{3, 1, 4, 1};
+  const PathKey key = PackPathKey(labels);
+  EXPECT_EQ(PathKeyLength(key), 4u);
+  // Canonical orientation is the reverse here (1,4,1,3 < 3,1,4,1).
+  const std::vector<Label> expected{1, 4, 1, 3};
+  EXPECT_EQ(UnpackPathKey(key), expected);
+}
+
+TEST(PathKeyTest, ReverseInvariant) {
+  const std::vector<Label> forward{0, 5, 2};
+  const std::vector<Label> backward{2, 5, 0};
+  EXPECT_EQ(PackPathKey(forward), PackPathKey(backward));
+}
+
+TEST(PathKeyTest, DistinctSequencesDistinctKeys) {
+  std::set<PathKey> keys;
+  keys.insert(PackPathKey({0}));
+  keys.insert(PackPathKey({1}));
+  keys.insert(PackPathKey({0, 0}));
+  keys.insert(PackPathKey({0, 1}));
+  keys.insert(PackPathKey({1, 1}));
+  keys.insert(PackPathKey({0, 0, 0}));
+  EXPECT_EQ(keys.size(), 6u);
+}
+
+TEST(PathEnumeratorTest, LabeledPathCounts) {
+  // P3 with labels 0-1-2.
+  const Graph g = PathGraph({0, 1, 2});
+  PathEnumeratorOptions options;
+  const PathFeatureCounts counts = CountPathFeatures(g, options);
+  EXPECT_EQ(counts.size(), 6u);
+  EXPECT_EQ(counts.at(PackPathKey({0})), 1u);
+  EXPECT_EQ(counts.at(PackPathKey({1})), 1u);
+  EXPECT_EQ(counts.at(PackPathKey({2})), 1u);
+  EXPECT_EQ(counts.at(PackPathKey({0, 1})), 2u);  // both directions
+  EXPECT_EQ(counts.at(PackPathKey({1, 2})), 2u);
+  EXPECT_EQ(counts.at(PackPathKey({0, 1, 2})), 2u);
+}
+
+TEST(PathEnumeratorTest, TriangleCounts) {
+  const Graph g = Triangle();
+  const PathFeatureCounts counts = CountPathFeatures(g, {});
+  EXPECT_EQ(counts.at(PackPathKey({0})), 3u);
+  EXPECT_EQ(counts.at(PackPathKey({0, 0})), 6u);
+  EXPECT_EQ(counts.at(PackPathKey({0, 0, 0})), 6u);
+  EXPECT_EQ(counts.size(), 3u);  // no simple path with 4 distinct vertices
+}
+
+TEST(PathEnumeratorTest, MaxEdgesRespected) {
+  const Graph g = PathGraph({0, 0, 0, 0, 0, 0, 0});
+  PathEnumeratorOptions options;
+  options.max_edges = 2;
+  const PathFeatureCounts counts = CountPathFeatures(g, options);
+  for (const auto& [key, count] : counts) {
+    EXPECT_LE(PathKeyLength(key), 3u);
+  }
+}
+
+TEST(PathEnumeratorTest, SingleVerticesToggle) {
+  PathEnumeratorOptions options;
+  options.include_single_vertices = false;
+  const PathFeatureCounts counts = CountPathFeatures(PathGraph({0, 1}), options);
+  EXPECT_EQ(counts.size(), 1u);
+  EXPECT_TRUE(counts.count(PackPathKey({0, 1})) == 1);
+}
+
+TEST(PathEnumeratorTest, RangeSplitMatchesFull) {
+  Rng rng(5);
+  const Graph g = RandomConnectedGraph(rng, 20, 10, 3);
+  PathEnumeratorOptions options;
+  PathFeatureCounts full = CountPathFeatures(g, options);
+  PathFeatureCounts split;
+  const VertexId mid = 10;
+  EnumeratePathsFromRange(g, options, 0, mid,
+                          [&split](PathKey key, VertexId) { ++split[key]; });
+  EnumeratePathsFromRange(g, options, mid,
+                          static_cast<VertexId>(g.NumVertices()),
+                          [&split](PathKey key, VertexId) { ++split[key]; });
+  EXPECT_EQ(full, split);
+}
+
+TEST(PathEnumeratorTest, QueryFeatureCountsNeverExceedSupergraphCounts) {
+  // The correctness backbone of every counting filter in the repo.
+  Rng rng(17);
+  for (int round = 0; round < 20; ++round) {
+    const Graph target = RandomConnectedGraph(rng, 16, 8, 3);
+    const Graph sub = testing::RandomSubgraphOf(rng, target, 6);
+    const PathFeatureCounts target_counts = CountPathFeatures(target, {});
+    const PathFeatureCounts sub_counts = CountPathFeatures(sub, {});
+    for (const auto& [key, count] : sub_counts) {
+      auto it = target_counts.find(key);
+      ASSERT_NE(it, target_counts.end()) << "round " << round;
+      EXPECT_GE(it->second, count) << "round " << round;
+    }
+  }
+}
+
+TEST(CanonicalTest, TreeInvariantUnderPermutation) {
+  Rng rng(3);
+  // A small labeled tree.
+  Graph tree;
+  tree.AddVertex(1);
+  tree.AddVertex(2);
+  tree.AddVertex(2);
+  tree.AddVertex(3);
+  tree.AddVertex(1);
+  tree.AddEdge(0, 1);
+  tree.AddEdge(1, 2);
+  tree.AddEdge(1, 3);
+  tree.AddEdge(3, 4);
+  const std::string canonical = TreeCanonicalForm(tree);
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_EQ(TreeCanonicalForm(PermuteVertices(rng, tree)), canonical);
+  }
+}
+
+TEST(CanonicalTest, DifferentTreesDiffer) {
+  EXPECT_NE(TreeCanonicalForm(PathGraph({0, 0, 0, 0})),
+            TreeCanonicalForm(StarGraph(0, {0, 0, 0})));
+  EXPECT_NE(TreeCanonicalForm(PathGraph({0, 1})),
+            TreeCanonicalForm(PathGraph({0, 0})));
+}
+
+TEST(CanonicalTest, SingleVertexTree) {
+  Graph v;
+  v.AddVertex(7);
+  EXPECT_EQ(TreeCanonicalForm(v), "(7)");
+}
+
+TEST(CanonicalTest, CycleRotationReflectionInvariant) {
+  const std::string canonical = CycleCanonicalForm({1, 2, 3, 4});
+  EXPECT_EQ(CycleCanonicalForm({2, 3, 4, 1}), canonical);
+  EXPECT_EQ(CycleCanonicalForm({4, 3, 2, 1}), canonical);
+  EXPECT_EQ(CycleCanonicalForm({1, 4, 3, 2}), canonical);
+}
+
+TEST(CanonicalTest, CycleLengthAndLabelsDistinguish) {
+  EXPECT_NE(CycleCanonicalForm({0, 0, 0}), CycleCanonicalForm({0, 0, 0, 0}));
+  EXPECT_NE(CycleCanonicalForm({0, 0, 1}), CycleCanonicalForm({0, 1, 1}));
+}
+
+TEST(TreeEnumeratorTest, PathGraphSubtreeInstances) {
+  // P3: 3 single vertices + 2 single edges + 1 full path = 6 instances.
+  const TreeFeatureResult result = CountTreeFeatures(PathGraph({0, 0, 0}), {});
+  EXPECT_FALSE(result.saturated);
+  size_t instances = 0;
+  for (const auto& [form, count] : result.counts) instances += count;
+  EXPECT_EQ(instances, 6u);
+}
+
+TEST(TreeEnumeratorTest, TriangleSubtreeInstances) {
+  // Triangle: 3 vertices + 3 edges + 3 two-edge paths = 9 instances.
+  const TreeFeatureResult result = CountTreeFeatures(Triangle(), {});
+  size_t instances = 0;
+  for (const auto& [form, count] : result.counts) instances += count;
+  EXPECT_EQ(instances, 9u);
+}
+
+TEST(TreeEnumeratorTest, MaxVerticesRespected) {
+  TreeEnumeratorOptions options;
+  options.max_vertices = 2;
+  const TreeFeatureResult result =
+      CountTreeFeatures(PathGraph({0, 0, 0, 0}), options);
+  // 4 single vertices (one form) + 3 edges (one form).
+  EXPECT_EQ(result.counts.size(), 2u);
+}
+
+TEST(TreeEnumeratorTest, SaturationFlag) {
+  TreeEnumeratorOptions options;
+  options.max_instances = 3;
+  Rng rng(4);
+  const TreeFeatureResult result =
+      CountTreeFeatures(RandomConnectedGraph(rng, 10, 10, 2), options);
+  EXPECT_TRUE(result.saturated);
+}
+
+TEST(TreeEnumeratorTest, SubtreeFeaturesOfSubgraphAppearInSupergraph) {
+  Rng rng(6);
+  for (int round = 0; round < 10; ++round) {
+    const Graph target = RandomConnectedGraph(rng, 12, 4, 2);
+    const Graph sub = testing::RandomSubgraphOf(rng, target, 5);
+    const auto target_features = CountTreeFeatures(target, {});
+    const auto sub_features = CountTreeFeatures(sub, {});
+    ASSERT_FALSE(target_features.saturated);
+    for (const auto& [form, count] : sub_features.counts) {
+      EXPECT_TRUE(target_features.counts.count(form) == 1)
+          << "round " << round << " missing " << form;
+    }
+  }
+}
+
+TEST(CycleEnumeratorTest, TriangleHasOneCycle) {
+  const CycleFeatureResult result = CountCycleFeatures(Triangle(), {});
+  ASSERT_EQ(result.counts.size(), 1u);
+  EXPECT_EQ(result.counts.begin()->second, 1u);
+}
+
+TEST(CycleEnumeratorTest, K4CycleCount) {
+  Graph k4(4);
+  for (VertexId u = 0; u < 4; ++u) {
+    for (VertexId w = u + 1; w < 4; ++w) k4.AddEdge(u, w);
+  }
+  const CycleFeatureResult result = CountCycleFeatures(k4, {});
+  size_t cycles = 0;
+  for (const auto& [form, count] : result.counts) cycles += count;
+  EXPECT_EQ(cycles, 7u);  // 4 triangles + 3 four-cycles
+}
+
+TEST(CycleEnumeratorTest, AcyclicGraphHasNone) {
+  const CycleFeatureResult result =
+      CountCycleFeatures(PathGraph({0, 1, 2, 3}), {});
+  EXPECT_TRUE(result.counts.empty());
+}
+
+TEST(CycleEnumeratorTest, MaxLengthRespected) {
+  CycleEnumeratorOptions options;
+  options.max_vertices = 3;
+  const CycleFeatureResult result =
+      CountCycleFeatures(CycleGraph({0, 0, 0, 0}), options);
+  EXPECT_TRUE(result.counts.empty());  // the only cycle has 4 vertices
+}
+
+TEST(FingerprintTest, SubsetProperty) {
+  Fingerprint a(256), b(256);
+  a.AddFeature("x");
+  a.AddFeature("y");
+  b.AddFeature("x");
+  EXPECT_TRUE(a.CoversAllBitsOf(b));
+  EXPECT_FALSE(b.CoversAllBitsOf(a));
+  b.AddFeature("z");
+  EXPECT_FALSE(a.CoversAllBitsOf(b));
+}
+
+TEST(FingerprintTest, SaturateCoversEverything) {
+  Fingerprint a(128), b(128);
+  b.AddFeature("anything");
+  b.AddFeature("else");
+  a.Saturate();
+  EXPECT_TRUE(a.CoversAllBitsOf(b));
+  EXPECT_EQ(a.PopCount(), 128u);
+}
+
+TEST(FingerprintTest, DeterministicHashing) {
+  Fingerprint a(4096), b(4096);
+  a.AddFeature("feature-1");
+  b.AddFeature("feature-1");
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.PopCount(), 1u);
+}
+
+}  // namespace
+}  // namespace igq

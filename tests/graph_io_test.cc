@@ -1,0 +1,68 @@
+// Tests for the graph collection text format.
+#include "graph/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tests/test_util.h"
+
+namespace igq {
+namespace {
+
+using testing::RandomConnectedGraph;
+
+TEST(GraphIoTest, RoundTripPreservesGraphs) {
+  Rng rng(77);
+  std::vector<Graph> graphs;
+  for (int i = 0; i < 5; ++i) {
+    graphs.push_back(RandomConnectedGraph(rng, 6 + rng.Below(10), 4, 5));
+  }
+  std::stringstream buffer;
+  WriteGraphs(buffer, graphs);
+  const auto loaded = ReadGraphs(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), graphs.size());
+  for (size_t i = 0; i < graphs.size(); ++i) {
+    EXPECT_TRUE((*loaded)[i] == graphs[i]) << "graph " << i;
+  }
+}
+
+TEST(GraphIoTest, EmptyStreamIsEmptyCollection) {
+  std::stringstream buffer;
+  const auto loaded = ReadGraphs(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->empty());
+}
+
+TEST(GraphIoTest, MalformedHeaderRejected) {
+  std::stringstream buffer("not-a-header\n3\n");
+  EXPECT_FALSE(ReadGraphs(buffer).has_value());
+}
+
+TEST(GraphIoTest, TruncatedBodyRejected) {
+  std::stringstream buffer("#g0\n3\n1\n2\n");  // missing third label
+  EXPECT_FALSE(ReadGraphs(buffer).has_value());
+}
+
+TEST(GraphIoTest, OutOfRangeEdgeRejected) {
+  std::stringstream buffer("#g0\n2\n0\n0\n1\n0 7\n");
+  EXPECT_FALSE(ReadGraphs(buffer).has_value());
+}
+
+TEST(GraphIoTest, FileRoundTrip) {
+  Rng rng(3);
+  std::vector<Graph> graphs{RandomConnectedGraph(rng, 8, 3, 2)};
+  const std::string path = ::testing::TempDir() + "/igq_graphs.txt";
+  ASSERT_TRUE(WriteGraphsToFile(path, graphs));
+  const auto loaded = ReadGraphsFromFile(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE((*loaded)[0] == graphs[0]);
+}
+
+TEST(GraphIoTest, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(ReadGraphsFromFile("/nonexistent/igq.txt").has_value());
+}
+
+}  // namespace
+}  // namespace igq

@@ -1,0 +1,178 @@
+// Unit tests for the core Graph type and basic graph algorithms.
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "tests/test_util.h"
+
+namespace igq {
+namespace {
+
+using testing::CycleGraph;
+using testing::PathGraph;
+using testing::RandomConnectedGraph;
+using testing::StarGraph;
+using testing::Triangle;
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.NumVertices(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_TRUE(g.Empty());
+  EXPECT_EQ(g.AverageDegree(), 0.0);
+  EXPECT_EQ(g.CountDistinctLabels(), 0u);
+}
+
+TEST(GraphTest, AddVertexAssignsSequentialIds) {
+  Graph g;
+  EXPECT_EQ(g.AddVertex(5), 0u);
+  EXPECT_EQ(g.AddVertex(7), 1u);
+  EXPECT_EQ(g.AddVertex(5), 2u);
+  EXPECT_EQ(g.NumVertices(), 3u);
+  EXPECT_EQ(g.label(0), 5u);
+  EXPECT_EQ(g.label(1), 7u);
+  EXPECT_EQ(g.CountDistinctLabels(), 2u);
+  EXPECT_EQ(g.LabelUpperBound(), 8u);
+}
+
+TEST(GraphTest, AddEdgeIsUndirected) {
+  Graph g(3);
+  EXPECT_TRUE(g.AddEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_EQ(g.NumEdges(), 1u);
+}
+
+TEST(GraphTest, AddEdgeRejectsDuplicatesAndSelfLoops) {
+  Graph g(3);
+  EXPECT_TRUE(g.AddEdge(0, 1));
+  EXPECT_FALSE(g.AddEdge(1, 0));  // duplicate (reversed)
+  EXPECT_FALSE(g.AddEdge(0, 0));  // self loop
+  EXPECT_FALSE(g.AddEdge(0, 7));  // out of range
+  EXPECT_EQ(g.NumEdges(), 1u);
+}
+
+TEST(GraphTest, NeighborsAreSorted) {
+  Graph g(5);
+  g.AddEdge(2, 4);
+  g.AddEdge(2, 0);
+  g.AddEdge(2, 3);
+  g.AddEdge(2, 1);
+  const std::vector<VertexId> expected{0, 1, 3, 4};
+  EXPECT_EQ(g.Neighbors(2), expected);
+  EXPECT_EQ(g.Degree(2), 4u);
+}
+
+TEST(GraphTest, AverageDegree) {
+  Graph g = Triangle();
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 2.0);
+}
+
+TEST(GraphTest, EqualityIsStructural) {
+  Graph a = PathGraph({1, 2, 3});
+  Graph b = PathGraph({1, 2, 3});
+  EXPECT_TRUE(a == b);
+  b.set_label(0, 9);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(GraphTest, MemoryBytesGrowsWithSize) {
+  Graph small = PathGraph({0, 1});
+  Graph big = PathGraph(std::vector<Label>(100, 0));
+  EXPECT_GT(big.MemoryBytes(), small.MemoryBytes());
+}
+
+TEST(GraphTest, DebugStringMentionsCounts) {
+  const std::string s = Triangle(1, 2, 3).DebugString();
+  EXPECT_NE(s.find("v=3"), std::string::npos);
+  EXPECT_NE(s.find("e=3"), std::string::npos);
+}
+
+TEST(AlgorithmsTest, BfsOrderVisitsComponentOnce) {
+  Graph g = PathGraph({0, 0, 0, 0});
+  const std::vector<VertexId> order = BfsOrder(g, 0);
+  EXPECT_EQ(order.size(), 4u);
+  EXPECT_EQ(order.front(), 0u);
+}
+
+TEST(AlgorithmsTest, BfsOrderIgnoresOtherComponents) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 3);
+  EXPECT_EQ(BfsOrder(g, 0).size(), 2u);
+  EXPECT_EQ(BfsOrder(g, 2).size(), 2u);
+}
+
+TEST(AlgorithmsTest, ConnectedComponentsCountsAndLabels) {
+  Graph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(3, 4);
+  const ComponentLabeling labels = ConnectedComponents(g);
+  EXPECT_EQ(labels.num_components, 3u);
+  EXPECT_EQ(labels.component_of[0], labels.component_of[1]);
+  EXPECT_EQ(labels.component_of[3], labels.component_of[4]);
+  EXPECT_NE(labels.component_of[0], labels.component_of[2]);
+}
+
+TEST(AlgorithmsTest, IsConnected) {
+  EXPECT_TRUE(IsConnected(Graph()));
+  EXPECT_TRUE(IsConnected(Triangle()));
+  Graph g(2);
+  EXPECT_FALSE(IsConnected(g));
+}
+
+TEST(AlgorithmsTest, InducedSubgraphKeepsLabelsAndEdges) {
+  Graph g = CycleGraph({1, 2, 3, 4});
+  Graph sub = InducedSubgraph(g, {0, 1, 2});
+  EXPECT_EQ(sub.NumVertices(), 3u);
+  EXPECT_EQ(sub.NumEdges(), 2u);  // 0-1 and 1-2; 0-2 is not an edge of C4
+  EXPECT_EQ(sub.label(0), 1u);
+  EXPECT_EQ(sub.label(2), 3u);
+}
+
+TEST(AlgorithmsTest, BfsNeighborhoodQueryHitsTargetSize) {
+  Rng rng(7);
+  Graph g = RandomConnectedGraph(rng, 40, 20, 4);
+  for (size_t target : {4u, 8u, 12u}) {
+    Graph q = BfsNeighborhoodQuery(g, 0, target);
+    EXPECT_EQ(q.NumEdges(), target);
+    EXPECT_TRUE(IsConnected(q));
+  }
+}
+
+TEST(AlgorithmsTest, BfsNeighborhoodQueryExhaustsSmallComponent) {
+  Graph g = PathGraph({0, 0, 0});  // only 2 edges available
+  Graph q = BfsNeighborhoodQuery(g, 0, 10);
+  EXPECT_EQ(q.NumEdges(), 2u);
+}
+
+TEST(AlgorithmsTest, BfsNeighborhoodQueryIsActuallyASubgraph) {
+  Rng rng(99);
+  for (int round = 0; round < 20; ++round) {
+    Graph g = RandomConnectedGraph(rng, 25, 15, 3);
+    Graph q = BfsNeighborhoodQuery(
+        g, static_cast<VertexId>(rng.Below(25)), 8);
+    EXPECT_TRUE(Vf2Matcher().Contains(q, g)) << "round " << round;
+  }
+}
+
+TEST(AlgorithmsTest, LabelHistogram) {
+  Graph g = PathGraph({2, 2, 0});
+  const std::vector<size_t> histogram = LabelHistogram(g);
+  ASSERT_EQ(histogram.size(), 3u);
+  EXPECT_EQ(histogram[0], 1u);
+  EXPECT_EQ(histogram[1], 0u);
+  EXPECT_EQ(histogram[2], 2u);
+}
+
+TEST(AlgorithmsTest, StarGraphShape) {
+  Graph g = StarGraph(9, {1, 2, 3});
+  EXPECT_EQ(g.NumVertices(), 4u);
+  EXPECT_EQ(g.NumEdges(), 3u);
+  EXPECT_EQ(g.Degree(0), 3u);
+}
+
+}  // namespace
+}  // namespace igq

@@ -1,0 +1,215 @@
+// Tests for the subgraph-isomorphism layer: VF2 against hand-constructed
+// cases, VF2 vs. Ullmann cross-validation on random instances (property
+// style), embedding counting, restricted matching, and the §5.1 cost model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "isomorphism/cost_model.h"
+#include "isomorphism/ullmann.h"
+#include "isomorphism/vf2.h"
+#include "tests/test_util.h"
+
+namespace igq {
+namespace {
+
+using testing::CycleGraph;
+using testing::PathGraph;
+using testing::PermuteVertices;
+using testing::RandomConnectedGraph;
+using testing::RandomSubgraphOf;
+using testing::StarGraph;
+using testing::Triangle;
+
+TEST(Vf2Test, EmptyPatternMatchesAnything) {
+  Graph pattern;
+  EXPECT_TRUE(Vf2Matcher().Contains(pattern, Triangle()));
+  EXPECT_EQ(Vf2Matcher::CountEmbeddings(pattern, Triangle()), 1u);
+}
+
+TEST(Vf2Test, SingleVertexLabelMatch) {
+  Graph pattern;
+  pattern.AddVertex(2);
+  Graph target = PathGraph({1, 2, 3});
+  EXPECT_TRUE(Vf2Matcher().Contains(pattern, target));
+  pattern.set_label(0, 9);
+  EXPECT_FALSE(Vf2Matcher().Contains(pattern, target));
+}
+
+TEST(Vf2Test, TriangleInTriangle) {
+  EXPECT_TRUE(Vf2Matcher().Contains(Triangle(), Triangle()));
+}
+
+TEST(Vf2Test, TriangleNotInPath) {
+  EXPECT_FALSE(Vf2Matcher().Contains(Triangle(), PathGraph({0, 0, 0, 0})));
+}
+
+TEST(Vf2Test, PathInCycleButNotConverse) {
+  Graph path = PathGraph({0, 0, 0});
+  Graph cycle = CycleGraph({0, 0, 0, 0});
+  EXPECT_TRUE(Vf2Matcher().Contains(path, cycle));
+  EXPECT_FALSE(Vf2Matcher().Contains(cycle, path));
+}
+
+TEST(Vf2Test, LabelsMustMatch) {
+  Graph pattern = PathGraph({1, 2});
+  EXPECT_TRUE(Vf2Matcher().Contains(pattern, PathGraph({2, 1, 3})));
+  EXPECT_FALSE(Vf2Matcher().Contains(pattern, PathGraph({1, 3, 2})));
+}
+
+TEST(Vf2Test, NonInducedSemantics) {
+  // Pattern path a-b-c embeds into triangle even though the triangle has the
+  // extra a-c edge (monomorphism, not induced isomorphism).
+  Graph pattern = PathGraph({0, 0, 0});
+  EXPECT_TRUE(Vf2Matcher().Contains(pattern, Triangle()));
+}
+
+TEST(Vf2Test, InjectivityEnforced) {
+  // Two disconnected pattern vertices of the same label need two distinct
+  // target vertices.
+  Graph pattern(2);  // labels {0, 0}, no edges
+  Graph target;
+  target.AddVertex(0);
+  EXPECT_FALSE(Vf2Matcher().Contains(pattern, target));
+  target.AddVertex(0);
+  EXPECT_TRUE(Vf2Matcher().Contains(pattern, target));
+}
+
+TEST(Vf2Test, DisconnectedPattern) {
+  Graph pattern(4);
+  pattern.AddEdge(0, 1);
+  pattern.AddEdge(2, 3);
+  Graph target = PathGraph({0, 0, 0, 0, 0});
+  EXPECT_TRUE(Vf2Matcher().Contains(pattern, target));
+}
+
+TEST(Vf2Test, EmbeddingIsValid) {
+  Rng rng(21);
+  for (int round = 0; round < 25; ++round) {
+    Graph target = RandomConnectedGraph(rng, 18, 10, 3);
+    Graph pattern = RandomSubgraphOf(rng, target, 6);
+    auto embedding = Vf2Matcher::FindEmbedding(pattern, target);
+    ASSERT_TRUE(embedding.has_value()) << "round " << round;
+    // Check the mapping is a proper monomorphism.
+    std::vector<bool> used(target.NumVertices(), false);
+    for (VertexId u = 0; u < pattern.NumVertices(); ++u) {
+      const VertexId image = (*embedding)[u];
+      ASSERT_LT(image, target.NumVertices());
+      EXPECT_FALSE(used[image]) << "not injective";
+      used[image] = true;
+      EXPECT_EQ(pattern.label(u), target.label(image));
+    }
+    for (VertexId u = 0; u < pattern.NumVertices(); ++u) {
+      for (VertexId w : pattern.Neighbors(u)) {
+        if (u < w) {
+          EXPECT_TRUE(target.HasEdge((*embedding)[u], (*embedding)[w]));
+        }
+      }
+    }
+  }
+}
+
+TEST(Vf2Test, CountEmbeddingsTriangleInK4) {
+  // K4, uniform labels: each ordered choice of 3 distinct vertices is an
+  // embedding of the triangle: 4*3*2 = 24.
+  Graph k4(4);
+  for (VertexId u = 0; u < 4; ++u) {
+    for (VertexId w = u + 1; w < 4; ++w) k4.AddEdge(u, w);
+  }
+  EXPECT_EQ(Vf2Matcher::CountEmbeddings(Triangle(), k4), 24u);
+}
+
+TEST(Vf2Test, CountEmbeddingsRespectsLimit) {
+  Graph k4(4);
+  for (VertexId u = 0; u < 4; ++u) {
+    for (VertexId w = u + 1; w < 4; ++w) k4.AddEdge(u, w);
+  }
+  EXPECT_EQ(Vf2Matcher::CountEmbeddings(Triangle(), k4, 5), 5u);
+}
+
+TEST(Vf2Test, RestrictedEmbeddingHonorsMask) {
+  Graph target = PathGraph({0, 0, 0, 0, 0, 0});
+  Graph pattern = PathGraph({0, 0, 0});
+  std::vector<bool> allowed(6, false);
+  allowed[0] = allowed[1] = true;  // too small a region
+  EXPECT_FALSE(
+      Vf2Matcher::FindEmbeddingRestricted(pattern, target, &allowed).has_value());
+  allowed[2] = true;
+  EXPECT_TRUE(
+      Vf2Matcher::FindEmbeddingRestricted(pattern, target, &allowed).has_value());
+}
+
+TEST(Vf2Test, SearchStatesExposed) {
+  Vf2Matcher::FindEmbedding(Triangle(), Triangle());
+  EXPECT_GT(Vf2Matcher::LastSearchStates(), 0u);
+}
+
+TEST(UllmannTest, AgreesOnHandCases) {
+  UllmannMatcher ullmann;
+  EXPECT_TRUE(ullmann.Contains(Triangle(), Triangle()));
+  EXPECT_FALSE(ullmann.Contains(Triangle(), PathGraph({0, 0, 0, 0})));
+  EXPECT_TRUE(ullmann.Contains(PathGraph({1, 2}), PathGraph({2, 1, 3})));
+  EXPECT_TRUE(ullmann.Contains(Graph(), Triangle()));
+}
+
+// Property: VF2 and Ullmann agree on random instances (positive pairs by
+// construction and random pairs that may or may not match).
+class MatcherAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatcherAgreementTest, Vf2MatchesUllmann) {
+  Rng rng(1000 + GetParam());
+  Vf2Matcher vf2;
+  UllmannMatcher ullmann;
+
+  Graph target = RandomConnectedGraph(rng, 14, 8, 3);
+  // Positive instance.
+  Graph sub = RandomSubgraphOf(rng, target, 5);
+  EXPECT_TRUE(vf2.Contains(sub, target));
+  EXPECT_TRUE(ullmann.Contains(sub, target));
+  // A permuted copy is still a subgraph.
+  Graph permuted = PermuteVertices(rng, sub);
+  EXPECT_TRUE(vf2.Contains(permuted, target));
+  // Random (possibly negative) instance: the two algorithms must agree.
+  Graph random_pattern = RandomConnectedGraph(rng, 5, 3, 3);
+  EXPECT_EQ(vf2.Contains(random_pattern, target),
+            ullmann.Contains(random_pattern, target));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, MatcherAgreementTest,
+                         ::testing::Range(0, 30));
+
+TEST(CostModelTest, ZeroWhenPatternLarger) {
+  EXPECT_TRUE(IsomorphismCost(5, 10, 4).IsZero());
+}
+
+TEST(CostModelTest, MatchesClosedFormSmall) {
+  // L=2, n=2, Ni=3: c = 3 * 3! / (2^3 * 1!) = 18/8 = 2.25.
+  EXPECT_NEAR(IsomorphismCost(2, 2, 3).ToLinear(), 2.25, 1e-9);
+}
+
+TEST(CostModelTest, SingleLabelNoPenalty) {
+  // L=1: c = Ni * Ni!/(Ni-n)!.
+  EXPECT_NEAR(IsomorphismCost(1, 1, 3).ToLinear(), 9.0, 1e-9);
+}
+
+TEST(CostModelTest, MonotoneInTargetSize) {
+  const LogValue small = IsomorphismCost(10, 5, 50);
+  const LogValue big = IsomorphismCost(10, 5, 500);
+  EXPECT_TRUE(big > small);
+}
+
+TEST(CostModelTest, DecreasingInLabelCount) {
+  const LogValue few_labels = IsomorphismCost(2, 5, 50);
+  const LogValue many_labels = IsomorphismCost(40, 5, 50);
+  EXPECT_TRUE(few_labels > many_labels);
+}
+
+TEST(CostModelTest, HugeValuesStayFinite) {
+  // Paper-scale: Ni = 3000, n = 20 — astronomically large in linear space.
+  const LogValue cost = IsomorphismCost(10, 20, 3000);
+  EXPECT_TRUE(std::isfinite(cost.log()));
+  EXPECT_GT(cost.log(), 0.0);
+}
+
+}  // namespace
+}  // namespace igq

@@ -1,0 +1,302 @@
+// Tests for the host methods (GGSX, Grapes, CT-Index) and the shared path
+// trie: no false negatives in filtering, end-to-end correctness against the
+// Ullmann brute force, parallel build equivalence, memory accounting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "methods/ct_index.h"
+#include "methods/feature_count_index.h"
+#include "methods/ggsx.h"
+#include "methods/grapes.h"
+#include "methods/path_trie.h"
+#include "methods/registry.h"
+#include "tests/test_util.h"
+
+namespace igq {
+namespace {
+
+using testing::BruteForceSubgraphAnswer;
+using testing::BruteForceSupergraphAnswer;
+using testing::RandomConnectedGraph;
+using testing::RandomSubgraphOf;
+
+GraphDatabase MakeSmallDb(uint64_t seed, size_t num_graphs = 25) {
+  Rng rng(seed);
+  GraphDatabase db;
+  for (size_t i = 0; i < num_graphs; ++i) {
+    db.graphs.push_back(
+        RandomConnectedGraph(rng, 10 + rng.Below(12), 4 + rng.Below(8), 3));
+  }
+  db.RefreshLabelCount();
+  return db;
+}
+
+std::vector<GraphId> RunMethod(SubgraphMethod& method, const Graph& query) {
+  auto prepared = method.Prepare(query);
+  std::vector<GraphId> answer;
+  for (GraphId id : method.Filter(*prepared)) {
+    if (method.Verify(*prepared, id)) answer.push_back(id);
+  }
+  std::sort(answer.begin(), answer.end());
+  return answer;
+}
+
+TEST(PathTrieTest, FindMissingReturnsNull) {
+  PathTrie trie;
+  EXPECT_EQ(trie.Find(PackPathKey({1, 2})), nullptr);
+  trie.Add(PackPathKey({1, 2}), 0, 3);
+  EXPECT_EQ(trie.Find(PackPathKey({1, 3})), nullptr);
+  EXPECT_EQ(trie.Find(PackPathKey({1})), nullptr);  // prefix has no postings
+}
+
+TEST(PathTrieTest, PostingsStoredPerGraph) {
+  PathTrie trie;
+  trie.Add(PackPathKey({1, 2}), 0, 3);
+  trie.Add(PackPathKey({1, 2}), 4, 7);
+  const auto* postings = trie.Find(PackPathKey({1, 2}));
+  ASSERT_NE(postings, nullptr);
+  ASSERT_EQ(postings->size(), 2u);
+  EXPECT_EQ((*postings)[0].graph_id, 0u);
+  EXPECT_EQ((*postings)[0].count, 3u);
+  EXPECT_EQ((*postings)[1].graph_id, 4u);
+}
+
+TEST(PathTrieTest, LocationsDedupedAndSorted) {
+  PathTrie trie(/*store_locations=*/true);
+  std::vector<VertexId> locations{5, 2, 5, 1};
+  trie.Add(PackPathKey({0, 0}), 0, 4, &locations);
+  const auto* postings = trie.Find(PackPathKey({0, 0}));
+  ASSERT_NE(postings, nullptr);
+  const std::vector<VertexId> expected{1, 2, 5};
+  EXPECT_EQ((*postings)[0].locations, expected);
+}
+
+TEST(PathTrieTest, SharedPrefixesShareNodes) {
+  PathTrie trie;
+  trie.Add(PackPathKey({1, 2, 3}), 0, 1);
+  const size_t nodes_before = trie.NumNodes();
+  trie.Add(PackPathKey({1, 2, 4}), 0, 1);
+  // Only one new node for the diverging last label.
+  EXPECT_EQ(trie.NumNodes(), nodes_before + 1);
+  EXPECT_EQ(trie.NumFeatures(), 2u);
+}
+
+TEST(PathTrieTest, MemoryBytesPositive) {
+  PathTrie trie;
+  const size_t empty_bytes = trie.MemoryBytes();
+  trie.Add(PackPathKey({1, 2, 3}), 0, 1);
+  EXPECT_GT(trie.MemoryBytes(), empty_bytes);
+}
+
+// ---- Parameterized correctness over all registered methods. ----
+
+class MethodCorrectnessTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(MethodCorrectnessTest, NoFalseNegativesInFilter) {
+  GraphDatabase db = MakeSmallDb(42);
+  auto method = CreateSubgraphMethod(GetParam());
+  ASSERT_NE(method, nullptr);
+  method->Build(db);
+
+  Rng rng(7);
+  for (int round = 0; round < 15; ++round) {
+    const Graph& source = db.graphs[rng.Below(db.graphs.size())];
+    const Graph query = RandomSubgraphOf(rng, source, 4 + rng.Below(6));
+    auto prepared = method->Prepare(query);
+    std::vector<GraphId> candidates = method->Filter(*prepared);
+    std::sort(candidates.begin(), candidates.end());
+    for (GraphId truth : BruteForceSubgraphAnswer(db.graphs, query)) {
+      EXPECT_TRUE(std::binary_search(candidates.begin(), candidates.end(),
+                                     truth))
+          << GetParam() << " dropped graph " << truth << " in round " << round;
+    }
+  }
+}
+
+TEST_P(MethodCorrectnessTest, FilterPlusVerifyMatchesBruteForce) {
+  GraphDatabase db = MakeSmallDb(11);
+  auto method = CreateSubgraphMethod(GetParam());
+  ASSERT_NE(method, nullptr);
+  method->Build(db);
+
+  Rng rng(13);
+  for (int round = 0; round < 15; ++round) {
+    // Mix guaranteed-positive and random queries.
+    Graph query;
+    if (round % 2 == 0) {
+      const Graph& source = db.graphs[rng.Below(db.graphs.size())];
+      query = RandomSubgraphOf(rng, source, 4 + rng.Below(8));
+    } else {
+      query = RandomConnectedGraph(rng, 5 + rng.Below(4), 2, 3);
+    }
+    EXPECT_EQ(RunMethod(*method, query),
+              BruteForceSubgraphAnswer(db.graphs, query))
+        << GetParam() << " round " << round;
+  }
+}
+
+TEST_P(MethodCorrectnessTest, IndexMemoryAccounted) {
+  GraphDatabase db = MakeSmallDb(3, 8);
+  auto method = CreateSubgraphMethod(GetParam());
+  method->Build(db);
+  EXPECT_GT(method->IndexMemoryBytes(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, MethodCorrectnessTest,
+                         ::testing::ValuesIn(KnownSubgraphMethods()));
+
+TEST(RegistryTest, UnknownNameYieldsNull) {
+  EXPECT_EQ(CreateSubgraphMethod("nope"), nullptr);
+}
+
+TEST(RegistryTest, VerifyThreads) {
+  EXPECT_EQ(MethodVerifyThreads("grapes6"), 6u);
+  EXPECT_EQ(MethodVerifyThreads("grapes"), 1u);
+  EXPECT_EQ(MethodVerifyThreads("ggsx"), 1u);
+}
+
+TEST(GrapesTest, ParallelBuildEquivalentToSerial) {
+  GraphDatabase db = MakeSmallDb(21);
+  GrapesMethod serial(1);
+  GrapesMethod parallel(6);
+  serial.Build(db);
+  parallel.Build(db);
+
+  Rng rng(5);
+  for (int round = 0; round < 10; ++round) {
+    const Graph& source = db.graphs[rng.Below(db.graphs.size())];
+    const Graph query = RandomSubgraphOf(rng, source, 6);
+    auto prepared_s = serial.Prepare(query);
+    auto prepared_p = parallel.Prepare(query);
+    EXPECT_EQ(serial.Filter(*prepared_s), parallel.Filter(*prepared_p));
+    for (GraphId id : serial.Filter(*prepared_s)) {
+      EXPECT_EQ(serial.Verify(*prepared_s, id),
+                parallel.Verify(*prepared_p, id));
+    }
+  }
+}
+
+TEST(GrapesTest, LocationRestrictedVerifyAgreesWithPlainVf2) {
+  GraphDatabase db = MakeSmallDb(31);
+  GrapesMethod grapes(1);
+  GgsxMethod ggsx;
+  grapes.Build(db);
+  ggsx.Build(db);
+  Rng rng(9);
+  for (int round = 0; round < 20; ++round) {
+    Graph query;
+    if (round % 2 == 0) {
+      query = RandomSubgraphOf(rng, db.graphs[rng.Below(db.graphs.size())], 6);
+    } else {
+      query = RandomConnectedGraph(rng, 6, 3, 3);
+    }
+    EXPECT_EQ(RunMethod(grapes, query), RunMethod(ggsx, query))
+        << "round " << round;
+  }
+}
+
+TEST(CtIndexTest, LargerConfigurationStillCorrect) {
+  GraphDatabase db = MakeSmallDb(41, 12);
+  CtIndexMethod::Options options;
+  options.max_tree_vertices = 7;
+  options.max_cycle_vertices = 9;
+  options.fingerprint_bits = 8192;
+  CtIndexMethod method(options);
+  method.Build(db);
+  Rng rng(2);
+  for (int round = 0; round < 8; ++round) {
+    const Graph query =
+        RandomSubgraphOf(rng, db.graphs[rng.Below(db.graphs.size())], 5);
+    EXPECT_EQ(RunMethod(method, query),
+              BruteForceSubgraphAnswer(db.graphs, query));
+  }
+}
+
+TEST(CtIndexTest, SaturatedGraphNeverFiltered) {
+  GraphDatabase db;
+  Rng rng(50);
+  db.graphs.push_back(RandomConnectedGraph(rng, 20, 30, 2));  // dense
+  db.graphs.push_back(RandomConnectedGraph(rng, 8, 2, 2));
+  db.RefreshLabelCount();
+  CtIndexMethod::Options options;
+  options.max_instances_per_graph = 10;  // force saturation on graph 0
+  CtIndexMethod method(options);
+  method.Build(db);
+  const Graph query = RandomSubgraphOf(rng, db.graphs[0], 6);
+  auto prepared = method.Prepare(query);
+  const std::vector<GraphId> candidates = method.Filter(*prepared);
+  EXPECT_TRUE(std::find(candidates.begin(), candidates.end(), 0u) !=
+              candidates.end());
+}
+
+// ---- FeatureCountIndex (Algorithms 1-2) and the supergraph baseline. ----
+
+TEST(FeatureCountIndexTest, FindsAllTrueSubgraphs) {
+  Rng rng(61);
+  GraphDatabase db = MakeSmallDb(61, 20);
+  FeatureCountIndex index;
+  for (GraphId i = 0; i < db.graphs.size(); ++i) {
+    index.AddGraph(i, db.graphs[i]);
+  }
+  for (int round = 0; round < 10; ++round) {
+    // A supergraph query: one dataset graph with extra decoration would be
+    // ideal; here we use a dataset graph itself (contains itself and maybe
+    // others).
+    const Graph& query = db.graphs[rng.Below(db.graphs.size())];
+    std::vector<GraphId> candidates = index.FindPotentialSubgraphsOf(query);
+    std::sort(candidates.begin(), candidates.end());
+    for (GraphId truth : BruteForceSupergraphAnswer(db.graphs, query)) {
+      EXPECT_TRUE(
+          std::binary_search(candidates.begin(), candidates.end(), truth))
+          << "missing " << truth << " in round " << round;
+    }
+  }
+}
+
+TEST(FeatureCountIndexTest, OccurrenceCountsPrune) {
+  // Graph with two A-B edges vs. query with one: the count filter must
+  // reject the 2-occurrence graph for a 1-occurrence query.
+  Graph two_edges;  // A-B, A-B (a path B-A-B)
+  two_edges.AddVertex(1);  // B
+  two_edges.AddVertex(0);  // A
+  two_edges.AddVertex(1);  // B
+  two_edges.AddEdge(0, 1);
+  two_edges.AddEdge(1, 2);
+  Graph one_edge;
+  one_edge.AddVertex(0);
+  one_edge.AddVertex(1);
+  one_edge.AddEdge(0, 1);
+
+  FeatureCountIndex index;
+  index.AddGraph(0, two_edges);
+  index.AddGraph(1, one_edge);
+  // Query = single A-B edge: graph 0 has feature counts exceeding the
+  // query's, so only graph 1 qualifies.
+  const std::vector<GraphId> candidates =
+      index.FindPotentialSubgraphsOf(one_edge);
+  EXPECT_EQ(candidates, std::vector<GraphId>{1});
+}
+
+TEST(SupergraphMethodTest, MatchesBruteForce) {
+  GraphDatabase db = MakeSmallDb(71, 18);
+  FeatureCountSupergraphMethod method;
+  method.Build(db);
+  Rng rng(8);
+  for (int round = 0; round < 12; ++round) {
+    // Supergraph queries: moderately large random graphs and dataset graphs.
+    const Graph query =
+        round % 2 == 0 ? db.graphs[rng.Below(db.graphs.size())]
+                       : RandomConnectedGraph(rng, 18, 10, 3);
+    std::vector<GraphId> answer;
+    for (GraphId id : method.Filter(query)) {
+      if (method.Verify(query, id)) answer.push_back(id);
+    }
+    std::sort(answer.begin(), answer.end());
+    EXPECT_EQ(answer, BruteForceSupergraphAnswer(db.graphs, query))
+        << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace igq
