@@ -47,8 +47,8 @@ int Main(int argc, char** argv) {
     IgqOptions options;
     options.enabled = false;
     options.verify_threads = 6;
-    IgqSubgraphEngine engine(db, method.get(), options);
-    const RunResult run = RunSubgraphWorkload(engine, workload, 100);
+    QueryEngine engine(db, method.get(), options);
+    const RunResult run = RunWorkload(engine, workload, 100);
     baseline_tests = static_cast<double>(run.baseline_tests);
     baseline_verify = static_cast<double>(run.verify_micros);
     table.AddRow({"no cache (baseline M)",
@@ -62,8 +62,8 @@ int Main(int argc, char** argv) {
     options.window_size = std::max<size_t>(1, capacity / 5);
     options.verify_threads = 6;
     options.replacement_policy = row.policy;
-    IgqSubgraphEngine engine(db, method.get(), options);
-    const RunResult run = RunSubgraphWorkload(engine, workload, 100);
+    QueryEngine engine(db, method.get(), options);
+    const RunResult run = RunWorkload(engine, workload, 100);
     table.AddRow(
         {row.name, TablePrinter::Int(static_cast<long long>(run.iso_tests)),
          TablePrinter::Num(

@@ -38,7 +38,7 @@ int Main(int argc, char** argv) {
   IgqOptions options;
   options.cache_capacity = 500;
   options.window_size = 50;
-  IgqSubgraphEngine engine(db, method.get(), options);
+  QueryEngine engine(db, method.get(), options);
 
   uint64_t exact_hits = 0, empty_shortcuts = 0, normal = 0;
   uint64_t tests_saved_exact = 0, tests_saved_empty = 0;

@@ -43,9 +43,9 @@ std::string Flags::GetString(const std::string& key,
 
 bool Flags::Has(const std::string& key) const { return values_.count(key) > 0; }
 
-RunResult RunSubgraphWorkload(IgqSubgraphEngine& engine,
-                              const std::vector<WorkloadQuery>& workload,
-                              size_t warmup) {
+RunResult RunWorkload(QueryEngine& engine,
+                      const std::vector<WorkloadQuery>& workload,
+                      size_t warmup) {
   RunResult result;
   for (size_t i = 0; i < workload.size(); ++i) {
     QueryStats stats;
@@ -81,11 +81,13 @@ GraphDatabase BuildDataset(const std::string& name, double scale,
   return db;
 }
 
-std::unique_ptr<SubgraphMethod> BuildMethod(const std::string& name,
-                                            const GraphDatabase& db) {
-  std::unique_ptr<SubgraphMethod> method = CreateSubgraphMethod(name);
+std::unique_ptr<Method> BuildMethod(const std::string& name,
+                                    const GraphDatabase& db,
+                                    QueryDirection direction) {
+  std::unique_ptr<Method> method = MethodRegistry::Create(direction, name);
   if (method == nullptr) {
-    std::fprintf(stderr, "unknown method '%s'\n", name.c_str());
+    std::fprintf(stderr, "unknown %s method '%s'\n",
+                 QueryDirectionName(direction), name.c_str());
     std::exit(1);
   }
   Timer timer;

@@ -56,19 +56,21 @@ struct RunResult {
   std::vector<PerQuery> per_query;
 };
 
-/// Runs `workload` through `engine`; the first `warmup` queries only
-/// populate the cache and are excluded from the aggregates.
-RunResult RunSubgraphWorkload(IgqSubgraphEngine& engine,
-                              const std::vector<WorkloadQuery>& workload,
-                              size_t warmup);
+/// Runs `workload` through `engine` (either query direction); the first
+/// `warmup` queries only populate the cache and are excluded from the
+/// aggregates.
+RunResult RunWorkload(QueryEngine& engine,
+                      const std::vector<WorkloadQuery>& workload,
+                      size_t warmup);
 
 /// Builds a dataset by profile name, scaled; prints a one-line summary.
 GraphDatabase BuildDataset(const std::string& name, double scale,
                            uint64_t seed);
 
-/// Creates and builds a method; prints build time.
-std::unique_ptr<SubgraphMethod> BuildMethod(const std::string& name,
-                                            const GraphDatabase& db);
+/// Creates and builds a registered method; prints build time.
+std::unique_ptr<Method> BuildMethod(
+    const std::string& name, const GraphDatabase& db,
+    QueryDirection direction = QueryDirection::kSubgraph);
 
 /// baseline/improved, guarding division by zero.
 double Speedup(double baseline, double improved);

@@ -32,9 +32,11 @@ int Main(int argc, char** argv) {
       auto method = BuildMethod(method_name, db);
       IgqOptions options;
       options.enabled = false;
-      options.verify_threads = MethodVerifyThreads(method_name);
-      IgqSubgraphEngine engine(db, method.get(), options);
-      const RunResult result = RunSubgraphWorkload(engine, workload, 0);
+      options.verify_threads =
+          MethodRegistry::Defaults(QueryDirection::kSubgraph, method_name)
+              .verify_threads;
+      QueryEngine engine(db, method.get(), options);
+      const RunResult result = RunWorkload(engine, workload, 0);
       const double stage_total = static_cast<double>(result.filter_micros +
                                                      result.verify_micros);
       table.AddRow(

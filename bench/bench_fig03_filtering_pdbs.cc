@@ -30,13 +30,14 @@ int Main(int argc, char** argv) {
   TablePrinter table;
   table.SetHeader({"method", "avg candidates", "avg answers",
                    "avg false positives", "FP ratio %"});
-  for (const std::string& name : KnownSubgraphMethods()) {
+  for (const std::string& name :
+       MethodRegistry::Known(QueryDirection::kSubgraph)) {
     if (name == "grapes6") continue;
     auto method = BuildMethod(name, db);
     IgqOptions options;
     options.enabled = false;
-    IgqSubgraphEngine engine(db, method.get(), options);
-    const RunResult result = RunSubgraphWorkload(engine, workload, 0);
+    QueryEngine engine(db, method.get(), options);
+    const RunResult result = RunWorkload(engine, workload, 0);
     const double queries = static_cast<double>(result.queries);
     const double candidates = static_cast<double>(result.candidates) / queries;
     const double answers = static_cast<double>(result.answers) / queries;

@@ -35,8 +35,8 @@ int Main(int argc, char** argv) {
   baseline_options.verify_threads = 6;
   RunResult baseline;
   {
-    IgqSubgraphEngine engine(db, method.get(), baseline_options);
-    baseline = RunSubgraphWorkload(engine, workload, 100);
+    QueryEngine engine(db, method.get(), baseline_options);
+    baseline = RunWorkload(engine, workload, 100);
   }
 
   TablePrinter table;
@@ -47,8 +47,8 @@ int Main(int argc, char** argv) {
     options.cache_capacity = capacity;
     options.window_size = capacity / 5;
     options.verify_threads = 6;
-    IgqSubgraphEngine engine(db, method.get(), options);
-    const RunResult igq_run = RunSubgraphWorkload(engine, workload, 100);
+    QueryEngine engine(db, method.get(), options);
+    const RunResult igq_run = RunWorkload(engine, workload, 100);
     table.AddRow(
         {TablePrinter::Int(static_cast<long long>(capacity)),
          TablePrinter::Int(static_cast<long long>(options.window_size)),

@@ -35,7 +35,7 @@ int Main(int argc, char** argv) {
   table.SetHeader({"index", "configuration", "size MB", "build s"});
 
   auto measure = [&table](const std::string& name, const std::string& config,
-                          SubgraphMethod& method, const GraphDatabase& db) {
+                          Method& method, const GraphDatabase& db) {
     Timer timer;
     method.Build(db);
     table.AddRow({name, config, TablePrinter::Num(Mb(method.IndexMemoryBytes()), 2),
@@ -73,7 +73,7 @@ int Main(int argc, char** argv) {
   IgqOptions options;
   options.cache_capacity = capacity;
   options.window_size = 100;
-  IgqSubgraphEngine engine(db, &host, options);
+  QueryEngine engine(db, &host, options);
   const WorkloadSpec spec =
       MakeWorkloadSpec("zipf-zipf", 1.4, num_queries, seed + 101);
   for (const WorkloadQuery& wq : GenerateWorkload(db.graphs, spec)) {

@@ -19,7 +19,7 @@ struct CellResult {
   double igq = 0;
 };
 
-CellResult RunCell(const GraphDatabase& db, SubgraphMethod* method,
+CellResult RunCell(const GraphDatabase& db, Method* method,
                    size_t verify_threads,
                    const std::vector<WorkloadQuery>& workload, size_t warmup,
                    Metric metric, const IgqOptions& igq_base) {
@@ -29,8 +29,8 @@ CellResult RunCell(const GraphDatabase& db, SubgraphMethod* method,
   igq_options.verify_threads = verify_threads;
 
   if (metric == Metric::kIsoTests) {
-    IgqSubgraphEngine engine(db, method, igq_options);
-    const RunResult run = RunSubgraphWorkload(engine, workload, warmup);
+    QueryEngine engine(db, method, igq_options);
+    const RunResult run = RunWorkload(engine, workload, warmup);
     cell.baseline = static_cast<double>(run.baseline_tests);
     cell.igq = static_cast<double>(run.iso_tests);
     return cell;
@@ -38,13 +38,13 @@ CellResult RunCell(const GraphDatabase& db, SubgraphMethod* method,
   IgqOptions baseline_options = igq_options;
   baseline_options.enabled = false;
   {
-    IgqSubgraphEngine engine(db, method, baseline_options);
-    const RunResult run = RunSubgraphWorkload(engine, workload, warmup);
+    QueryEngine engine(db, method, baseline_options);
+    const RunResult run = RunWorkload(engine, workload, warmup);
     cell.baseline = static_cast<double>(run.total_micros);
   }
   {
-    IgqSubgraphEngine engine(db, method, igq_options);
-    const RunResult run = RunSubgraphWorkload(engine, workload, warmup);
+    QueryEngine engine(db, method, igq_options);
+    const RunResult run = RunWorkload(engine, workload, warmup);
     cell.igq = static_cast<double>(run.total_micros);
   }
   return cell;
@@ -80,8 +80,8 @@ void RunWorkloadsByMethodsFigure(const std::string& figure_name,
 
   TablePrinter table;
   table.SetHeader({"workload", "GGSX", "Grapes", "Grapes(6)", "CT-Index"});
-  std::vector<std::unique_ptr<SubgraphMethod>> methods;
-  const auto method_names = KnownSubgraphMethods();
+  std::vector<std::unique_ptr<Method>> methods;
+  const auto method_names = MethodRegistry::Known(QueryDirection::kSubgraph);
   for (const std::string& name : method_names) {
     methods.push_back(BuildMethod(name, db));
   }
@@ -92,7 +92,10 @@ void RunWorkloadsByMethodsFigure(const std::string& figure_name,
     std::vector<std::string> row{workload_name};
     for (size_t m = 0; m < methods.size(); ++m) {
       const CellResult cell =
-          RunCell(db, methods[m].get(), MethodVerifyThreads(method_names[m]),
+          RunCell(db, methods[m].get(),
+                  MethodRegistry::Defaults(QueryDirection::kSubgraph,
+                                           method_names[m])
+                      .verify_threads,
                   workload, igq_base.window_size, metric, igq_base);
       row.push_back(TablePrinter::Num(Speedup(cell.baseline, cell.igq), 2) +
                     "x");
@@ -176,13 +179,13 @@ void RunQueryGroupFigure(const std::string& figure_name,
     baseline_options.enabled = false;
     RunResult baseline_run;
     {
-      IgqSubgraphEngine engine(db, method.get(), baseline_options);
-      baseline_run = RunSubgraphWorkload(engine, workload, window);
+      QueryEngine engine(db, method.get(), baseline_options);
+      baseline_run = RunWorkload(engine, workload, window);
     }
     RunResult igq_run;
     {
-      IgqSubgraphEngine engine(db, method.get(), igq_options);
-      igq_run = RunSubgraphWorkload(engine, workload, window);
+      QueryEngine engine(db, method.get(), igq_options);
+      igq_run = RunWorkload(engine, workload, window);
     }
 
     std::map<size_t, double> baseline_by_group, igq_by_group;

@@ -55,15 +55,16 @@ int main() {
     options.cache_capacity = 200;
     options.window_size = 20;
     options.verify_threads = 2;
-    igq::IgqSubgraphEngine engine(db, &method, options);
+    igq::QueryEngine engine(db, &method, options);
+    // The whole session log goes through one batch call: the engine reuses
+    // its verification pool across all queries instead of spawning threads
+    // per query.
     size_t tests = 0, answers = 0;
     int64_t micros = 0;
-    for (const Graph& query : query_log) {
-      igq::QueryStats stats;
-      engine.Process(query, &stats);
-      tests += stats.iso_tests;
-      answers += stats.answer_size;
-      micros += stats.total_micros;
+    for (const igq::BatchResult& result : engine.ProcessBatch(query_log)) {
+      tests += result.stats.iso_tests;
+      answers += result.stats.answer_size;
+      micros += result.stats.total_micros;
     }
     return std::make_tuple(tests, answers, micros);
   };

@@ -96,7 +96,8 @@ int CmdQuery(const std::map<std::string, std::string>& flags) {
   db.RefreshLabelCount();
 
   const std::string method_name = Get(flags, "method", "ggsx");
-  auto method = igq::CreateSubgraphMethod(method_name);
+  auto method = igq::MethodRegistry::Create(igq::QueryDirection::kSubgraph,
+                                            method_name);
   if (method == nullptr) {
     std::fprintf(stderr, "unknown method '%s' (ggsx|grapes|grapes6|ctindex)\n",
                  method_name.c_str());
@@ -117,14 +118,16 @@ int CmdQuery(const std::map<std::string, std::string>& flags) {
   igq::IgqOptions options;
   options.cache_capacity = std::atoll(Get(flags, "cache", "500").c_str());
   options.window_size = std::atoll(Get(flags, "window", "100").c_str());
-  options.verify_threads = igq::MethodVerifyThreads(method_name);
+  options.verify_threads =
+      igq::MethodRegistry::Defaults(igq::QueryDirection::kSubgraph, method_name)
+          .verify_threads;
 
   size_t base_tests = 0, igq_tests = 0;
   int64_t base_micros = 0, igq_micros = 0;
   {
     igq::IgqOptions baseline = options;
     baseline.enabled = false;
-    igq::IgqSubgraphEngine engine(db, method.get(), baseline);
+    igq::QueryEngine engine(db, method.get(), baseline);
     for (const igq::WorkloadQuery& wq : workload) {
       igq::QueryStats stats;
       engine.Process(wq.graph, &stats);
@@ -133,7 +136,7 @@ int CmdQuery(const std::map<std::string, std::string>& flags) {
     }
   }
   {
-    igq::IgqSubgraphEngine engine(db, method.get(), options);
+    igq::QueryEngine engine(db, method.get(), options);
     for (const igq::WorkloadQuery& wq : workload) {
       igq::QueryStats stats;
       engine.Process(wq.graph, &stats);

@@ -2,7 +2,7 @@
 //
 //   1. Put labeled graphs in a GraphDatabase.
 //   2. Build a filter-then-verify host method (GGSX here).
-//   3. Wrap it in an IgqSubgraphEngine.
+//   3. Wrap it in a QueryEngine.
 //   4. Process(query) returns the ids of all graphs containing the query —
 //      and repeated/related queries get cheaper over time.
 //
@@ -46,7 +46,7 @@ int main() {
   igq::IgqOptions options;
   options.cache_capacity = 100;
   options.window_size = 10;
-  igq::IgqSubgraphEngine engine(db, &method, options);
+  igq::QueryEngine engine(db, &method, options);
 
   // 4. Ask which molecules contain a C-C-O fragment.
   const Graph query = Chain({0, 0, 1});

@@ -42,7 +42,7 @@ int main() {
   igq::IgqOptions options;
   options.cache_capacity = 300;
   options.window_size = 10;
-  igq::IgqSubgraphEngine engine(db, &method, options);
+  igq::QueryEngine engine(db, &method, options);
 
   // The analyst explores: pick a person, look at their close circle (zoom
   // level 4 edges), widen to 12, widen to 20 — then return to the circle.

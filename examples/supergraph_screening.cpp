@@ -45,7 +45,7 @@ int main() {
   igq::IgqOptions options;
   options.cache_capacity = 100;
   options.window_size = 10;
-  igq::IgqSupergraphEngine engine(library, &method, options);
+  igq::QueryEngine engine(library, &method, options);
 
   // Incoming compounds to screen; some arrive twice (re-submissions).
   std::vector<Graph> submissions;

@@ -11,6 +11,8 @@
 namespace igq {
 
 using VertexId = uint32_t;
+/// Position of a graph in its dataset (GraphDatabase::graphs).
+using GraphId = uint32_t;
 using Label = uint32_t;
 
 /// An undirected vertex-labeled graph with contiguous vertex ids 0..n-1.

@@ -1,7 +1,6 @@
 #include "igq/engine.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cassert>
 #include <thread>
 
@@ -16,62 +15,53 @@ bool AnswerContains(const std::vector<GraphId>& answer, GraphId id) {
   return std::binary_search(answer.begin(), answer.end(), id);
 }
 
-// Sum of §5.1 analytic costs of testing `query_nodes`-node queries against
-// each graph in `ids`.
-LogValue SumCosts(const GraphDatabase& db, size_t query_nodes,
-                  const std::vector<GraphId>& ids) {
-  LogValue total = LogValue::Zero();
-  for (GraphId id : ids) {
-    total += IsomorphismCost(db.num_labels, query_nodes,
-                             db.graphs[id].NumVertices());
+}  // namespace
+
+QueryEngine::QueryEngine(const GraphDatabase& db, Method* method,
+                         const IgqOptions& options)
+    : db_(&db),
+      method_(method),
+      options_(ValidatedIgqOptions(options)),
+      cache_(std::make_unique<QueryCache>(options_)) {
+  if (options_.verify_threads > 1) {
+    pool_ = std::make_unique<VerifyPool>(options_.verify_threads);
   }
-  return total;
 }
 
-// Runs `verify` over candidates with `threads` workers; returns the subset
-// that verified, preserving candidate order. `verify` must be thread-safe.
-template <typename VerifyFn>
-std::vector<GraphId> RunVerification(const std::vector<GraphId>& candidates,
-                                     size_t threads, const VerifyFn& verify) {
+QueryEngine::~QueryEngine() = default;
+
+std::vector<GraphId> QueryEngine::RunVerification(
+    const std::vector<GraphId>& candidates,
+    const PreparedQuery& prepared) const {
+  auto verify = [this, &prepared](GraphId id) {
+    return method_->Verify(prepared, id);
+  };
+  if (pool_ != nullptr) return pool_->Run(candidates, verify);
   std::vector<GraphId> verified;
-  if (candidates.empty()) return verified;
-  if (threads <= 1 || candidates.size() < 2 * threads) {
-    for (GraphId id : candidates) {
-      if (verify(id)) verified.push_back(id);
-    }
-    return verified;
-  }
-  std::vector<char> outcome(candidates.size(), 0);
-  std::vector<std::thread> workers;
-  std::atomic<size_t> cursor{0};
-  for (size_t t = 0; t < threads; ++t) {
-    workers.emplace_back([&candidates, &outcome, &cursor, &verify] {
-      for (;;) {
-        const size_t index = cursor.fetch_add(1);
-        if (index >= candidates.size()) return;
-        outcome[index] = verify(candidates[index]) ? 1 : 0;
-      }
-    });
-  }
-  for (auto& worker : workers) worker.join();
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    if (outcome[i] != 0) verified.push_back(candidates[i]);
+  for (GraphId id : candidates) {
+    if (verify(id)) verified.push_back(id);
   }
   return verified;
 }
 
-}  // namespace
+LogValue QueryEngine::SumCosts(size_t query_nodes,
+                               const std::vector<GraphId>& ids) const {
+  // Subgraph queries test the query against stored graphs; supergraph
+  // queries test stored graphs against the query (§4.4) — the cost model's
+  // pattern/target arguments swap accordingly.
+  const bool subgraph = method_->Direction() == QueryDirection::kSubgraph;
+  LogValue total = LogValue::Zero();
+  for (GraphId id : ids) {
+    const size_t stored_nodes = db_->graphs[id].NumVertices();
+    total += subgraph
+                 ? IsomorphismCost(db_->num_labels, query_nodes, stored_nodes)
+                 : IsomorphismCost(db_->num_labels, stored_nodes, query_nodes);
+  }
+  return total;
+}
 
-IgqSubgraphEngine::IgqSubgraphEngine(const GraphDatabase& db,
-                                     SubgraphMethod* method,
-                                     const IgqOptions& options)
-    : db_(&db),
-      method_(method),
-      options_(options),
-      cache_(std::make_unique<QueryCache>(options)) {}
-
-std::vector<GraphId> IgqSubgraphEngine::Process(const Graph& query,
-                                                QueryStats* stats) {
+std::vector<GraphId> QueryEngine::Process(const Graph& query,
+                                          QueryStats* stats) {
   QueryStats local;
   if (stats == nullptr) stats = &local;
   *stats = QueryStats{};
@@ -116,10 +106,7 @@ std::vector<GraphId> IgqSubgraphEngine::Process(const Graph& query,
     {
       ScopedTimer verify_timer(&stats->verify_micros);
       stats->iso_tests = candidates.size();
-      answer = RunVerification(candidates, options_.verify_threads,
-                               [&](GraphId id) {
-                                 return method_->Verify(*prepared, id);
-                               });
+      answer = RunVerification(candidates, *prepared);
     }
     stats->candidates_final = candidates.size();
     stats->answer_size = answer.size();
@@ -135,7 +122,7 @@ std::vector<GraphId> IgqSubgraphEngine::Process(const Graph& query,
     const CachedQuery& entry = cache_->entries()[probe.exact_position];
     cache_->CreditHit(probe.exact_position);
     cache_->CreditPrune(probe.exact_position, candidates.size(),
-                        SumCosts(*db_, query_nodes, candidates));
+                        SumCosts(query_nodes, candidates));
     stats->shortcut = ShortcutKind::kExactHit;
     stats->candidates_final = 0;
     stats->answer_size = entry.answer.size();
@@ -143,75 +130,86 @@ std::vector<GraphId> IgqSubgraphEngine::Process(const Graph& query,
     return entry.answer;
   }
 
+  // The §4.4 role inversion. For subgraph queries, cached *supergraphs* of g
+  // yield guaranteed answers (formulas (3)/(4)) and cached *subgraphs*
+  // intersect the candidate set (formula (5)). For supergraph queries the
+  // roles swap: cached subgraphs G ⊆ g guarantee (Gi ⊆ G ⊆ g), cached
+  // supergraphs g ⊆ G intersect (Gi ⊆ g implies Gi ⊆ G).
+  const bool subgraph_query =
+      method_->Direction() == QueryDirection::kSubgraph;
+  const std::vector<size_t>& guarantee_positions =
+      subgraph_query ? probe.supergraph_positions : probe.subgraph_positions;
+  const std::vector<size_t>& intersect_positions =
+      subgraph_query ? probe.subgraph_positions : probe.supergraph_positions;
+
   std::vector<GraphId> guaranteed;
   std::vector<GraphId> remaining;
   bool empty_answer_shortcut = false;
   {
-  ScopedTimer prune_timer(&stats->probe_micros);
+    ScopedTimer prune_timer(&stats->probe_micros);
 
-  // Subgraph case (§4.2.1, formulas (3)/(4)): graphs in the answer set of
-  // any cached supergraph of the query are guaranteed answers.
-  if (!probe.supergraph_positions.empty()) {
-    for (size_t position : probe.supergraph_positions) {
+    // Guaranteed-answer pruning: candidates in the answer set of any cached
+    // query on the guarantee side need no verification.
+    if (!guarantee_positions.empty()) {
+      for (size_t position : guarantee_positions) {
+        cache_->CreditHit(position);
+        const std::vector<GraphId>& answer =
+            cache_->entries()[position].answer;
+        std::vector<GraphId> removed_here;
+        for (GraphId id : candidates) {
+          if (AnswerContains(answer, id)) removed_here.push_back(id);
+        }
+        cache_->CreditPrune(position, removed_here.size(),
+                            SumCosts(query_nodes, removed_here));
+        for (GraphId id : removed_here) guaranteed.push_back(id);
+      }
+      std::sort(guaranteed.begin(), guaranteed.end());
+      guaranteed.erase(std::unique(guaranteed.begin(), guaranteed.end()),
+                       guaranteed.end());
+      for (GraphId id : candidates) {
+        if (!AnswerContains(guaranteed, id)) remaining.push_back(id);
+      }
+    } else {
+      remaining = std::move(candidates);
+    }
+
+    // Intersection pruning: only candidates in the answer set of every
+    // cached query on the intersection side can still be answers; an empty
+    // cached answer proves the final answer empty (§4.3 case 2).
+    for (size_t position : intersect_positions) {
       cache_->CreditHit(position);
       const std::vector<GraphId>& answer = cache_->entries()[position].answer;
+      std::vector<GraphId> kept;
       std::vector<GraphId> removed_here;
-      for (GraphId id : candidates) {
-        if (AnswerContains(answer, id)) removed_here.push_back(id);
+      for (GraphId id : remaining) {
+        if (AnswerContains(answer, id)) {
+          kept.push_back(id);
+        } else {
+          removed_here.push_back(id);
+        }
       }
       cache_->CreditPrune(position, removed_here.size(),
-                          SumCosts(*db_, query_nodes, removed_here));
-      for (GraphId id : removed_here) guaranteed.push_back(id);
-    }
-    std::sort(guaranteed.begin(), guaranteed.end());
-    guaranteed.erase(std::unique(guaranteed.begin(), guaranteed.end()),
-                     guaranteed.end());
-    for (GraphId id : candidates) {
-      if (!AnswerContains(guaranteed, id)) remaining.push_back(id);
-    }
-  } else {
-    remaining = std::move(candidates);
-  }
-
-  // Supergraph case (§4.2.2, formula (5)): only graphs in the answer set of
-  // every cached subgraph of the query can still contain it.
-  for (size_t position : probe.subgraph_positions) {
-    cache_->CreditHit(position);
-    const std::vector<GraphId>& answer = cache_->entries()[position].answer;
-    std::vector<GraphId> kept;
-    std::vector<GraphId> removed_here;
-    for (GraphId id : remaining) {
-      if (AnswerContains(answer, id)) {
-        kept.push_back(id);
-      } else {
-        removed_here.push_back(id);
+                          SumCosts(query_nodes, removed_here));
+      remaining = std::move(kept);
+      if (answer.empty()) {
+        empty_answer_shortcut = true;
+        assert(guaranteed.empty());
+        remaining.clear();
+        break;
       }
     }
-    cache_->CreditPrune(position, removed_here.size(),
-                        SumCosts(*db_, query_nodes, removed_here));
-    remaining = std::move(kept);
-    // §4.3 case 2: a cached subgraph with an empty answer proves the final
-    // answer empty; guaranteed answers cannot coexist with it.
-    if (answer.empty()) {
-      empty_answer_shortcut = true;
-      assert(guaranteed.empty());
-      remaining.clear();
-      break;
-    }
-  }
   }  // prune_timer scope
 
   stats->candidates_final = remaining.size();
-  if (empty_answer_shortcut) stats->shortcut = ShortcutKind::kEmptyAnswerPruning;
+  if (empty_answer_shortcut) {
+    stats->shortcut = ShortcutKind::kEmptyAnswerPruning;
+  }
 
   std::vector<GraphId> verified;
   {
     ScopedTimer verify_timer(&stats->verify_micros);
     stats->iso_tests = remaining.size();
-    verified = RunVerification(remaining, options_.verify_threads,
-                               [&](GraphId id) {
-                                 return method_->Verify(*prepared, id);
-                               });
+    verified = RunVerification(remaining, *prepared);
   }
 
   // Formula (4): Answer(g) = verified ∪ (pruned guaranteed answers).
@@ -230,157 +228,17 @@ std::vector<GraphId> IgqSubgraphEngine::Process(const Graph& query,
   return answer;
 }
 
-IgqSupergraphEngine::IgqSupergraphEngine(const GraphDatabase& db,
-                                         SupergraphMethod* method,
-                                         const IgqOptions& options)
-    : db_(&db),
-      method_(method),
-      options_(options),
-      cache_(std::make_unique<QueryCache>(options)) {}
-
-std::vector<GraphId> IgqSupergraphEngine::Process(const Graph& query,
-                                                  QueryStats* stats) {
-  QueryStats local;
-  if (stats == nullptr) stats = &local;
-  *stats = QueryStats{};
-  Timer total_timer;
-
-  std::vector<GraphId> candidates;
-  {
-    ScopedTimer filter_timer(&stats->filter_micros);
-    candidates = method_->Filter(query);
+std::vector<BatchResult> QueryEngine::ProcessBatch(
+    std::span<const Graph> queries, const BatchOptions& batch) {
+  std::vector<BatchResult> results;
+  results.reserve(queries.size());
+  for (const Graph& query : queries) {
+    BatchResult result;
+    result.answer = Process(query, batch.collect_stats ? &result.stats
+                                                       : nullptr);
+    results.push_back(std::move(result));
   }
-  stats->candidates_initial = candidates.size();
-
-  if (!options_.enabled) {
-    std::vector<GraphId> answer;
-    {
-      ScopedTimer verify_timer(&stats->verify_micros);
-      stats->iso_tests = candidates.size();
-      answer = RunVerification(candidates, options_.verify_threads,
-                               [&](GraphId id) {
-                                 return method_->Verify(query, id);
-                               });
-    }
-    stats->candidates_final = candidates.size();
-    stats->answer_size = answer.size();
-    stats->total_micros = total_timer.ElapsedMicros();
-    return answer;
-  }
-
-  CacheProbe probe;
-  {
-    ScopedTimer probe_timer(&stats->probe_micros);
-    const PathFeatureCounts features = cache_->ExtractFeatures(query);
-    probe = cache_->Probe(query, features);
-  }
-  stats->probe_iso_tests = probe.probe_iso_tests;
-  stats->isub_hits = probe.supergraph_positions.size();
-  stats->isuper_hits = probe.subgraph_positions.size();
-
-  cache_->RecordQueryProcessed();
-  const size_t query_nodes = query.NumVertices();
-  auto cost_of = [&](const std::vector<GraphId>& ids) {
-    // For supergraph queries the pattern is the *stored* graph; cost model
-    // arguments are per-test (pattern = Gi, target = query).
-    LogValue total = LogValue::Zero();
-    for (GraphId id : ids) {
-      total += IsomorphismCost(db_->num_labels, db_->graphs[id].NumVertices(),
-                               query_nodes);
-    }
-    return total;
-  };
-
-  // §4.3 case 1 (unchanged for supergraph queries).
-  if (probe.exact_position != SIZE_MAX) {
-    const CachedQuery& entry = cache_->entries()[probe.exact_position];
-    cache_->CreditHit(probe.exact_position);
-    cache_->CreditPrune(probe.exact_position, candidates.size(),
-                        cost_of(candidates));
-    stats->shortcut = ShortcutKind::kExactHit;
-    stats->answer_size = entry.answer.size();
-    stats->total_micros = total_timer.ElapsedMicros();
-    return entry.answer;
-  }
-
-  std::vector<GraphId> guaranteed;
-  std::vector<GraphId> remaining;
-  bool empty_answer_shortcut = false;
-  {
-  ScopedTimer prune_timer(&stats->probe_micros);
-
-  // §4.4, inverted subgraph case: answers of cached queries G ⊆ g are
-  // guaranteed answers of g (Gi ⊆ G ⊆ g).
-  if (!probe.subgraph_positions.empty()) {
-    for (size_t position : probe.subgraph_positions) {
-      cache_->CreditHit(position);
-      const std::vector<GraphId>& answer = cache_->entries()[position].answer;
-      std::vector<GraphId> removed_here;
-      for (GraphId id : candidates) {
-        if (AnswerContains(answer, id)) removed_here.push_back(id);
-      }
-      cache_->CreditPrune(position, removed_here.size(), cost_of(removed_here));
-      for (GraphId id : removed_here) guaranteed.push_back(id);
-    }
-    std::sort(guaranteed.begin(), guaranteed.end());
-    guaranteed.erase(std::unique(guaranteed.begin(), guaranteed.end()),
-                     guaranteed.end());
-    for (GraphId id : candidates) {
-      if (!AnswerContains(guaranteed, id)) remaining.push_back(id);
-    }
-  } else {
-    remaining = std::move(candidates);
-  }
-
-  // §4.4, inverted supergraph case: any answer of g must appear in the
-  // answer set of every cached query G with g ⊆ G; empty Answer(G) proves
-  // the answer empty.
-  for (size_t position : probe.supergraph_positions) {
-    cache_->CreditHit(position);
-    const std::vector<GraphId>& answer = cache_->entries()[position].answer;
-    std::vector<GraphId> kept;
-    std::vector<GraphId> removed_here;
-    for (GraphId id : remaining) {
-      if (AnswerContains(answer, id)) {
-        kept.push_back(id);
-      } else {
-        removed_here.push_back(id);
-      }
-    }
-    cache_->CreditPrune(position, removed_here.size(), cost_of(removed_here));
-    remaining = std::move(kept);
-    if (answer.empty()) {
-      empty_answer_shortcut = true;
-      assert(guaranteed.empty());
-      remaining.clear();
-      break;
-    }
-  }
-  }  // prune_timer scope
-
-  stats->candidates_final = remaining.size();
-  if (empty_answer_shortcut) stats->shortcut = ShortcutKind::kEmptyAnswerPruning;
-
-  std::vector<GraphId> verified;
-  {
-    ScopedTimer verify_timer(&stats->verify_micros);
-    stats->iso_tests = remaining.size();
-    verified = RunVerification(remaining, options_.verify_threads,
-                               [&](GraphId id) {
-                                 return method_->Verify(query, id);
-                               });
-  }
-
-  std::vector<GraphId> answer;
-  answer.reserve(verified.size() + guaranteed.size());
-  std::merge(verified.begin(), verified.end(), guaranteed.begin(),
-             guaranteed.end(), std::back_inserter(answer));
-  answer.erase(std::unique(answer.begin(), answer.end()), answer.end());
-
-  stats->answer_size = answer.size();
-  stats->total_micros = total_timer.ElapsedMicros();
-  cache_->Insert(query, answer);
-  return answer;
+  return results;
 }
 
 }  // namespace igq

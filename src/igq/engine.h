@@ -1,16 +1,23 @@
-// The iGQ query engines (§4.2, §4.4, §6.3): wrap a host method M with the
-// query cache, prune its candidate set using formulas (3)-(5), apply the
-// §4.3 shortcut optimizations, run the verification stage (optionally
-// multi-threaded), assemble the final answer, and maintain the cache.
+// The iGQ query engine (§4.2, §4.4, §6.3): wraps a host Method with the
+// query cache, prunes its candidate set using formulas (3)-(5), applies the
+// §4.3 shortcut optimizations, runs the verification stage on a persistent
+// worker pool, assembles the final answer, and maintains the cache.
+//
+// One engine serves both query directions. The method's Direction() decides
+// which cache probe sets act as guaranteed-answer sources and which as
+// intersection pruners — the §4.4 union/intersection role inversion is an
+// internal detail, not a separate class.
 #ifndef IGQ_IGQ_ENGINE_H_
 #define IGQ_IGQ_ENGINE_H_
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "igq/cache.h"
 #include "igq/options.h"
+#include "igq/verify_pool.h"
 #include "methods/method.h"
 
 namespace igq {
@@ -39,47 +46,58 @@ struct QueryStats {
   ShortcutKind shortcut = ShortcutKind::kNone;
 };
 
-/// iGQ for *subgraph* queries on top of a SubgraphMethod.
-class IgqSubgraphEngine {
+/// Knobs for ProcessBatch.
+struct BatchOptions {
+  /// Fill BatchResult::stats for every query (cheap; on by default).
+  bool collect_stats = true;
+};
+
+/// Per-query outcome of a batch run.
+struct BatchResult {
+  std::vector<GraphId> answer;
+  QueryStats stats;
+};
+
+/// iGQ on top of any host Method, subgraph or supergraph.
+class QueryEngine {
  public:
   /// `db` and `method` must outlive the engine; `method` must already be
-  /// Build()-ed on `db`.
-  IgqSubgraphEngine(const GraphDatabase& db, SubgraphMethod* method,
-                    const IgqOptions& options);
+  /// Build()-ed on `db`. `options` is validated (see ValidatedIgqOptions);
+  /// the clamped values are visible through options().
+  QueryEngine(const GraphDatabase& db, Method* method,
+              const IgqOptions& options);
+  ~QueryEngine();
 
-  /// Executes one subgraph query end-to-end and returns the ids of all
-  /// dataset graphs containing `query` (sorted). Fills `stats` if non-null.
+  /// Executes one query end-to-end and returns the ids of all dataset
+  /// graphs related to `query` in the method's direction (sorted). Fills
+  /// `stats` if non-null.
   std::vector<GraphId> Process(const Graph& query, QueryStats* stats = nullptr);
 
+  /// Executes the queries in order against the same cache, reusing the
+  /// engine's verification pool across the whole batch. Answers are
+  /// identical to calling Process() per query on a same-state engine.
+  std::vector<BatchResult> ProcessBatch(std::span<const Graph> queries,
+                                        const BatchOptions& batch = {});
+
+  QueryDirection direction() const { return method_->Direction(); }
   const QueryCache& cache() const { return *cache_; }
   QueryCache& mutable_cache() { return *cache_; }
   const IgqOptions& options() const { return options_; }
 
  private:
+  /// Verification over `candidates`, on the pool when one exists.
+  std::vector<GraphId> RunVerification(const std::vector<GraphId>& candidates,
+                                       const PreparedQuery& prepared) const;
+
+  /// Sum of §5.1 analytic costs of the tests `ids` would require; pattern
+  /// and target roles follow the query direction.
+  LogValue SumCosts(size_t query_nodes, const std::vector<GraphId>& ids) const;
+
   const GraphDatabase* db_;
-  SubgraphMethod* method_;
+  Method* method_;
   IgqOptions options_;
   std::unique_ptr<QueryCache> cache_;
-};
-
-/// iGQ for *supergraph* queries on top of a SupergraphMethod (§4.4): the
-/// same two indexes, with the union/intersection roles inverted.
-class IgqSupergraphEngine {
- public:
-  IgqSupergraphEngine(const GraphDatabase& db, SupergraphMethod* method,
-                      const IgqOptions& options);
-
-  /// Returns the ids of all dataset graphs contained in `query` (sorted).
-  std::vector<GraphId> Process(const Graph& query, QueryStats* stats = nullptr);
-
-  const QueryCache& cache() const { return *cache_; }
-  const IgqOptions& options() const { return options_; }
-
- private:
-  const GraphDatabase* db_;
-  SupergraphMethod* method_;
-  IgqOptions options_;
-  std::unique_ptr<QueryCache> cache_;
+  std::unique_ptr<VerifyPool> pool_;  // null when verify_threads == 1
 };
 
 }  // namespace igq

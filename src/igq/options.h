@@ -25,7 +25,8 @@ struct IgqOptions {
   /// Cache size C: maximum number of cached query graphs (paper default 500).
   size_t cache_capacity = 500;
 
-  /// Query window size W (paper default 100; must be <= cache_capacity).
+  /// Query window size W (paper default 100; must be <= cache_capacity —
+  /// the engine enforces this at construction, see ValidatedIgqOptions).
   size_t window_size = 100;
 
   /// Maximum path-feature length (edges) used by Isub/Isuper (paper: 4).
@@ -41,6 +42,19 @@ struct IgqOptions {
   /// Eviction policy (§5.1); kUtility unless running the ablation.
   ReplacementPolicy replacement_policy = ReplacementPolicy::kUtility;
 };
+
+/// Clamps `options` to the documented invariants: cache_capacity >= 1,
+/// 1 <= window_size <= cache_capacity, verify_threads >= 1. The engine
+/// applies this at construction so it never runs with an invalid geometry.
+inline IgqOptions ValidatedIgqOptions(IgqOptions options) {
+  if (options.cache_capacity == 0) options.cache_capacity = 1;
+  if (options.window_size == 0) options.window_size = 1;
+  if (options.window_size > options.cache_capacity) {
+    options.window_size = options.cache_capacity;
+  }
+  if (options.verify_threads == 0) options.verify_threads = 1;
+  return options;
+}
 
 }  // namespace igq
 

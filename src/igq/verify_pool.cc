@@ -1,0 +1,95 @@
+#include "igq/verify_pool.h"
+
+namespace igq {
+
+VerifyPool::VerifyPool(size_t threads) {
+  const size_t extra = threads == 0 ? 0 : threads - 1;
+  workers_.reserve(extra);
+  for (size_t t = 0; t < extra; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+VerifyPool::~VerifyPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::vector<GraphId> VerifyPool::Run(
+    const std::vector<GraphId>& candidates,
+    const std::function<bool(GraphId)>& verify) {
+  std::vector<GraphId> verified;
+  if (candidates.empty()) return verified;
+  if (workers_.empty() || candidates.size() < 2 * threads()) {
+    for (GraphId id : candidates) {
+      if (verify(id)) verified.push_back(id);
+    }
+    return verified;
+  }
+
+  std::vector<char> outcome(candidates.size(), 0);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    candidates_ = &candidates;
+    verify_ = &verify;
+    outcome_ = &outcome;
+    cursor_.store(0, std::memory_order_relaxed);
+    active_workers_ = workers_.size();
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  // The caller claims items alongside the workers.
+  for (;;) {
+    const size_t index = cursor_.fetch_add(1);
+    if (index >= candidates.size()) break;
+    outcome[index] = verify(candidates[index]) ? 1 : 0;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return active_workers_ == 0; });
+    candidates_ = nullptr;
+    verify_ = nullptr;
+    outcome_ = nullptr;
+  }
+
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (outcome[i] != 0) verified.push_back(candidates[i]);
+  }
+  return verified;
+}
+
+void VerifyPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    const std::vector<GraphId>* candidates;
+    const std::function<bool(GraphId)>* verify;
+    std::vector<char>* outcome;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this, seen_generation] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      candidates = candidates_;
+      verify = verify_;
+      outcome = outcome_;
+    }
+    for (;;) {
+      const size_t index = cursor_.fetch_add(1);
+      if (index >= candidates->size()) break;
+      (*outcome)[index] = (*verify)((*candidates)[index]) ? 1 : 0;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_workers_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace igq

@@ -1,0 +1,64 @@
+// A persistent worker pool for the verification stage. The engine keeps one
+// pool for its whole lifetime, so batches of queries (ProcessBatch) and
+// repeated Process() calls share the same threads instead of spawning and
+// joining a fresh team per query — thread startup is measurable next to the
+// microsecond-scale verification of small candidates.
+#ifndef IGQ_IGQ_VERIFY_POOL_H_
+#define IGQ_IGQ_VERIFY_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace igq {
+
+/// Fixed-size pool executing one verification task at a time. The calling
+/// thread participates as a worker, so a pool of size N spawns N-1 threads.
+/// Run() is not reentrant and must always be called from the same logical
+/// owner (the query engine processes queries one at a time).
+class VerifyPool {
+ public:
+  /// `threads` is the total worker count including the caller (>= 1).
+  explicit VerifyPool(size_t threads);
+  ~VerifyPool();
+
+  VerifyPool(const VerifyPool&) = delete;
+  VerifyPool& operator=(const VerifyPool&) = delete;
+
+  /// Runs `verify` over all candidates and returns the subset that verified,
+  /// preserving candidate order. `verify` must be thread-safe. Small inputs
+  /// (fewer than two items per worker) run inline on the caller.
+  std::vector<GraphId> Run(const std::vector<GraphId>& candidates,
+                           const std::function<bool(GraphId)>& verify);
+
+  /// Total worker count including the calling thread.
+  size_t threads() const { return workers_.size() + 1; }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  uint64_t generation_ = 0;
+  size_t active_workers_ = 0;
+  bool shutdown_ = false;
+
+  // Current task (valid while active_workers_ > 0).
+  const std::vector<GraphId>* candidates_ = nullptr;
+  const std::function<bool(GraphId)>* verify_ = nullptr;
+  std::vector<char>* outcome_ = nullptr;
+  std::atomic<size_t> cursor_{0};
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace igq
+
+#endif  // IGQ_IGQ_VERIFY_POOL_H_

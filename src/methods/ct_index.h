@@ -18,7 +18,7 @@
 namespace igq {
 
 /// CT-Index subgraph-query method.
-class CtIndexMethod : public SubgraphMethod {
+class CtIndexMethod : public Method {
  public:
   struct Options {
     size_t max_tree_vertices = 6;
@@ -33,6 +33,10 @@ class CtIndexMethod : public SubgraphMethod {
   explicit CtIndexMethod(const Options& options) : options_(options) {}
 
   std::string Name() const override { return "CT-Index"; }
+
+  QueryDirection Direction() const override {
+    return QueryDirection::kSubgraph;
+  }
 
   void Build(const GraphDatabase& db) override;
 

@@ -60,9 +60,10 @@ void FeatureCountSupergraphMethod::Build(const GraphDatabase& db) {
   }
 }
 
-bool FeatureCountSupergraphMethod::Verify(const Graph& query,
+bool FeatureCountSupergraphMethod::Verify(const PreparedQuery& prepared,
                                           GraphId id) const {
-  return Vf2Matcher::FindEmbedding(db_->graphs[id], query).has_value();
+  return Vf2Matcher::FindEmbedding(db_->graphs[id], prepared.query())
+      .has_value();
 }
 
 }  // namespace igq

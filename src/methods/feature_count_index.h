@@ -16,6 +16,7 @@
 #include "features/feature_set.h"
 #include "features/path_enumerator.h"
 #include "methods/method.h"
+#include "methods/path_method_base.h"
 #include "methods/path_trie.h"
 
 namespace igq {
@@ -52,7 +53,9 @@ class FeatureCountIndex {
 };
 
 /// Baseline M_super: FeatureCountIndex over the dataset + VF2 verification.
-class FeatureCountSupergraphMethod : public SupergraphMethod {
+/// Prepare() extracts the query's path features once, so Filter() and every
+/// Verify() share them — the same amortization the subgraph methods enjoy.
+class FeatureCountSupergraphMethod : public Method {
  public:
   explicit FeatureCountSupergraphMethod(
       const PathEnumeratorOptions& options = {})
@@ -60,13 +63,24 @@ class FeatureCountSupergraphMethod : public SupergraphMethod {
 
   std::string Name() const override { return "FeatureCount"; }
 
-  void Build(const GraphDatabase& db) override;
-
-  std::vector<GraphId> Filter(const Graph& query) const override {
-    return index_.FindPotentialSubgraphsOf(query);
+  QueryDirection Direction() const override {
+    return QueryDirection::kSupergraph;
   }
 
-  bool Verify(const Graph& query, GraphId id) const override;
+  void Build(const GraphDatabase& db) override;
+
+  std::unique_ptr<PreparedQuery> Prepare(const Graph& query) const override {
+    return std::make_unique<PathPreparedQuery>(
+        query, CountPathFeatures(query, index_.options()));
+  }
+
+  std::vector<GraphId> Filter(const PreparedQuery& prepared) const override {
+    const auto& pq = static_cast<const PathPreparedQuery&>(prepared);
+    return index_.FindPotentialSubgraphsOf(pq.features());
+  }
+
+  /// True iff graphs[id] ⊆ query.
+  bool Verify(const PreparedQuery& prepared, GraphId id) const override;
 
   size_t IndexMemoryBytes() const override { return index_.MemoryBytes(); }
 

@@ -1,0 +1,31 @@
+#include "methods/method.h"
+
+namespace igq {
+
+const char* QueryDirectionName(QueryDirection direction) {
+  return direction == QueryDirection::kSubgraph ? "subgraph" : "supergraph";
+}
+
+void GraphDatabase::RefreshLabelCount() {
+  num_labels = 0;
+  if (graphs.empty()) return;
+  size_t bound = 0;
+  for (const Graph& g : graphs) {
+    const size_t b = g.LabelUpperBound();
+    if (b > bound) bound = b;
+  }
+  if (bound == 0) return;  // only empty graphs stored
+  std::vector<bool> seen(bound, false);
+  size_t distinct = 0;
+  for (const Graph& g : graphs) {
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      if (!seen[g.label(v)]) {
+        seen[g.label(v)] = true;
+        ++distinct;
+      }
+    }
+  }
+  num_labels = distinct;
+}
+
+}  // namespace igq

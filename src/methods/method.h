@@ -1,9 +1,17 @@
-// Interfaces for filter-then-verify query processing methods.
+// The unified host-method contract for filter-then-verify query processing.
 //
-// The paper's framework (§4.2) treats the host method M as a black box that
-// (a) indexes the dataset graphs and (b) given a query produces a candidate
-// set which is then verified by subgraph-isomorphism tests. iGQ wraps any
-// such method; GGSX, Grapes and CT-Index are provided implementations.
+// The paper's framework (§4.2, §4.4) treats the host method M as a black box
+// that (a) indexes the dataset graphs and (b) given a query produces a
+// candidate set which is then verified by isomorphism tests. iGQ wraps any
+// such method, for *both* query directions:
+//
+//   * subgraph queries  (§4.2): find all Gi in D with q ⊆ Gi
+//   * supergraph queries (§4.4): find all Gi in D with Gi ⊆ q
+//
+// Both directions share one interface, igq::Method, whose Direction() tells
+// the engine which §4.2/§4.4 pruning roles to apply. GGSX, Grapes and
+// CT-Index are the provided subgraph methods; the Algorithm-1/2 feature
+// count index is the provided supergraph method.
 #ifndef IGQ_METHODS_METHOD_H_
 #define IGQ_METHODS_METHOD_H_
 
@@ -16,7 +24,15 @@
 
 namespace igq {
 
-using GraphId = uint32_t;
+/// Which containment relation a query asks for (and therefore which way the
+/// engine inverts the union/intersection pruning roles, §4.4).
+enum class QueryDirection {
+  kSubgraph,   // answer = {Gi : query ⊆ Gi}
+  kSupergraph  // answer = {Gi : Gi ⊆ query}
+};
+
+/// Short lowercase name for logs and registry listings.
+const char* QueryDirectionName(QueryDirection direction);
 
 /// A graph dataset D = {G1..Gn} plus global label-domain information
 /// (L, needed by the §5.1 cost model).
@@ -25,25 +41,9 @@ struct GraphDatabase {
   /// Number of distinct vertex labels across the dataset.
   size_t num_labels = 0;
 
-  /// Recomputes num_labels from the graphs.
-  void RefreshLabelCount() {
-    size_t bound = 0;
-    for (const Graph& g : graphs) {
-      const size_t b = g.LabelUpperBound();
-      if (b > bound) bound = b;
-    }
-    std::vector<bool> seen(bound, false);
-    size_t distinct = 0;
-    for (const Graph& g : graphs) {
-      for (VertexId v = 0; v < g.NumVertices(); ++v) {
-        if (!seen[g.label(v)]) {
-          seen[g.label(v)] = true;
-          ++distinct;
-        }
-      }
-    }
-    num_labels = distinct;
-  }
+  /// Recomputes num_labels from the graphs. Safe on an empty database
+  /// (num_labels becomes 0 and no buffers are touched).
+  void RefreshLabelCount();
 };
 
 /// Per-query state computed once by Prepare() and shared by Filter() and all
@@ -61,47 +61,36 @@ class PreparedQuery {
   Graph query_;
 };
 
-/// A subgraph-query processing method M_sub: find all Gi in D with q ⊆ Gi.
-class SubgraphMethod {
+/// A filter-then-verify query processing method M. One contract serves both
+/// directions; Direction() declares which relation Filter/Verify implement.
+class Method {
  public:
-  virtual ~SubgraphMethod() = default;
+  virtual ~Method() = default;
 
   virtual std::string Name() const = 0;
+
+  /// The containment relation this method answers.
+  virtual QueryDirection Direction() const = 0;
 
   /// Indexes the dataset. `db` must outlive the method.
   virtual void Build(const GraphDatabase& db) = 0;
 
-  /// Computes per-query state (features etc.). Called once per query.
+  /// Computes per-query state (features etc.). Called once per query, so
+  /// feature extraction is amortized across Filter() and every Verify().
   virtual std::unique_ptr<PreparedQuery> Prepare(const Graph& query) const {
     return std::make_unique<PreparedQuery>(query);
   }
 
-  /// Filtering stage: ids of all graphs that may contain the query.
-  /// Guaranteed no false negatives.
+  /// Filtering stage: ids of all graphs that may stand in this method's
+  /// Direction() relation with the query. Guaranteed no false negatives.
   virtual std::vector<GraphId> Filter(const PreparedQuery& prepared) const = 0;
 
-  /// Verification stage for one candidate: true iff query ⊆ graphs[id].
+  /// Verification stage for one candidate: true iff query ⊆ graphs[id]
+  /// (kSubgraph) or graphs[id] ⊆ query (kSupergraph). Must be thread-safe;
+  /// the engine may call it from its verification pool.
   virtual bool Verify(const PreparedQuery& prepared, GraphId id) const = 0;
 
   /// Heap footprint of the index structure (Fig. 18).
-  virtual size_t IndexMemoryBytes() const = 0;
-};
-
-/// A supergraph-query processing method M_super: find all Gi with Gi ⊆ q.
-class SupergraphMethod {
- public:
-  virtual ~SupergraphMethod() = default;
-
-  virtual std::string Name() const = 0;
-  virtual void Build(const GraphDatabase& db) = 0;
-
-  /// Ids of all graphs that may be contained in the query (no false
-  /// negatives).
-  virtual std::vector<GraphId> Filter(const Graph& query) const = 0;
-
-  /// True iff graphs[id] ⊆ query.
-  virtual bool Verify(const Graph& query, GraphId id) const = 0;
-
   virtual size_t IndexMemoryBytes() const = 0;
 };
 

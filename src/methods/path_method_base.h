@@ -29,9 +29,9 @@ class PathPreparedQuery : public PreparedQuery {
 };
 
 /// Common base: builds the path trie (optionally multi-threaded, optionally
-/// with location info) and implements Prepare/Filter. Subclasses provide the
-/// verification strategy.
-class PathMethodBase : public SubgraphMethod {
+/// with location info) and implements Prepare/Filter for subgraph queries.
+/// Subclasses provide the verification strategy.
+class PathMethodBase : public Method {
  public:
   struct Options {
     /// Maximum indexed path length in edges (paper configuration: 4).
@@ -44,6 +44,10 @@ class PathMethodBase : public SubgraphMethod {
 
   explicit PathMethodBase(const Options& options)
       : options_(options), trie_(options.store_locations) {}
+
+  QueryDirection Direction() const override {
+    return QueryDirection::kSubgraph;
+  }
 
   void Build(const GraphDatabase& db) override;
 

@@ -1,25 +1,41 @@
 #include "methods/registry.h"
 
 #include "methods/ct_index.h"
+#include "methods/feature_count_index.h"
 #include "methods/ggsx.h"
 #include "methods/grapes.h"
 
 namespace igq {
 
-std::unique_ptr<SubgraphMethod> CreateSubgraphMethod(const std::string& name) {
-  if (name == "ggsx") return std::make_unique<GgsxMethod>();
-  if (name == "grapes") return std::make_unique<GrapesMethod>(1);
-  if (name == "grapes6") return std::make_unique<GrapesMethod>(6);
-  if (name == "ctindex") return std::make_unique<CtIndexMethod>();
+std::unique_ptr<Method> MethodRegistry::Create(QueryDirection direction,
+                                               const std::string& name) {
+  if (direction == QueryDirection::kSubgraph) {
+    if (name == "ggsx") return std::make_unique<GgsxMethod>();
+    if (name == "grapes") return std::make_unique<GrapesMethod>(1);
+    if (name == "grapes6") return std::make_unique<GrapesMethod>(6);
+    if (name == "ctindex") return std::make_unique<CtIndexMethod>();
+    return nullptr;
+  }
+  if (name == "featurecount") {
+    return std::make_unique<FeatureCountSupergraphMethod>();
+  }
   return nullptr;
 }
 
-std::vector<std::string> KnownSubgraphMethods() {
-  return {"ggsx", "grapes", "grapes6", "ctindex"};
+std::vector<std::string> MethodRegistry::Known(QueryDirection direction) {
+  if (direction == QueryDirection::kSubgraph) {
+    return {"ggsx", "grapes", "grapes6", "ctindex"};
+  }
+  return {"featurecount"};
 }
 
-size_t MethodVerifyThreads(const std::string& name) {
-  return name == "grapes6" ? 6 : 1;
+MethodDefaults MethodRegistry::Defaults(QueryDirection direction,
+                                        const std::string& name) {
+  MethodDefaults defaults;
+  if (direction == QueryDirection::kSubgraph && name == "grapes6") {
+    defaults.verify_threads = 6;
+  }
+  return defaults;
 }
 
 }  // namespace igq

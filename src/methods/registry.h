@@ -1,5 +1,8 @@
-// Name-based factory for the host methods, used by the benchmark harnesses
-// ("ggsx", "grapes", "grapes6", "ctindex").
+// Name-based factory for the host methods in both query directions, used by
+// the benchmark harnesses, the examples and the tool.
+//
+//   subgraph   : "ggsx", "grapes", "grapes6", "ctindex"
+//   supergraph : "featurecount"
 #ifndef IGQ_METHODS_REGISTRY_H_
 #define IGQ_METHODS_REGISTRY_H_
 
@@ -11,16 +14,28 @@
 
 namespace igq {
 
-/// Creates a subgraph method by name; returns nullptr for unknown names.
-/// Known names: "ggsx", "grapes", "grapes6", "ctindex".
-std::unique_ptr<SubgraphMethod> CreateSubgraphMethod(const std::string& name);
+/// Per-method engine defaults implied by the paper's configuration (e.g.
+/// Grapes(6) verifies with 6 threads).
+struct MethodDefaults {
+  size_t verify_threads = 1;
+};
 
-/// All known method names, in the order the paper's figures list them.
-std::vector<std::string> KnownSubgraphMethods();
+/// The two-direction method factory.
+class MethodRegistry {
+ public:
+  /// Creates a method by direction and name; nullptr for unknown names or a
+  /// name registered under the other direction.
+  static std::unique_ptr<Method> Create(QueryDirection direction,
+                                        const std::string& name);
 
-/// Verification-thread count the paper's configuration implies for `name`
-/// (6 for "grapes6", otherwise 1).
-size_t MethodVerifyThreads(const std::string& name);
+  /// All known method names for `direction`, in the order the paper's
+  /// figures list them.
+  static std::vector<std::string> Known(QueryDirection direction);
+
+  /// Engine defaults for `name` (defaults for unknown names).
+  static MethodDefaults Defaults(QueryDirection direction,
+                                 const std::string& name);
+};
 
 }  // namespace igq
 

@@ -1,4 +1,4 @@
-// Edge-case tests for the iGQ engines and cache: degenerate datasets and
+// Edge-case tests for the iGQ query engine and cache: degenerate datasets and
 // queries, window/capacity corner configurations, nested pruning chains,
 // and embedding-count cross-checks against an independent reference.
 #include <gtest/gtest.h>
@@ -24,7 +24,7 @@ TEST(EngineEdgeCaseTest, EmptyDataset) {
   db.RefreshLabelCount();
   GgsxMethod method;
   method.Build(db);
-  IgqSubgraphEngine engine(db, &method, IgqOptions{});
+  QueryEngine engine(db, &method, IgqOptions{});
   EXPECT_TRUE(engine.Process(Triangle()).empty());
 }
 
@@ -35,7 +35,7 @@ TEST(EngineEdgeCaseTest, QueryLargerThanEveryGraph) {
   db.RefreshLabelCount();
   GgsxMethod method;
   method.Build(db);
-  IgqSubgraphEngine engine(db, &method, IgqOptions{});
+  QueryEngine engine(db, &method, IgqOptions{});
   const Graph big = PathGraph(std::vector<Label>(30, 0));
   QueryStats stats;
   EXPECT_TRUE(engine.Process(big, &stats).empty());
@@ -49,7 +49,7 @@ TEST(EngineEdgeCaseTest, SingleVertexQuery) {
   db.RefreshLabelCount();
   GgsxMethod method;
   method.Build(db);
-  IgqSubgraphEngine engine(db, &method, IgqOptions{});
+  QueryEngine engine(db, &method, IgqOptions{});
   Graph v;
   v.AddVertex(6);
   const std::vector<GraphId> expected{0, 1};
@@ -67,7 +67,7 @@ TEST(EngineEdgeCaseTest, DisconnectedQuery) {
   db.RefreshLabelCount();
   GgsxMethod method;
   method.Build(db);
-  IgqSubgraphEngine engine(db, &method, IgqOptions{});
+  QueryEngine engine(db, &method, IgqOptions{});
   Graph two_edges(4);
   two_edges.AddEdge(0, 1);
   two_edges.AddEdge(2, 3);
@@ -87,7 +87,7 @@ TEST(EngineEdgeCaseTest, WindowEqualsCapacity) {
   IgqOptions options;
   options.cache_capacity = 4;
   options.window_size = 4;  // W == C: every flush replaces everything
-  IgqSubgraphEngine engine(db, &method, options);
+  QueryEngine engine(db, &method, options);
   for (int round = 0; round < 20; ++round) {
     const Graph query = testing::RandomSubgraphOf(
         rng, db.graphs[rng.Below(db.graphs.size())], 5);
@@ -110,7 +110,7 @@ TEST(EngineEdgeCaseTest, NestedChainPrunesTransitively) {
   method.Build(db);
   IgqOptions options;
   options.window_size = 1;  // flush immediately
-  IgqSubgraphEngine engine(db, &method, options);
+  QueryEngine engine(db, &method, options);
 
   const Graph& source = db.graphs[0];
   engine.Process(BfsNeighborhoodQuery(source, 0, 20));
@@ -128,7 +128,7 @@ TEST(EngineEdgeCaseTest, StatsResetBetweenQueries) {
   db.RefreshLabelCount();
   GgsxMethod method;
   method.Build(db);
-  IgqSubgraphEngine engine(db, &method, IgqOptions{});
+  QueryEngine engine(db, &method, IgqOptions{});
   QueryStats stats;
   engine.Process(Triangle(), &stats);
   const size_t first_tests = stats.iso_tests;

@@ -1,4 +1,4 @@
-// Correctness tests for the iGQ engines — the experimental embodiment of
+// Correctness tests for the iGQ query engine — the experimental embodiment of
 // Theorems 1 and 2: with the cache in arbitrary states, iGQ's answers must
 // equal the brute-force answers (no false positives, no false negatives),
 // for both subgraph and supergraph queries, across all host methods.
@@ -60,14 +60,14 @@ class IgqEquivalenceTest : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(IgqEquivalenceTest, AnswersMatchBruteForceAcrossCacheStates) {
   GraphDatabase db = MakeDb(101);
-  auto method = CreateSubgraphMethod(GetParam());
+  auto method = MethodRegistry::Create(QueryDirection::kSubgraph, GetParam());
   ASSERT_NE(method, nullptr);
   method->Build(db);
 
   IgqOptions options;
   options.cache_capacity = 8;  // tiny cache: forces evictions mid-run
   options.window_size = 3;
-  IgqSubgraphEngine engine(db, method.get(), options);
+  QueryEngine engine(db, method.get(), options);
 
   const std::vector<Graph> workload = MakeNestedWorkload(db, 55, 60);
   for (size_t i = 0; i < workload.size(); ++i) {
@@ -82,11 +82,11 @@ TEST_P(IgqEquivalenceTest, AnswersMatchBruteForceAcrossCacheStates) {
 
 TEST_P(IgqEquivalenceTest, DisabledEngineIsPlainBaseline) {
   GraphDatabase db = MakeDb(7, 15);
-  auto method = CreateSubgraphMethod(GetParam());
+  auto method = MethodRegistry::Create(QueryDirection::kSubgraph, GetParam());
   method->Build(db);
   IgqOptions options;
   options.enabled = false;
-  IgqSubgraphEngine engine(db, method.get(), options);
+  QueryEngine engine(db, method.get(), options);
 
   Rng rng(70);
   for (int round = 0; round < 10; ++round) {
@@ -101,17 +101,18 @@ TEST_P(IgqEquivalenceTest, DisabledEngineIsPlainBaseline) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(AllMethods, IgqEquivalenceTest,
-                         ::testing::ValuesIn(KnownSubgraphMethods()));
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, IgqEquivalenceTest,
+    ::testing::ValuesIn(MethodRegistry::Known(QueryDirection::kSubgraph)));
 
 TEST(IgqEngineTest, ExactRepeatTakesShortcutAndSkipsVerification) {
   GraphDatabase db = MakeDb(5);
-  auto method = CreateSubgraphMethod("ggsx");
+  auto method = MethodRegistry::Create(QueryDirection::kSubgraph, "ggsx");
   method->Build(db);
   IgqOptions options;
   options.cache_capacity = 16;
   options.window_size = 2;
-  IgqSubgraphEngine engine(db, method.get(), options);
+  QueryEngine engine(db, method.get(), options);
 
   Rng rng(12);
   const Graph query = RandomSubgraphOf(rng, db.graphs[0], 8);
@@ -131,11 +132,11 @@ TEST(IgqEngineTest, ExactRepeatTakesShortcutAndSkipsVerification) {
 
 TEST(IgqEngineTest, EmptyAnswerSupergraphShortcut) {
   GraphDatabase db = MakeDb(9);
-  auto method = CreateSubgraphMethod("ggsx");
+  auto method = MethodRegistry::Create(QueryDirection::kSubgraph, "ggsx");
   method->Build(db);
   IgqOptions options;
   options.window_size = 1;  // flush after every query
-  IgqSubgraphEngine engine(db, method.get(), options);
+  QueryEngine engine(db, method.get(), options);
 
   // A query whose labels exist but whose structure matches nothing: a long
   // chain alternating two labels with a rare third in the middle, denser
@@ -164,11 +165,11 @@ TEST(IgqEngineTest, EmptyAnswerSupergraphShortcut) {
 
 TEST(IgqEngineTest, SubgraphCasePrunesKnownAnswers) {
   GraphDatabase db = MakeDb(33);
-  auto method = CreateSubgraphMethod("ggsx");
+  auto method = MethodRegistry::Create(QueryDirection::kSubgraph, "ggsx");
   method->Build(db);
   IgqOptions options;
   options.window_size = 1;
-  IgqSubgraphEngine engine(db, method.get(), options);
+  QueryEngine engine(db, method.get(), options);
 
   Rng rng(44);
   // Big query first; its subgraph afterwards. The sub-query's candidates
@@ -193,9 +194,9 @@ TEST(IgqEngineTest, SubgraphCasePrunesKnownAnswers) {
 
 TEST(IgqEngineTest, StatsTimingFieldsPopulated) {
   GraphDatabase db = MakeDb(3, 10);
-  auto method = CreateSubgraphMethod("ggsx");
+  auto method = MethodRegistry::Create(QueryDirection::kSubgraph, "ggsx");
   method->Build(db);
-  IgqSubgraphEngine engine(db, method.get(), IgqOptions{});
+  QueryEngine engine(db, method.get(), IgqOptions{});
   Rng rng(1);
   QueryStats stats;
   engine.Process(RandomSubgraphOf(rng, db.graphs[0], 6), &stats);
@@ -207,16 +208,18 @@ TEST(IgqEngineTest, StatsTimingFieldsPopulated) {
 
 TEST(IgqEngineTest, ParallelVerifyEquivalent) {
   GraphDatabase db = MakeDb(13);
-  auto serial_method = CreateSubgraphMethod("ggsx");
-  auto parallel_method = CreateSubgraphMethod("ggsx");
+  auto serial_method =
+      MethodRegistry::Create(QueryDirection::kSubgraph, "ggsx");
+  auto parallel_method =
+      MethodRegistry::Create(QueryDirection::kSubgraph, "ggsx");
   serial_method->Build(db);
   parallel_method->Build(db);
   IgqOptions serial_options;
   serial_options.verify_threads = 1;
   IgqOptions parallel_options;
   parallel_options.verify_threads = 4;
-  IgqSubgraphEngine serial(db, serial_method.get(), serial_options);
-  IgqSubgraphEngine parallel(db, parallel_method.get(), parallel_options);
+  QueryEngine serial(db, serial_method.get(), serial_options);
+  QueryEngine parallel(db, parallel_method.get(), parallel_options);
 
   const std::vector<Graph> workload = MakeNestedWorkload(db, 21, 30);
   for (const Graph& query : workload) {
@@ -226,15 +229,15 @@ TEST(IgqEngineTest, ParallelVerifyEquivalent) {
 
 TEST(IgqEngineTest, ParallelProbesEquivalent) {
   GraphDatabase db = MakeDb(17);
-  auto m1 = CreateSubgraphMethod("ggsx");
-  auto m2 = CreateSubgraphMethod("ggsx");
+  auto m1 = MethodRegistry::Create(QueryDirection::kSubgraph, "ggsx");
+  auto m2 = MethodRegistry::Create(QueryDirection::kSubgraph, "ggsx");
   m1->Build(db);
   m2->Build(db);
   IgqOptions sequential;
   IgqOptions threaded;
   threaded.parallel_probes = true;
-  IgqSubgraphEngine a(db, m1.get(), sequential);
-  IgqSubgraphEngine b(db, m2.get(), threaded);
+  QueryEngine a(db, m1.get(), sequential);
+  QueryEngine b(db, m2.get(), threaded);
   const std::vector<Graph> workload = MakeNestedWorkload(db, 31, 25);
   for (const Graph& query : workload) {
     EXPECT_EQ(a.Process(query), b.Process(query));
@@ -243,11 +246,11 @@ TEST(IgqEngineTest, ParallelProbesEquivalent) {
 
 TEST(IgqEngineTest, MetadataCreditsAccumulate) {
   GraphDatabase db = MakeDb(23);
-  auto method = CreateSubgraphMethod("ggsx");
+  auto method = MethodRegistry::Create(QueryDirection::kSubgraph, "ggsx");
   method->Build(db);
   IgqOptions options;
   options.window_size = 1;
-  IgqSubgraphEngine engine(db, method.get(), options);
+  QueryEngine engine(db, method.get(), options);
 
   const Graph big = BfsNeighborhoodQuery(db.graphs[0], 0, 12);
   engine.Process(big);
@@ -270,14 +273,14 @@ TEST(IgqEngineTest, MetadataCreditsAccumulate) {
 
 // ---- Supergraph engine (§4.4). ----
 
-TEST(IgqSupergraphEngineTest, AnswersMatchBruteForce) {
+TEST(SupergraphQueryEngineTest, AnswersMatchBruteForce) {
   GraphDatabase db = MakeDb(201, 22);
   FeatureCountSupergraphMethod method;
   method.Build(db);
   IgqOptions options;
   options.cache_capacity = 8;
   options.window_size = 3;
-  IgqSupergraphEngine engine(db, &method, options);
+  QueryEngine engine(db, &method, options);
 
   Rng rng(77);
   std::vector<Graph> workload;
@@ -298,13 +301,13 @@ TEST(IgqSupergraphEngineTest, AnswersMatchBruteForce) {
   }
 }
 
-TEST(IgqSupergraphEngineTest, ExactRepeatShortcut) {
+TEST(SupergraphQueryEngineTest, ExactRepeatShortcut) {
   GraphDatabase db = MakeDb(205, 12);
   FeatureCountSupergraphMethod method;
   method.Build(db);
   IgqOptions options;
   options.window_size = 1;
-  IgqSupergraphEngine engine(db, &method, options);
+  QueryEngine engine(db, &method, options);
 
   Rng rng(3);
   const Graph query = RandomConnectedGraph(rng, 20, 12, 3);
@@ -316,13 +319,13 @@ TEST(IgqSupergraphEngineTest, ExactRepeatShortcut) {
   EXPECT_EQ(stats.iso_tests, 0u);
 }
 
-TEST(IgqSupergraphEngineTest, DisabledMatchesBaseline) {
+TEST(SupergraphQueryEngineTest, DisabledMatchesBaseline) {
   GraphDatabase db = MakeDb(209, 12);
   FeatureCountSupergraphMethod method;
   method.Build(db);
   IgqOptions options;
   options.enabled = false;
-  IgqSupergraphEngine engine(db, &method, options);
+  QueryEngine engine(db, &method, options);
   Rng rng(4);
   for (int i = 0; i < 8; ++i) {
     const Graph query = RandomConnectedGraph(rng, 18, 10, 3);

@@ -31,12 +31,12 @@ std::vector<GraphId> Vf2Reference(const GraphDatabase& db, const Graph& query) {
 
 TEST(IntegrationTest, AidsProfileWorkloadThroughIgqGgsx) {
   const GraphDatabase db = MakeDataset("aids", 0.02, 123);  // 120 graphs
-  auto method = CreateSubgraphMethod("ggsx");
+  auto method = MethodRegistry::Create(QueryDirection::kSubgraph, "ggsx");
   method->Build(db);
   IgqOptions options;
   options.cache_capacity = 30;
   options.window_size = 10;
-  IgqSubgraphEngine engine(db, method.get(), options);
+  QueryEngine engine(db, method.get(), options);
 
   const WorkloadSpec spec = MakeWorkloadSpec("zipf-zipf", 1.4, 80, 9);
   const auto workload = GenerateWorkload(db.graphs, spec);
@@ -56,15 +56,16 @@ TEST(IntegrationTest, AllMethodsAgreeOnAidsWorkload) {
   const WorkloadSpec spec = MakeWorkloadSpec("uni-uni", 1.4, 25, 31);
   const auto workload = GenerateWorkload(db.graphs, spec);
 
-  std::vector<std::unique_ptr<SubgraphMethod>> methods;
-  std::vector<std::unique_ptr<IgqSubgraphEngine>> engines;
-  for (const std::string& name : KnownSubgraphMethods()) {
-    methods.push_back(CreateSubgraphMethod(name));
+  std::vector<std::unique_ptr<Method>> methods;
+  std::vector<std::unique_ptr<QueryEngine>> engines;
+  for (const std::string& name :
+       MethodRegistry::Known(QueryDirection::kSubgraph)) {
+    methods.push_back(MethodRegistry::Create(QueryDirection::kSubgraph, name));
     methods.back()->Build(db);
     IgqOptions options;
     options.cache_capacity = 10;
     options.window_size = 5;
-    engines.push_back(std::make_unique<IgqSubgraphEngine>(
+    engines.push_back(std::make_unique<QueryEngine>(
         db, methods.back().get(), options));
   }
   for (const WorkloadQuery& wq : workload) {
@@ -84,11 +85,11 @@ TEST(IntegrationTest, PdbsProfileVerificationDominates) {
   params.avg_nodes = 500;
   db.graphs = MakePdbsLike(params, 77);
   db.RefreshLabelCount();
-  auto method = CreateSubgraphMethod("ggsx");
+  auto method = MethodRegistry::Create(QueryDirection::kSubgraph, "ggsx");
   method->Build(db);
   IgqOptions options;
   options.enabled = false;
-  IgqSubgraphEngine engine(db, method.get(), options);
+  QueryEngine engine(db, method.get(), options);
 
   const WorkloadSpec spec = MakeWorkloadSpec("uni-uni", 1.4, 20, 3);
   const auto workload = GenerateWorkload(db.graphs, spec);
@@ -109,7 +110,7 @@ TEST(IntegrationTest, SupergraphPipelineOnAidsProfile) {
   IgqOptions options;
   options.cache_capacity = 10;
   options.window_size = 4;
-  IgqSupergraphEngine engine(small_db, &method, options);
+  QueryEngine engine(small_db, &method, options);
 
   // Supergraph queries: whole dataset graphs (guaranteed to contain
   // themselves) possibly repeated.
@@ -138,8 +139,8 @@ TEST(IntegrationTest, DatasetSurvivesSerializationRoundTrip) {
   db2.RefreshLabelCount();
   EXPECT_EQ(db2.num_labels, db.num_labels);
 
-  auto m1 = CreateSubgraphMethod("grapes");
-  auto m2 = CreateSubgraphMethod("grapes");
+  auto m1 = MethodRegistry::Create(QueryDirection::kSubgraph, "grapes");
+  auto m2 = MethodRegistry::Create(QueryDirection::kSubgraph, "grapes");
   m1->Build(db);
   m2->Build(db2);
   const WorkloadSpec spec = MakeWorkloadSpec("uni-uni", 1.4, 10, 77);
@@ -157,12 +158,12 @@ TEST(IntegrationTest, CacheSizeSweepNeverChangesAnswers) {
 
   std::vector<std::vector<std::vector<GraphId>>> all_answers;
   for (size_t capacity : {4u, 16u, 64u}) {
-    auto method = CreateSubgraphMethod("ggsx");
+    auto method = MethodRegistry::Create(QueryDirection::kSubgraph, "ggsx");
     method->Build(db);
     IgqOptions options;
     options.cache_capacity = capacity;
     options.window_size = std::max<size_t>(1, capacity / 4);
-    IgqSubgraphEngine engine(db, method.get(), options);
+    QueryEngine engine(db, method.get(), options);
     std::vector<std::vector<GraphId>> answers;
     for (const WorkloadQuery& wq : workload) {
       answers.push_back(engine.Process(wq.graph));

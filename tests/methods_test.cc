@@ -32,7 +32,7 @@ GraphDatabase MakeSmallDb(uint64_t seed, size_t num_graphs = 25) {
   return db;
 }
 
-std::vector<GraphId> RunMethod(SubgraphMethod& method, const Graph& query) {
+std::vector<GraphId> RunMethod(Method& method, const Graph& query) {
   auto prepared = method.Prepare(query);
   std::vector<GraphId> answer;
   for (GraphId id : method.Filter(*prepared)) {
@@ -95,7 +95,7 @@ class MethodCorrectnessTest : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(MethodCorrectnessTest, NoFalseNegativesInFilter) {
   GraphDatabase db = MakeSmallDb(42);
-  auto method = CreateSubgraphMethod(GetParam());
+  auto method = MethodRegistry::Create(QueryDirection::kSubgraph, GetParam());
   ASSERT_NE(method, nullptr);
   method->Build(db);
 
@@ -116,7 +116,7 @@ TEST_P(MethodCorrectnessTest, NoFalseNegativesInFilter) {
 
 TEST_P(MethodCorrectnessTest, FilterPlusVerifyMatchesBruteForce) {
   GraphDatabase db = MakeSmallDb(11);
-  auto method = CreateSubgraphMethod(GetParam());
+  auto method = MethodRegistry::Create(QueryDirection::kSubgraph, GetParam());
   ASSERT_NE(method, nullptr);
   method->Build(db);
 
@@ -138,22 +138,24 @@ TEST_P(MethodCorrectnessTest, FilterPlusVerifyMatchesBruteForce) {
 
 TEST_P(MethodCorrectnessTest, IndexMemoryAccounted) {
   GraphDatabase db = MakeSmallDb(3, 8);
-  auto method = CreateSubgraphMethod(GetParam());
+  auto method = MethodRegistry::Create(QueryDirection::kSubgraph, GetParam());
   method->Build(db);
   EXPECT_GT(method->IndexMemoryBytes(), 0u);
 }
 
-INSTANTIATE_TEST_SUITE_P(AllMethods, MethodCorrectnessTest,
-                         ::testing::ValuesIn(KnownSubgraphMethods()));
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, MethodCorrectnessTest,
+    ::testing::ValuesIn(MethodRegistry::Known(QueryDirection::kSubgraph)));
 
 TEST(RegistryTest, UnknownNameYieldsNull) {
-  EXPECT_EQ(CreateSubgraphMethod("nope"), nullptr);
+  EXPECT_EQ(MethodRegistry::Create(QueryDirection::kSubgraph, "nope"), nullptr);
 }
 
 TEST(RegistryTest, VerifyThreads) {
-  EXPECT_EQ(MethodVerifyThreads("grapes6"), 6u);
-  EXPECT_EQ(MethodVerifyThreads("grapes"), 1u);
-  EXPECT_EQ(MethodVerifyThreads("ggsx"), 1u);
+  const QueryDirection sub = QueryDirection::kSubgraph;
+  EXPECT_EQ(MethodRegistry::Defaults(sub, "grapes6").verify_threads, 6u);
+  EXPECT_EQ(MethodRegistry::Defaults(sub, "grapes").verify_threads, 1u);
+  EXPECT_EQ(MethodRegistry::Defaults(sub, "ggsx").verify_threads, 1u);
 }
 
 TEST(GrapesTest, ParallelBuildEquivalentToSerial) {
@@ -278,7 +280,7 @@ TEST(FeatureCountIndexTest, OccurrenceCountsPrune) {
   EXPECT_EQ(candidates, std::vector<GraphId>{1});
 }
 
-TEST(SupergraphMethodTest, MatchesBruteForce) {
+TEST(SupergraphHostMethodTest, MatchesBruteForce) {
   GraphDatabase db = MakeSmallDb(71, 18);
   FeatureCountSupergraphMethod method;
   method.Build(db);
@@ -288,9 +290,10 @@ TEST(SupergraphMethodTest, MatchesBruteForce) {
     const Graph query =
         round % 2 == 0 ? db.graphs[rng.Below(db.graphs.size())]
                        : RandomConnectedGraph(rng, 18, 10, 3);
+    auto prepared = method.Prepare(query);
     std::vector<GraphId> answer;
-    for (GraphId id : method.Filter(query)) {
-      if (method.Verify(query, id)) answer.push_back(id);
+    for (GraphId id : method.Filter(*prepared)) {
+      if (method.Verify(*prepared, id)) answer.push_back(id);
     }
     std::sort(answer.begin(), answer.end());
     EXPECT_EQ(answer, BruteForceSupergraphAnswer(db.graphs, query))

@@ -72,7 +72,8 @@ class FilterContractTest
 TEST_P(FilterContractTest, NoFalseNegativesOnProfile) {
   const GraphDatabase db = MakeDataset(GetParam().dataset, 0.004, 99);
   ASSERT_FALSE(db.graphs.empty());
-  auto method = CreateSubgraphMethod(GetParam().method);
+  auto method =
+      MethodRegistry::Create(QueryDirection::kSubgraph, GetParam().method);
   ASSERT_NE(method, nullptr);
   method->Build(db);
 

@@ -123,7 +123,7 @@ TEST_P(PolicyCorrectnessTest, AnswersAlwaysCorrect) {
   db.RefreshLabelCount();
   GgsxMethod method;
   method.Build(db);
-  IgqSubgraphEngine engine(db, &method,
+  QueryEngine engine(db, &method,
                            PolicyOptions(GetParam(), 6, 2));
   for (int round = 0; round < 40; ++round) {
     Graph query;
