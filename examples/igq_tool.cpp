@@ -1,17 +1,29 @@
 // igq_tool — command-line utility around the library:
 //
 //   igq_tool gen --profile=aids --scale=0.1 --seed=1 --out=aids.txt
-//       Generate a dataset file (Grapes-style text format).
+//       Generate a dataset file (--format=text for the Grapes-style text
+//       format, --format=binary for the one-read binary format).
 //   igq_tool stat --data=aids.txt
 //       Print Table-1-style statistics of a dataset file.
 //   igq_tool query --data=aids.txt --method=grapes6 --workload=zipf-zipf \
 //            --alpha=1.4 --queries=500 --cache=500 --window=100
 //       Run a synthetic workload through iGQ + the chosen method and report
 //       speedups against the plain method.
+//   igq_tool save --data=aids.txt --method=grapes6 --queries=500 \
+//            --out=warm.igqs
+//       Build the method index, warm the iGQ cache on a workload, and write
+//       a snapshot (cache + method index) for later warm starts.
+//   igq_tool load --data=aids.txt --method=grapes6 --snapshot=warm.igqs \
+//            --queries=200 [--verify]
+//       Restore engine state from a snapshot (skipping the index build when
+//       the snapshot carries one) and run a probe workload; --verify also
+//       answers the probes on a cold-built engine and fails on any
+//       divergence.
 //
 // Build: cmake --build build && ./build/examples/igq_tool gen ...
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <string>
 
@@ -55,11 +67,22 @@ int CmdGen(const std::map<std::string, std::string>& flags) {
     std::fprintf(stderr, "unknown profile '%s'\n", profile.c_str());
     return 1;
   }
-  if (!igq::WriteGraphsToFile(out, db.graphs)) {
+  const std::string format = Get(flags, "format", "text");
+  bool written;
+  if (format == "binary") {
+    written = igq::WriteGraphsBinaryToFile(out, db.graphs);
+  } else if (format == "text") {
+    written = igq::WriteGraphsToFile(out, db.graphs);
+  } else {
+    std::fprintf(stderr, "unknown format '%s' (text|binary)\n", format.c_str());
+    return 1;
+  }
+  if (!written) {
     std::fprintf(stderr, "cannot write '%s'\n", out.c_str());
     return 1;
   }
-  std::printf("wrote %zu graphs to %s\n", db.graphs.size(), out.c_str());
+  std::printf("wrote %zu graphs to %s (%s)\n", db.graphs.size(), out.c_str(),
+              format.c_str());
   return 0;
 }
 
@@ -84,25 +107,64 @@ int CmdStat(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
-int CmdQuery(const std::map<std::string, std::string>& flags) {
+bool LoadDatabase(const std::map<std::string, std::string>& flags,
+                  igq::GraphDatabase* db) {
   const std::string path = Get(flags, "data", "");
   const auto graphs = igq::ReadGraphsFromFile(path);
   if (!graphs.has_value()) {
     std::fprintf(stderr, "cannot read '%s'\n", path.c_str());
-    return 1;
+    return false;
   }
-  igq::GraphDatabase db;
-  db.graphs = *graphs;
-  db.RefreshLabelCount();
+  db->graphs = *graphs;
+  db->RefreshLabelCount();
+  return true;
+}
 
-  const std::string method_name = Get(flags, "method", "ggsx");
-  auto method = igq::MethodRegistry::Create(igq::QueryDirection::kSubgraph,
-                                            method_name);
-  if (method == nullptr) {
-    std::fprintf(stderr, "unknown method '%s' (ggsx|grapes|grapes6|ctindex)\n",
-                 method_name.c_str());
-    return 1;
+// Resolves --direction (default subgraph) and --method against the registry.
+std::unique_ptr<igq::Method> MakeMethod(
+    const std::map<std::string, std::string>& flags,
+    igq::QueryDirection* direction_out) {
+  const std::string direction_name = Get(flags, "direction", "subgraph");
+  if (direction_name != "subgraph" && direction_name != "supergraph") {
+    std::fprintf(stderr, "unknown direction '%s' (subgraph|supergraph)\n",
+                 direction_name.c_str());
+    return nullptr;
   }
+  const igq::QueryDirection direction =
+      direction_name == "supergraph" ? igq::QueryDirection::kSupergraph
+                                     : igq::QueryDirection::kSubgraph;
+  const std::string method_name = Get(flags, "method", "ggsx");
+  auto method = igq::MethodRegistry::Create(direction, method_name);
+  if (method == nullptr) {
+    std::string known;
+    for (const std::string& name : igq::MethodRegistry::Known(direction)) {
+      known += known.empty() ? name : "|" + name;
+    }
+    std::fprintf(stderr, "unknown %s method '%s' (%s)\n",
+                 direction_name.c_str(), method_name.c_str(), known.c_str());
+  }
+  if (direction_out != nullptr) *direction_out = direction;
+  return method;
+}
+
+igq::IgqOptions EngineOptions(const std::map<std::string, std::string>& flags,
+                              igq::QueryDirection direction) {
+  igq::IgqOptions options;
+  options.cache_capacity = std::atoll(Get(flags, "cache", "500").c_str());
+  options.window_size = std::atoll(Get(flags, "window", "100").c_str());
+  options.verify_threads =
+      igq::MethodRegistry::Defaults(direction, Get(flags, "method", "ggsx"))
+          .verify_threads;
+  return options;
+}
+
+int CmdSave(const std::map<std::string, std::string>& flags) {
+  igq::GraphDatabase db;
+  if (!LoadDatabase(flags, &db)) return 1;
+  igq::QueryDirection direction;
+  auto method = MakeMethod(flags, &direction);
+  if (method == nullptr) return 1;
+
   igq::Timer build_timer;
   method->Build(db);
   std::printf("built %s over %zu graphs in %.2fs\n", method->Name().c_str(),
@@ -115,12 +177,122 @@ int CmdQuery(const std::map<std::string, std::string>& flags) {
       std::atoll(Get(flags, "seed", "42").c_str()));
   const auto workload = igq::GenerateWorkload(db.graphs, spec);
 
-  igq::IgqOptions options;
-  options.cache_capacity = std::atoll(Get(flags, "cache", "500").c_str());
-  options.window_size = std::atoll(Get(flags, "window", "100").c_str());
-  options.verify_threads =
-      igq::MethodRegistry::Defaults(igq::QueryDirection::kSubgraph, method_name)
-          .verify_threads;
+  igq::QueryEngine engine(db, method.get(), EngineOptions(flags, direction));
+  igq::Timer warm_timer;
+  for (const igq::WorkloadQuery& wq : workload) engine.Process(wq.graph);
+  std::printf("warmed cache with %zu queries in %.2fs (%zu cached, %zu "
+              "pending in window)\n",
+              workload.size(), warm_timer.ElapsedSeconds(),
+              engine.cache().size(), engine.cache().window_fill());
+
+  const std::string out_path = Get(flags, "out", "warm.igqs");
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot write '%s'\n", out_path.c_str());
+    return 1;
+  }
+  std::string error;
+  if (!engine.SaveSnapshot(out, &error)) {
+    std::fprintf(stderr, "snapshot failed: %s\n", error.c_str());
+    return 1;
+  }
+  out.flush();
+  std::printf("snapshot written to %s (%lld bytes)\n", out_path.c_str(),
+              static_cast<long long>(out.tellp()));
+  return 0;
+}
+
+int CmdLoad(const std::map<std::string, std::string>& flags) {
+  igq::GraphDatabase db;
+  if (!LoadDatabase(flags, &db)) return 1;
+  igq::QueryDirection direction;
+  auto method = MakeMethod(flags, &direction);
+  if (method == nullptr) return 1;
+
+  const std::string snapshot_path = Get(flags, "snapshot", "warm.igqs");
+  std::ifstream in(snapshot_path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read '%s'\n", snapshot_path.c_str());
+    return 1;
+  }
+  igq::QueryEngine engine(db, method.get(), EngineOptions(flags, direction));
+  std::string error;
+  igq::SnapshotLoadInfo info;
+  igq::Timer load_timer;
+  if (!engine.LoadSnapshot(in, &error, &info)) {
+    std::fprintf(stderr, "cannot load snapshot '%s': %s\n",
+                 snapshot_path.c_str(), error.c_str());
+    return 1;
+  }
+  if (!info.method_index_restored) {
+    std::printf("snapshot has no %s index; building from scratch\n",
+                method->Name().c_str());
+    method->Build(db);
+  }
+  std::printf("warm start in %.2fs: %zu cached queries, method index %s\n",
+              load_timer.ElapsedSeconds(), info.cached_queries,
+              info.method_index_restored ? "restored" : "rebuilt");
+
+  const igq::WorkloadSpec spec = igq::MakeWorkloadSpec(
+      Get(flags, "workload", "zipf-zipf"),
+      std::atof(Get(flags, "alpha", "1.4").c_str()),
+      std::atoll(Get(flags, "queries", "200").c_str()),
+      std::atoll(Get(flags, "seed", "43").c_str()));
+  const auto workload = igq::GenerateWorkload(db.graphs, spec);
+
+  size_t tests = 0;
+  int64_t micros = 0;
+  std::vector<std::vector<igq::GraphId>> answers;
+  answers.reserve(workload.size());
+  for (const igq::WorkloadQuery& wq : workload) {
+    igq::QueryStats stats;
+    answers.push_back(engine.Process(wq.graph, &stats));
+    tests += stats.iso_tests;
+    micros += stats.total_micros;
+  }
+  std::printf("%zu probe queries: %zu tests, %.1f ms\n", workload.size(),
+              tests, micros / 1000.0);
+
+  if (flags.count("verify") != 0) {
+    // Answer the same probes on a cold-built engine; iGQ answers are exact,
+    // so any divergence means the snapshot corrupted engine state.
+    auto cold_method = MakeMethod(flags, nullptr);
+    cold_method->Build(db);
+    igq::QueryEngine cold(db, cold_method.get(),
+                          EngineOptions(flags, direction));
+    bool identical = true;
+    for (size_t i = 0; i < workload.size(); ++i) {
+      if (cold.Process(workload[i].graph) != answers[i]) {
+        identical = false;
+        break;
+      }
+    }
+    std::printf("answers identical to cold rebuild: %s\n",
+                identical ? "yes" : "NO");
+    if (!identical) return 1;
+  }
+  return 0;
+}
+
+int CmdQuery(const std::map<std::string, std::string>& flags) {
+  igq::GraphDatabase db;
+  if (!LoadDatabase(flags, &db)) return 1;
+  igq::QueryDirection direction;
+  auto method = MakeMethod(flags, &direction);
+  if (method == nullptr) return 1;
+  igq::Timer build_timer;
+  method->Build(db);
+  std::printf("built %s over %zu graphs in %.2fs\n", method->Name().c_str(),
+              db.graphs.size(), build_timer.ElapsedSeconds());
+
+  const igq::WorkloadSpec spec = igq::MakeWorkloadSpec(
+      Get(flags, "workload", "zipf-zipf"),
+      std::atof(Get(flags, "alpha", "1.4").c_str()),
+      std::atoll(Get(flags, "queries", "500").c_str()),
+      std::atoll(Get(flags, "seed", "42").c_str()));
+  const auto workload = igq::GenerateWorkload(db.graphs, spec);
+
+  const igq::IgqOptions options = EngineOptions(flags, direction);
 
   size_t base_tests = 0, igq_tests = 0;
   int64_t base_micros = 0, igq_micros = 0;
@@ -163,14 +335,17 @@ int CmdQuery(const std::map<std::string, std::string>& flags) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: igq_tool <gen|stat|query> [--flag=value ...]\n");
+    std::fprintf(
+        stderr,
+        "usage: igq_tool <gen|stat|query|save|load> [--flag=value ...]\n");
     return 1;
   }
   const auto flags = ParseFlags(argc, argv);
   if (std::strcmp(argv[1], "gen") == 0) return CmdGen(flags);
   if (std::strcmp(argv[1], "stat") == 0) return CmdStat(flags);
   if (std::strcmp(argv[1], "query") == 0) return CmdQuery(flags);
+  if (std::strcmp(argv[1], "save") == 0) return CmdSave(flags);
+  if (std::strcmp(argv[1], "load") == 0) return CmdLoad(flags);
   std::fprintf(stderr, "unknown command '%s'\n", argv[1]);
   return 1;
 }

@@ -1,30 +1,22 @@
 #include "graph/graph_io.h"
 
+#include <algorithm>
 #include <fstream>
 #include <istream>
 #include <ostream>
-#include <sstream>
+
+#include "snapshot/serializer.h"
 
 namespace igq {
+namespace {
 
-void WriteGraphs(std::ostream& out, const std::vector<Graph>& graphs) {
-  for (size_t i = 0; i < graphs.size(); ++i) {
-    const Graph& g = graphs[i];
-    out << "#g" << i << "\n" << g.NumVertices() << "\n";
-    for (VertexId v = 0; v < g.NumVertices(); ++v) out << g.label(v) << "\n";
-    out << g.NumEdges() << "\n";
-    for (VertexId v = 0; v < g.NumVertices(); ++v) {
-      for (VertexId w : g.Neighbors(v)) {
-        if (v < w) out << v << " " << w << "\n";
-      }
-    }
-  }
-}
-
-std::optional<std::vector<Graph>> ReadGraphs(std::istream& in) {
+std::optional<std::vector<Graph>> ReadGraphsText(std::istream& in) {
   std::vector<Graph> graphs;
   std::string line;
   while (std::getline(in, line)) {
+    // Streams are opened in binary mode (for format sniffing), so CRLF
+    // files keep their '\r'; strip it rather than mis-reading the header.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
     if (line[0] != '#') return std::nullopt;  // expected a graph header
     size_t num_vertices = 0;
@@ -41,7 +33,9 @@ std::optional<std::vector<Graph>> ReadGraphs(std::istream& in) {
       VertexId u, v;
       if (!(in >> u >> v)) return std::nullopt;
       if (u >= num_vertices || v >= num_vertices) return std::nullopt;
-      g.AddEdge(u, v);
+      // Graphs are simple (Definition 1); agree with the binary parser
+      // and reject self-loops/duplicates instead of silently dropping.
+      if (!g.AddEdge(u, v)) return std::nullopt;
     }
     std::getline(in, line);  // consume trailing newline of the edge list
     graphs.push_back(std::move(g));
@@ -49,16 +43,92 @@ std::optional<std::vector<Graph>> ReadGraphs(std::istream& in) {
   return graphs;
 }
 
+// Called with the stream positioned on the magic's first byte.
+std::optional<std::vector<Graph>> ReadGraphsBinary(std::istream& in) {
+  snapshot::BinaryReader reader(in);
+  uint8_t magic[4] = {0, 0, 0, 0};
+  if (!reader.ReadBytes(magic, sizeof(magic))) return std::nullopt;
+  for (size_t i = 0; i < sizeof(magic); ++i) {
+    if (magic[i] != kBinaryGraphMagic[i]) return std::nullopt;
+  }
+  reader.ResetCrc();  // the trailing checksum covers version + count + bodies
+  uint32_t version = 0;
+  if (!reader.ReadU32(&version) || version != kBinaryGraphVersion) {
+    return std::nullopt;
+  }
+  uint64_t count = 0;
+  if (!reader.ReadU64(&count)) return std::nullopt;
+  std::vector<Graph> graphs;
+  graphs.reserve(static_cast<size_t>(std::min<uint64_t>(count, 4096)));
+  for (uint64_t i = 0; i < count; ++i) {
+    Graph g;
+    if (!snapshot::ReadGraph(reader, &g)) return std::nullopt;
+    graphs.push_back(std::move(g));
+  }
+  const uint32_t actual_crc = reader.crc();
+  uint32_t stored_crc = 0;
+  if (!reader.ReadU32(&stored_crc) || stored_crc != actual_crc) {
+    return std::nullopt;
+  }
+  // Trailing bytes mean a corrupted count field or a concatenated file —
+  // either way the caller would silently lose data; reject instead.
+  if (in.peek() != std::char_traits<char>::eof()) return std::nullopt;
+  return graphs;
+}
+
+}  // namespace
+
+void WriteGraphs(std::ostream& out, const std::vector<Graph>& graphs) {
+  for (size_t i = 0; i < graphs.size(); ++i) {
+    const Graph& g = graphs[i];
+    out << "#g" << i << "\n" << g.NumVertices() << "\n";
+    for (VertexId v = 0; v < g.NumVertices(); ++v) out << g.label(v) << "\n";
+    out << g.NumEdges() << "\n";
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      for (VertexId w : g.Neighbors(v)) {
+        if (v < w) out << v << " " << w << "\n";
+      }
+    }
+  }
+}
+
+void WriteGraphsBinary(std::ostream& out, const std::vector<Graph>& graphs) {
+  snapshot::BinaryWriter writer(out);
+  writer.WriteBytes(kBinaryGraphMagic, sizeof(kBinaryGraphMagic));
+  writer.ResetCrc();
+  writer.WriteU32(kBinaryGraphVersion);
+  writer.WriteU64(graphs.size());
+  for (const Graph& g : graphs) snapshot::WriteGraph(writer, g);
+  writer.WriteU32(writer.crc());
+}
+
+std::optional<std::vector<Graph>> ReadGraphs(std::istream& in) {
+  // Sniff: the text format's first non-empty byte is '#' (or whitespace),
+  // so a leading 'I' can only be the binary magic.
+  const int first = in.peek();
+  if (first == std::char_traits<char>::eof()) return std::vector<Graph>{};
+  if (first == kBinaryGraphMagic[0]) return ReadGraphsBinary(in);
+  return ReadGraphsText(in);
+}
+
 bool WriteGraphsToFile(const std::string& path,
                        const std::vector<Graph>& graphs) {
-  std::ofstream out(path);
+  std::ofstream out(path, std::ios::binary);
   if (!out) return false;
   WriteGraphs(out, graphs);
   return static_cast<bool>(out);
 }
 
+bool WriteGraphsBinaryToFile(const std::string& path,
+                             const std::vector<Graph>& graphs) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  WriteGraphsBinary(out, graphs);
+  return static_cast<bool>(out);
+}
+
 std::optional<std::vector<Graph>> ReadGraphsFromFile(const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;
   return ReadGraphs(in);
 }

@@ -1,10 +1,18 @@
-// Text serialization of graph collections, compatible in spirit with the
-// formats shipped by GraphGrepSX/Grapes ("#name / nodes / edges" blocks).
-// Lets users load the real AIDS/PDBS/PPI files if they have them, and lets
-// the benches persist generated datasets.
+// Serialization of graph collections in two formats (docs/FORMATS.md):
+//
+//   * text — compatible in spirit with the formats shipped by
+//     GraphGrepSX/Grapes ("#name / nodes / edges" blocks). Lets users load
+//     the real AIDS/PDBS/PPI files if they have them, and keeps generated
+//     datasets diffable.
+//   * binary — a magic + version + checksum fast path so large datasets
+//     load in a single pass without integer parsing.
+//
+// Readers sniff the leading bytes and dispatch automatically, so callers
+// never need to know which format a file uses.
 #ifndef IGQ_GRAPH_GRAPH_IO_H_
 #define IGQ_GRAPH_GRAPH_IO_H_
 
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <string>
@@ -14,7 +22,7 @@
 
 namespace igq {
 
-// Format, one graph per block:
+// Text format, one graph per block:
 //   #<graph-name>
 //   <num-vertices>
 //   <label-of-v0>
@@ -23,15 +31,30 @@ namespace igq {
 //   <u> <v>
 //   ...
 
-/// Writes `graphs` to the stream. Names are "g<index>".
+/// First bytes of a binary graph-collection file: 'I' 'G' 'Q' 'B'.
+inline constexpr uint8_t kBinaryGraphMagic[4] = {'I', 'G', 'Q', 'B'};
+/// Binary graph format version; bumped on incompatible layout changes.
+inline constexpr uint32_t kBinaryGraphVersion = 1;
+
+/// Writes `graphs` to the stream in the text format. Names are "g<index>".
 void WriteGraphs(std::ostream& out, const std::vector<Graph>& graphs);
 
-/// Parses all graph blocks from the stream. Returns std::nullopt on a
-/// malformed input (premature EOF, out-of-range vertex ids, ...).
+/// Writes `graphs` in the binary format: magic, version, count, graph
+/// bodies, trailing CRC-32 (over everything after the magic).
+void WriteGraphsBinary(std::ostream& out, const std::vector<Graph>& graphs);
+
+/// Parses a graph collection from the stream, sniffing the format: a
+/// leading 'I' selects the binary path (the text format always starts with
+/// '#' or whitespace), anything else the text parser. Returns std::nullopt
+/// on malformed input (premature EOF, out-of-range vertex ids, bad
+/// checksum, ...).
 std::optional<std::vector<Graph>> ReadGraphs(std::istream& in);
 
 /// Convenience file wrappers. Return false / nullopt on I/O failure.
+/// Reading sniffs the format; streams are opened in binary mode either way.
 bool WriteGraphsToFile(const std::string& path, const std::vector<Graph>& graphs);
+bool WriteGraphsBinaryToFile(const std::string& path,
+                             const std::vector<Graph>& graphs);
 std::optional<std::vector<Graph>> ReadGraphsFromFile(const std::string& path);
 
 }  // namespace igq

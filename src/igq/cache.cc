@@ -4,8 +4,57 @@
 #include <numeric>
 
 #include "common/timer.h"
+#include "snapshot/serializer.h"
 
 namespace igq {
+namespace {
+
+/// Payload version of the serialized cache state.
+constexpr uint32_t kCacheStateVersion = 1;
+
+void SaveRecord(snapshot::BinaryWriter& writer, const CachedQuery& record) {
+  writer.WriteU64(record.id);
+  snapshot::WriteGraph(writer, record.graph);
+  writer.WriteU64(record.answer.size());
+  for (GraphId id : record.answer) writer.WriteU32(id);
+  writer.WriteU64(record.meta.hits);
+  writer.WriteU64(record.meta.inserted_at);
+  writer.WriteU64(record.meta.removed_candidates);
+  writer.WriteDouble(record.meta.cost_saved.log());
+  writer.WriteU64(record.meta.last_hit_at);
+}
+
+bool LoadRecord(snapshot::BinaryReader& reader, CachedQuery* record,
+                uint64_t num_graphs) {
+  if (!reader.ReadU64(&record->id)) return false;
+  if (!snapshot::ReadGraph(reader, &record->graph)) return false;
+  uint64_t answer_size = 0;
+  if (!reader.ReadU64(&answer_size)) return false;
+  record->answer.clear();
+  record->answer.reserve(
+      static_cast<size_t>(std::min<uint64_t>(answer_size, 1024)));
+  for (uint64_t i = 0; i < answer_size; ++i) {
+    uint32_t id = 0;
+    if (!reader.ReadU32(&id)) return false;
+    if (id >= num_graphs) return false;  // answer ids index the dataset
+    if (i > 0 && id <= record->answer.back()) {
+      return false;  // answers must be sorted ascending, no duplicates
+    }
+    record->answer.push_back(id);
+  }
+  double cost_saved_log = 0;
+  if (!reader.ReadU64(&record->meta.hits) ||
+      !reader.ReadU64(&record->meta.inserted_at) ||
+      !reader.ReadU64(&record->meta.removed_candidates) ||
+      !reader.ReadDouble(&cost_saved_log) ||
+      !reader.ReadU64(&record->meta.last_hit_at)) {
+    return false;
+  }
+  record->meta.cost_saved = LogValue::FromLog(cost_saved_log);
+  return true;
+}
+
+}  // namespace
 
 QueryCache::QueryCache(const IgqOptions& options) : options_(options) {
   enumerator_options_.max_edges = options.path_max_edges;
@@ -137,6 +186,97 @@ void QueryCache::Flush() {
   isuper_ = std::move(fresh_isuper);
 
   maintenance_micros_ += timer.ElapsedMicros();
+}
+
+void QueryCache::Save(snapshot::BinaryWriter& writer, uint64_t num_graphs,
+                      uint32_t dataset_crc) const {
+  writer.WriteU32(kCacheStateVersion);
+  writer.WriteU32(static_cast<uint32_t>(options_.path_max_edges));
+  writer.WriteU64(options_.cache_capacity);
+  writer.WriteU64(options_.window_size);
+  writer.WriteU8(static_cast<uint8_t>(options_.replacement_policy));
+  writer.WriteU64(num_graphs);
+  writer.WriteU32(dataset_crc);
+  writer.WriteU64(queries_processed_);
+  writer.WriteU64(next_id_);
+  writer.WriteU64(entries_.size());
+  for (const CachedQuery& record : entries_) SaveRecord(writer, record);
+  writer.WriteU64(window_.size());
+  for (const CachedQuery& record : window_) SaveRecord(writer, record);
+}
+
+bool QueryCache::Load(snapshot::BinaryReader& reader, uint64_t num_graphs,
+                      uint32_t dataset_crc) {
+  uint32_t version = 0, path_max_edges = 0;
+  if (!reader.ReadU32(&version) || version != kCacheStateVersion) return false;
+  if (!reader.ReadU32(&path_max_edges) ||
+      path_max_edges != options_.path_max_edges) {
+    return false;
+  }
+  // Replay identity requires the full cache geometry to match, not just
+  // the feature length: capacity and window drive flush cadence and
+  // eviction counts, the policy picks the victims.
+  uint64_t cache_capacity = 0, window_size = 0;
+  uint8_t policy = 0;
+  if (!reader.ReadU64(&cache_capacity) || !reader.ReadU64(&window_size) ||
+      !reader.ReadU8(&policy)) {
+    return false;
+  }
+  if (cache_capacity != options_.cache_capacity ||
+      window_size != options_.window_size ||
+      policy != static_cast<uint8_t>(options_.replacement_policy)) {
+    return false;
+  }
+  // Answers are ids into the dataset the snapshot was taken over; loading
+  // them against a different dataset — even one of the same size — would
+  // be silently wrong results, so both size and content must match.
+  uint64_t stamped_num_graphs = 0;
+  uint32_t stamped_crc = 0;
+  if (!reader.ReadU64(&stamped_num_graphs) || stamped_num_graphs != num_graphs) {
+    return false;
+  }
+  if (!reader.ReadU32(&stamped_crc) || stamped_crc != dataset_crc) {
+    return false;
+  }
+  uint64_t queries_processed = 0, next_id = 0;
+  if (!reader.ReadU64(&queries_processed) || !reader.ReadU64(&next_id)) {
+    return false;
+  }
+  uint64_t num_entries = 0;
+  if (!reader.ReadU64(&num_entries)) return false;
+  std::vector<CachedQuery> entries;
+  entries.reserve(static_cast<size_t>(std::min<uint64_t>(num_entries, 1024)));
+  for (uint64_t i = 0; i < num_entries; ++i) {
+    CachedQuery record;
+    if (!LoadRecord(reader, &record, num_graphs)) return false;
+    entries.push_back(std::move(record));
+  }
+  uint64_t num_window = 0;
+  if (!reader.ReadU64(&num_window)) return false;
+  std::vector<CachedQuery> window;
+  window.reserve(static_cast<size_t>(std::min<uint64_t>(num_window, 1024)));
+  for (uint64_t i = 0; i < num_window; ++i) {
+    CachedQuery record;
+    if (!LoadRecord(reader, &record, num_graphs)) return false;
+    window.push_back(std::move(record));
+  }
+
+  // Commit, then shadow-rebuild the derived sub-indexes (§5.2) over the
+  // restored Igraphs — the window stays invisible until its next flush,
+  // exactly as on the engine that produced the snapshot.
+  entries_ = std::move(entries);
+  window_ = std::move(window);
+  queries_processed_ = queries_processed;
+  next_id_ = next_id;
+  Timer timer;
+  IsubIndex fresh_isub(enumerator_options_);
+  fresh_isub.Build(entries_);
+  IsuperIndex fresh_isuper(enumerator_options_);
+  fresh_isuper.Build(entries_);
+  isub_ = std::move(fresh_isub);
+  isuper_ = std::move(fresh_isuper);
+  maintenance_micros_ += timer.ElapsedMicros();
+  return true;
 }
 
 size_t QueryCache::MemoryBytes() const {

@@ -16,6 +16,10 @@
 #include "igq/query_record.h"
 
 namespace igq {
+namespace snapshot {
+class BinaryReader;
+class BinaryWriter;
+}  // namespace snapshot
 
 /// Result of probing the cache with a new query g.
 struct CacheProbe {
@@ -81,6 +85,28 @@ class QueryCache {
 
   /// Heap footprint of the cache indexes + stored graphs (Fig. 18).
   size_t MemoryBytes() const;
+
+  /// Serializes the complete behavioral state: every cached entry (graph,
+  /// answer, §5.1 metadata incl. utility inputs), the pending window
+  /// (Itemp), and the query/id counters. `num_graphs` and `dataset_crc`
+  /// (size and content fingerprint of the dataset the answers refer to,
+  /// see snapshot::DatasetFingerprint) are stamped into the payload.
+  /// Isub/Isuper are NOT serialized — they are derived data,
+  /// shadow-rebuilt on load per §5.2.
+  void Save(snapshot::BinaryWriter& writer, uint64_t num_graphs,
+            uint32_t dataset_crc) const;
+
+  /// Restores state saved by Save() and shadow-rebuilds Isub/Isuper over
+  /// the restored entries. An engine restored this way replays a query
+  /// stream with the same hits, prunes, and replacement victims as the one
+  /// that produced the snapshot. Returns false — leaving this cache
+  /// unchanged — on malformed input, a dataset size or content-fingerprint
+  /// mismatch (answer ids are also individually bounds-checked against
+  /// `num_graphs`), or a snapshot taken under different cache options
+  /// (path_max_edges, capacity, window size, or replacement policy), any
+  /// of which would break replay identity.
+  bool Load(snapshot::BinaryReader& reader, uint64_t num_graphs,
+            uint32_t dataset_crc);
 
  private:
   IgqOptions options_;

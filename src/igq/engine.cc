@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <sstream>
 #include <thread>
 
 #include "common/timer.h"
 #include "isomorphism/cost_model.h"
+#include "snapshot/serializer.h"
+#include "snapshot/snapshot.h"
 
 namespace igq {
 namespace {
@@ -13,6 +16,10 @@ namespace {
 // True iff `id` is in the sorted answer vector.
 bool AnswerContains(const std::vector<GraphId>& answer, GraphId id) {
   return std::binary_search(answer.begin(), answer.end(), id);
+}
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
 }
 
 }  // namespace
@@ -226,6 +233,141 @@ std::vector<GraphId> QueryEngine::Process(const Graph& query,
   // + shadow rebuild) is timed inside the cache, off the query path.
   cache_->Insert(query, answer);
   return answer;
+}
+
+bool QueryEngine::SaveSnapshot(std::ostream& out, std::string* error) const {
+  snapshot::WriteSnapshotHeader(out);
+
+  std::ostringstream cache_payload;
+  {
+    snapshot::BinaryWriter writer(cache_payload);
+    cache_->Save(writer, db_->graphs.size(),
+                 snapshot::DatasetFingerprint(db_->graphs));
+    if (!writer.ok()) {
+      SetError(error, "failed to serialize cache state");
+      return false;
+    }
+  }
+  snapshot::WriteSection(out, snapshot::kSectionCache,
+                         std::move(cache_payload).str());
+
+  // The method index rides along when the method supports persistence; the
+  // method name prefixes the payload so a mismatched load is caught early.
+  std::ostringstream index_payload;
+  {
+    snapshot::BinaryWriter writer(index_payload);
+    writer.WriteString(method_->Name());
+  }
+  if (method_->SaveIndex(index_payload)) {
+    snapshot::WriteSection(out, snapshot::kSectionMethodIndex,
+                           std::move(index_payload).str());
+  }
+
+  snapshot::WriteSnapshotEnd(out);
+  if (!out.good()) {
+    SetError(error, "stream failure while writing snapshot");
+    return false;
+  }
+  return true;
+}
+
+bool QueryEngine::LoadSnapshot(std::istream& in, std::string* error,
+                               SnapshotLoadInfo* info) {
+  if (info != nullptr) *info = SnapshotLoadInfo{};
+  if (!snapshot::ReadSnapshotHeader(in, error)) return false;
+
+  // Decode and checksum-verify every section before touching engine state,
+  // so a file corrupted anywhere is rejected without side effects.
+  std::string cache_payload, index_payload;
+  bool have_cache = false, have_index = false;
+  for (;;) {
+    snapshot::Section section;
+    if (!snapshot::ReadSection(in, &section, error)) return false;
+    if (section.id == snapshot::kSectionEnd) break;
+    if (section.id == snapshot::kSectionCache) {
+      cache_payload = std::move(section.payload);
+      have_cache = true;
+    } else if (section.id == snapshot::kSectionMethodIndex) {
+      index_payload = std::move(section.payload);
+      have_index = true;
+    }
+    // Unknown section ids are skipped: they are checksum-verified data from
+    // a newer writer, not corruption.
+  }
+  // The end marker itself carries no checksum, so a section id corrupted
+  // into 0 would silently drop the file's tail — require EOF behind it.
+  if (in.peek() != std::char_traits<char>::eof()) {
+    SetError(error, "corrupt snapshot: trailing bytes after the end marker");
+    return false;
+  }
+  if (!have_cache) {
+    SetError(error, "snapshot has no cache section");
+    return false;
+  }
+
+  // Validate the method-index framing before committing any state, so a
+  // rejected load leaves both the cache and the method untouched.
+  std::istringstream index_stream(std::move(index_payload));
+  if (have_index) {
+    std::string method_name;
+    {
+      snapshot::BinaryReader name_reader(index_stream);
+      if (!name_reader.ReadString(&method_name)) {
+        SetError(error, "method-index section is malformed");
+        return false;
+      }
+    }
+    if (method_name != method_->Name()) {
+      SetError(error, "snapshot index was built by method '" + method_name +
+                          "', engine runs '" + method_->Name() + "'");
+      return false;
+    }
+  }
+
+  // Load into a fresh cache object and swap it in only after the method
+  // index (if any) also loads, so every failure path leaves the engine —
+  // cache and method alike — exactly as it was.
+  auto fresh_cache = std::make_unique<QueryCache>(options_);
+  std::istringstream cache_stream(std::move(cache_payload));
+  snapshot::BinaryReader cache_reader(cache_stream);
+  if (!fresh_cache->Load(cache_reader, db_->graphs.size(),
+                         snapshot::DatasetFingerprint(db_->graphs))) {
+    SetError(error,
+             "cache section rejected (malformed, saved under different iGQ "
+             "options, or over a different dataset)");
+    return false;
+  }
+  // An under-counted record count would leave unread bytes behind — the
+  // same silent data loss the container guards against everywhere else.
+  if (cache_stream.peek() != std::char_traits<char>::eof()) {
+    SetError(error, "corrupt snapshot: unread bytes in the cache section");
+    return false;
+  }
+
+  if (have_index) {
+    // Method::LoadIndex implementations commit only on success, so a
+    // false here leaves the method's existing index intact.
+    if (!method_->LoadIndex(*db_, index_stream)) {
+      SetError(error, "method '" + method_->Name() +
+                          "' rejected its index payload (incompatible "
+                          "configuration or malformed bytes)");
+      return false;
+    }
+    // Fail-closed on unread bytes. LoadIndex has already committed by this
+    // point, but the index it installed is self-consistent and validated
+    // against db — the caller's recovery path (Build()) simply overwrites
+    // it; the cache below is still untouched.
+    if (index_stream.peek() != std::char_traits<char>::eof()) {
+      SetError(error,
+               "corrupt snapshot: unread bytes in the method-index section");
+      return false;
+    }
+    if (info != nullptr) info->method_index_restored = true;
+  }
+
+  cache_ = std::move(fresh_cache);
+  if (info != nullptr) info->cached_queries = cache_->size();
+  return true;
 }
 
 std::vector<BatchResult> QueryEngine::ProcessBatch(

@@ -11,8 +11,10 @@
 #define IGQ_IGQ_ENGINE_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "igq/cache.h"
@@ -58,12 +60,29 @@ struct BatchResult {
   QueryStats stats;
 };
 
+/// What LoadSnapshot actually restored.
+struct SnapshotLoadInfo {
+  /// True when the snapshot carried a method-index section and the
+  /// engine's method accepted it — Build() is then unnecessary.
+  bool method_index_restored = false;
+  /// Cached queries (Igraphs) restored, excluding pending window entries.
+  size_t cached_queries = 0;
+};
+
 /// iGQ on top of any host Method, subgraph or supergraph.
+///
+/// Thread-safety: an engine is a single logical query stream. Process,
+/// ProcessBatch, and the snapshot calls must not run concurrently with
+/// each other on the same engine — parallelism lives *inside* a query
+/// (the Fig. 6 probe threads and the verification pool, which requires
+/// Method::Verify to be thread-safe). Run concurrent streams by giving
+/// each its own engine over the same db and method.
 class QueryEngine {
  public:
-  /// `db` and `method` must outlive the engine; `method` must already be
-  /// Build()-ed on `db`. `options` is validated (see ValidatedIgqOptions);
-  /// the clamped values are visible through options().
+  /// `db` and `method` must outlive the engine; `method` must be
+  /// Build()-ed on `db` — or restored via LoadSnapshot() — before the
+  /// first query. `options` is validated (see ValidatedIgqOptions); the
+  /// clamped values are visible through options().
   QueryEngine(const GraphDatabase& db, Method* method,
               const IgqOptions& options);
   ~QueryEngine();
@@ -76,8 +95,29 @@ class QueryEngine {
   /// Executes the queries in order against the same cache, reusing the
   /// engine's verification pool across the whole batch. Answers are
   /// identical to calling Process() per query on a same-state engine.
+  /// Not reentrant: one batch (or Process call) at a time per engine.
   std::vector<BatchResult> ProcessBatch(std::span<const Graph> queries,
                                         const BatchOptions& batch = {});
+
+  /// Writes a warm-start snapshot (docs/FORMATS.md): the full cache state
+  /// and, when the method supports persistence (Method::SaveIndex), its
+  /// index. Returns false on stream failure, filling `error` if non-null.
+  /// Not thread-safe against concurrent Process/ProcessBatch calls.
+  bool SaveSnapshot(std::ostream& out, std::string* error = nullptr) const;
+
+  /// Restores a snapshot produced by SaveSnapshot(). The engine must use
+  /// the same IgqOptions and method configuration as the producer — cache
+  /// geometry/policy and index configuration mismatches are rejected;
+  /// after a successful load it answers a query stream identically (same
+  /// answers, hit/miss sequence, and replacement victims) to the
+  /// producing engine.
+  /// When the snapshot carries a method index, this substitutes for
+  /// Method::Build() — see `info->method_index_restored`. Corrupt,
+  /// truncated, version-mismatched, or wrong-dataset snapshots are
+  /// rejected with `error` set and the engine — cache and method alike —
+  /// left exactly as it was.
+  bool LoadSnapshot(std::istream& in, std::string* error = nullptr,
+                    SnapshotLoadInfo* info = nullptr);
 
   QueryDirection direction() const { return method_->Direction(); }
   const QueryCache& cache() const { return *cache_; }

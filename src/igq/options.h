@@ -30,6 +30,8 @@ struct IgqOptions {
   size_t window_size = 100;
 
   /// Maximum path-feature length (edges) used by Isub/Isuper (paper: 4).
+  /// Also the snapshot-compatibility key: QueryEngine::LoadSnapshot
+  /// rejects snapshots taken under a different value (docs/FORMATS.md).
   size_t path_max_edges = 4;
 
   /// Worker threads for the verification stage (Grapes(6) configs use 6).

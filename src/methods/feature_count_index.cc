@@ -4,8 +4,15 @@
 #include <map>
 
 #include "isomorphism/vf2.h"
+#include "snapshot/serializer.h"
 
 namespace igq {
+namespace {
+
+/// Payload version of the serialized method indexes in this file.
+constexpr uint32_t kFeatureCountIndexVersion = 1;
+
+}  // namespace
 
 void FeatureCountIndex::AddGraph(GraphId id, const Graph& graph) {
   // Ordered map so trie postings are appended deterministically.
@@ -42,7 +49,11 @@ std::vector<GraphId> FeatureCountIndex::FindPotentialSubgraphsOf(
   }
   std::vector<GraphId> candidates = empty_graphs_;
   for (const auto& [id, count] : matched) {
-    if (count == nf_.at(id)) candidates.push_back(id);
+    // find() rather than at(): a posting id missing from the NF table
+    // (possible only in an externally produced index payload) must mean
+    // "not a candidate", never a crash.
+    const auto it = nf_.find(id);
+    if (it != nf_.end() && count == it->second) candidates.push_back(id);
   }
   std::sort(candidates.begin(), candidates.end());
   return candidates;
@@ -51,6 +62,64 @@ std::vector<GraphId> FeatureCountIndex::FindPotentialSubgraphsOf(
 size_t FeatureCountIndex::MemoryBytes() const {
   return trie_.MemoryBytes() +
          nf_.size() * (sizeof(GraphId) + sizeof(uint32_t) + 16);
+}
+
+void FeatureCountIndex::Save(snapshot::BinaryWriter& writer) const {
+  writer.WriteU32(static_cast<uint32_t>(options_.max_edges));
+  writer.WriteU8(options_.include_single_vertices ? 1 : 0);
+  trie_.Save(writer);
+  // NF table in ascending graph-id order for a deterministic encoding.
+  std::vector<std::pair<GraphId, uint32_t>> nf(nf_.begin(), nf_.end());
+  std::sort(nf.begin(), nf.end());
+  writer.WriteU64(nf.size());
+  for (const auto& [id, count] : nf) {
+    writer.WriteU32(id);
+    writer.WriteU32(count);
+  }
+  writer.WriteU64(empty_graphs_.size());
+  for (GraphId id : empty_graphs_) writer.WriteU32(id);
+}
+
+bool FeatureCountIndex::Load(snapshot::BinaryReader& reader,
+                             uint32_t num_graphs) {
+  uint32_t max_edges = 0;
+  uint8_t include_single = 0;
+  if (!reader.ReadU32(&max_edges) || !reader.ReadU8(&include_single)) {
+    return false;
+  }
+  if (max_edges != options_.max_edges ||
+      (include_single != 0) != options_.include_single_vertices) {
+    return false;  // features would not line up with this configuration
+  }
+  PathTrie trie(/*store_locations=*/false);
+  if (!trie.Load(reader, num_graphs)) return false;
+  if (trie.store_locations()) return false;  // this index never stores them
+  uint64_t nf_count = 0;
+  if (!reader.ReadU64(&nf_count) || nf_count > num_graphs) return false;
+  std::unordered_map<GraphId, uint32_t> nf;
+  nf.reserve(static_cast<size_t>(nf_count));
+  for (uint64_t i = 0; i < nf_count; ++i) {
+    uint32_t id = 0, count = 0;
+    if (!reader.ReadU32(&id) || !reader.ReadU32(&count)) return false;
+    if (id >= num_graphs || !nf.emplace(id, count).second) return false;
+  }
+  uint64_t empty_count = 0;
+  if (!reader.ReadU64(&empty_count) || empty_count > num_graphs) return false;
+  std::vector<GraphId> empty_graphs;
+  empty_graphs.reserve(static_cast<size_t>(empty_count));
+  for (uint64_t i = 0; i < empty_count; ++i) {
+    uint32_t id = 0;
+    if (!reader.ReadU32(&id)) return false;
+    if (id >= num_graphs) return false;
+    if (i > 0 && id <= empty_graphs.back()) {
+      return false;  // strictly ascending: no duplicate candidates
+    }
+    empty_graphs.push_back(id);
+  }
+  trie_ = std::move(trie);
+  nf_ = std::move(nf);
+  empty_graphs_ = std::move(empty_graphs);
+  return true;
 }
 
 void FeatureCountSupergraphMethod::Build(const GraphDatabase& db) {
@@ -64,6 +133,28 @@ bool FeatureCountSupergraphMethod::Verify(const PreparedQuery& prepared,
                                           GraphId id) const {
   return Vf2Matcher::FindEmbedding(db_->graphs[id], prepared.query())
       .has_value();
+}
+
+bool FeatureCountSupergraphMethod::SaveIndex(std::ostream& out) const {
+  if (db_ == nullptr) return false;  // never built
+  snapshot::BinaryWriter writer(out);
+  writer.WriteU32(kFeatureCountIndexVersion);
+  index_.Save(writer);
+  return writer.ok();
+}
+
+bool FeatureCountSupergraphMethod::LoadIndex(const GraphDatabase& db,
+                                             std::istream& in) {
+  snapshot::BinaryReader reader(in);
+  uint32_t version = 0;
+  if (!reader.ReadU32(&version) || version != kFeatureCountIndexVersion) {
+    return false;
+  }
+  if (!index_.Load(reader, static_cast<uint32_t>(db.graphs.size()))) {
+    return false;
+  }
+  db_ = &db;
+  return true;
 }
 
 }  // namespace igq

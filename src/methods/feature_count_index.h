@@ -20,6 +20,10 @@
 #include "methods/path_trie.h"
 
 namespace igq {
+namespace snapshot {
+class BinaryReader;
+class BinaryWriter;
+}  // namespace snapshot
 
 /// Algorithm 1's index: trie of features with {graph, occurrences} postings
 /// and per-graph distinct-feature counts.
@@ -44,6 +48,15 @@ class FeatureCountIndex {
   size_t NumGraphs() const { return nf_.size(); }
   size_t MemoryBytes() const;
   const PathEnumeratorOptions& options() const { return options_; }
+
+  /// Serializes the index (enumerator options, trie, NF table, empty-graph
+  /// list) for warm starts.
+  void Save(snapshot::BinaryWriter& writer) const;
+
+  /// Restores an index saved by Save(). Fails (returning false, leaving
+  /// this object unchanged) on malformed input, enumerator options that
+  /// differ from this instance's, or graph ids >= `num_graphs`.
+  bool Load(snapshot::BinaryReader& reader, uint32_t num_graphs);
 
  private:
   PathEnumeratorOptions options_;
@@ -83,6 +96,11 @@ class FeatureCountSupergraphMethod : public Method {
   bool Verify(const PreparedQuery& prepared, GraphId id) const override;
 
   size_t IndexMemoryBytes() const override { return index_.MemoryBytes(); }
+
+  /// Index persistence (see Method): serializes/restores the feature trie
+  /// and NF table directly instead of re-enumerating the dataset.
+  bool SaveIndex(std::ostream& out) const override;
+  bool LoadIndex(const GraphDatabase& db, std::istream& in) override;
 
  private:
   FeatureCountIndex index_;

@@ -6,6 +6,10 @@ const char* QueryDirectionName(QueryDirection direction) {
   return direction == QueryDirection::kSubgraph ? "subgraph" : "supergraph";
 }
 
+bool Method::SaveIndex(std::ostream&) const { return false; }
+
+bool Method::LoadIndex(const GraphDatabase&, std::istream&) { return false; }
+
 void GraphDatabase::RefreshLabelCount() {
   num_labels = 0;
   if (graphs.empty()) return;

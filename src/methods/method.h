@@ -16,6 +16,7 @@
 #define IGQ_METHODS_METHOD_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -86,12 +87,25 @@ class Method {
   virtual std::vector<GraphId> Filter(const PreparedQuery& prepared) const = 0;
 
   /// Verification stage for one candidate: true iff query ⊆ graphs[id]
-  /// (kSubgraph) or graphs[id] ⊆ query (kSupergraph). Must be thread-safe;
-  /// the engine may call it from its verification pool.
+  /// (kSubgraph) or graphs[id] ⊆ query (kSupergraph). Must be thread-safe
+  /// with respect to other Verify() calls on the same PreparedQuery — the
+  /// engine's VerifyPool invokes it concurrently from several workers.
   virtual bool Verify(const PreparedQuery& prepared, GraphId id) const = 0;
 
   /// Heap footprint of the index structure (Fig. 18).
   virtual size_t IndexMemoryBytes() const = 0;
+
+  /// Optional index persistence (warm start). SaveIndex() writes the built
+  /// index to `out` in a self-describing binary form; LoadIndex() restores
+  /// it over `db` (which must be the dataset the index was built on) and
+  /// stands in for Build(). Both return false when the method does not
+  /// support persistence — the default — or when the payload is invalid /
+  /// belongs to an incompatible configuration. Implementations must commit
+  /// state only on success: after a failed LoadIndex() the method is
+  /// unchanged (still usable if it was Build()-ed, otherwise still in need
+  /// of Build()).
+  virtual bool SaveIndex(std::ostream& out) const;
+  virtual bool LoadIndex(const GraphDatabase& db, std::istream& in);
 };
 
 }  // namespace igq

@@ -5,8 +5,13 @@
 #include <mutex>
 #include <thread>
 
+#include "snapshot/serializer.h"
+
 namespace igq {
 namespace {
+
+/// Payload version of the serialized path-method index.
+constexpr uint32_t kPathIndexVersion = 1;
 
 // Per-graph aggregation buffer: feature -> (count, locations).
 struct FeatureAggregate {
@@ -76,6 +81,39 @@ void PathMethodBase::Build(const GraphDatabase& db) {
     }
     per_graph[i].clear();
   }
+}
+
+bool PathMethodBase::SaveIndex(std::ostream& out) const {
+  if (db_ == nullptr) return false;  // never built
+  snapshot::BinaryWriter writer(out);
+  writer.WriteU32(kPathIndexVersion);
+  writer.WriteU32(static_cast<uint32_t>(options_.max_path_edges));
+  writer.WriteU8(options_.store_locations ? 1 : 0);
+  trie_.Save(writer);
+  return writer.ok();
+}
+
+bool PathMethodBase::LoadIndex(const GraphDatabase& db, std::istream& in) {
+  snapshot::BinaryReader reader(in);
+  uint32_t version = 0, max_path_edges = 0;
+  uint8_t store_locations = 0;
+  if (!reader.ReadU32(&version) || version != kPathIndexVersion) return false;
+  if (!reader.ReadU32(&max_path_edges) || !reader.ReadU8(&store_locations)) {
+    return false;
+  }
+  if (max_path_edges != options_.max_path_edges ||
+      (store_locations != 0) != options_.store_locations) {
+    return false;  // index built under a different configuration
+  }
+  PathTrie trie(options_.store_locations);
+  if (!trie.Load(reader, static_cast<uint32_t>(db.graphs.size()),
+                 std::span<const Graph>(db.graphs))) {
+    return false;
+  }
+  if (trie.store_locations() != options_.store_locations) return false;
+  trie_ = std::move(trie);
+  db_ = &db;
+  return true;
 }
 
 std::unique_ptr<PreparedQuery> PathMethodBase::Prepare(

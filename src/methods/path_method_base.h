@@ -57,6 +57,13 @@ class PathMethodBase : public Method {
 
   size_t IndexMemoryBytes() const override { return trie_.MemoryBytes(); }
 
+  /// Index persistence (see Method): the trie is serialized node-by-node,
+  /// so restoring skips path enumeration entirely. LoadIndex() fails if the
+  /// payload's path length or location-storage configuration differs from
+  /// this method's options.
+  bool SaveIndex(std::ostream& out) const override;
+  bool LoadIndex(const GraphDatabase& db, std::istream& in) override;
+
   const PathTrie& trie() const { return trie_; }
 
  protected:

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "snapshot/serializer.h"
+
 namespace igq {
 
 uint32_t PathTrie::DescendOrCreate(PathKey key) {
@@ -62,6 +64,97 @@ const std::vector<PathPosting>* PathTrie::Find(PathKey key) const {
   if (node < 0) return nullptr;
   const auto& postings = nodes_[static_cast<size_t>(node)].postings;
   return postings.empty() ? nullptr : &postings;
+}
+
+void PathTrie::Save(snapshot::BinaryWriter& writer) const {
+  writer.WriteU8(store_locations_ ? 1 : 0);
+  writer.WriteU64(nodes_.size());
+  for (const Node& node : nodes_) {
+    writer.WriteU32(static_cast<uint32_t>(node.children.size()));
+    for (const auto& [label, child] : node.children) {
+      writer.WriteU32(label);
+      writer.WriteU32(child);
+    }
+    writer.WriteU32(static_cast<uint32_t>(node.postings.size()));
+    for (const PathPosting& posting : node.postings) {
+      writer.WriteU32(posting.graph_id);
+      writer.WriteU32(posting.count);
+      if (store_locations_) {
+        writer.WriteU32(static_cast<uint32_t>(posting.locations.size()));
+        for (VertexId location : posting.locations) writer.WriteU32(location);
+      }
+    }
+  }
+}
+
+bool PathTrie::Load(snapshot::BinaryReader& reader, uint32_t num_graphs,
+                    std::span<const Graph> graphs) {
+  // Parse into fresh storage and commit only on success, so a failed load
+  // leaves the existing structure untouched.
+  uint8_t store_locations = 0;
+  uint64_t num_nodes = 0;
+  if (!reader.ReadU8(&store_locations) || !reader.ReadU64(&num_nodes) ||
+      num_nodes == 0) {
+    return false;
+  }
+  std::vector<Node> nodes;
+  size_t num_features = 0;
+  for (uint64_t n = 0; n < num_nodes; ++n) {
+    Node node;
+    uint32_t num_children = 0;
+    if (!reader.ReadU32(&num_children)) return false;
+    node.children.reserve(std::min<uint32_t>(num_children, 1024));
+    Label previous_label = 0;
+    for (uint32_t c = 0; c < num_children; ++c) {
+      uint32_t label = 0, child = 0;
+      if (!reader.ReadU32(&label) || !reader.ReadU32(&child)) return false;
+      // Children must be sorted strictly ascending (Find binary-searches
+      // them) and may only point at later, in-range nodes.
+      if (c > 0 && label <= previous_label) return false;
+      if (child <= n || child >= num_nodes) return false;
+      previous_label = label;
+      node.children.emplace_back(label, child);
+    }
+    uint32_t num_postings = 0;
+    if (!reader.ReadU32(&num_postings)) return false;
+    node.postings.reserve(std::min<uint32_t>(num_postings, 1024));
+    for (uint32_t p = 0; p < num_postings; ++p) {
+      PathPosting posting;
+      if (!reader.ReadU32(&posting.graph_id) || !reader.ReadU32(&posting.count)) {
+        return false;
+      }
+      if (posting.graph_id >= num_graphs) return false;
+      if (p > 0 && posting.graph_id <= node.postings[p - 1].graph_id) {
+        return false;  // strictly ascending: no duplicate postings
+      }
+      if (store_locations != 0) {
+        uint32_t num_locations = 0;
+        if (!reader.ReadU32(&num_locations)) return false;
+        posting.locations.reserve(std::min<uint32_t>(num_locations, 1024));
+        for (uint32_t l = 0; l < num_locations; ++l) {
+          uint32_t location = 0;
+          if (!reader.ReadU32(&location)) return false;
+          // Locations are vertex ids of graphs[graph_id]; consumers index
+          // with them unchecked, so validate here when we can.
+          if (!graphs.empty() &&
+              location >= graphs[posting.graph_id].NumVertices()) {
+            return false;
+          }
+          if (l > 0 && location <= posting.locations.back()) {
+            return false;  // Add() stores them sorted and deduplicated
+          }
+          posting.locations.push_back(location);
+        }
+      }
+      node.postings.push_back(std::move(posting));
+    }
+    if (!node.postings.empty()) ++num_features;
+    nodes.push_back(std::move(node));
+  }
+  store_locations_ = store_locations != 0;
+  nodes_ = std::move(nodes);
+  num_features_ = num_features;
+  return true;
 }
 
 size_t PathTrie::MemoryBytes() const {

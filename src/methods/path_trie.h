@@ -6,12 +6,17 @@
 #define IGQ_METHODS_PATH_TRIE_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "features/feature_set.h"
 #include "graph/graph.h"
 
 namespace igq {
+namespace snapshot {
+class BinaryReader;
+class BinaryWriter;
+}  // namespace snapshot
 
 /// Posting for one (feature, graph) pair.
 struct PathPosting {
@@ -50,6 +55,22 @@ class PathTrie {
   size_t MemoryBytes() const;
 
   bool store_locations() const { return store_locations_; }
+
+  /// Serializes the trie node-by-node (children + postings verbatim), so a
+  /// warm start deserializes the exact structure instead of re-enumerating
+  /// features from the graphs.
+  void Save(snapshot::BinaryWriter& writer) const;
+
+  /// Restores a trie saved by Save(), replacing this object's contents
+  /// (including the store_locations flag). `num_graphs` bounds the posting
+  /// graph ids; when `graphs` is non-empty (the indexed dataset, size
+  /// num_graphs), stored locations are additionally bounds-checked against
+  /// each graph's vertex count — callers that consume locations (Grapes
+  /// verification) must pass it. Any out-of-range id, child index, or
+  /// location, or non-ascending ordering, makes it return false, in which
+  /// case the trie is left unchanged.
+  bool Load(snapshot::BinaryReader& reader, uint32_t num_graphs,
+            std::span<const Graph> graphs = {});
 
  private:
   struct Node {

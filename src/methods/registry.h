@@ -3,6 +3,8 @@
 //
 //   subgraph   : "ggsx", "grapes", "grapes6", "ctindex"
 //   supergraph : "featurecount"
+//
+// The registry is stateless; all members are safe to call from any thread.
 #ifndef IGQ_METHODS_REGISTRY_H_
 #define IGQ_METHODS_REGISTRY_H_
 

@@ -1,0 +1,172 @@
+#include "snapshot/serializer.h"
+
+#include <bit>
+#include <istream>
+#include <ostream>
+#include <streambuf>
+
+namespace igq {
+namespace snapshot {
+namespace {
+
+// CRC-32 lookup table for polynomial 0xEDB88320, built once.
+const uint32_t* Crc32Table() {
+  static const uint32_t* table = [] {
+    static uint32_t entries[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+    return entries;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size, uint32_t crc) {
+  const uint32_t* table = Crc32Table();
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    c = table[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void BinaryWriter::WriteBytes(const void* data, size_t size) {
+  out_->write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
+  crc_ = Crc32(data, size, crc_);
+}
+
+void BinaryWriter::WriteU8(uint8_t value) { WriteBytes(&value, 1); }
+
+void BinaryWriter::WriteU32(uint32_t value) {
+  uint8_t bytes[4];
+  for (int i = 0; i < 4; ++i) bytes[i] = static_cast<uint8_t>(value >> (8 * i));
+  WriteBytes(bytes, 4);
+}
+
+void BinaryWriter::WriteU64(uint64_t value) {
+  uint8_t bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<uint8_t>(value >> (8 * i));
+  WriteBytes(bytes, 8);
+}
+
+void BinaryWriter::WriteDouble(double value) {
+  WriteU64(std::bit_cast<uint64_t>(value));
+}
+
+void BinaryWriter::WriteString(const std::string& value) {
+  WriteU64(value.size());
+  if (!value.empty()) WriteBytes(value.data(), value.size());
+}
+
+bool BinaryWriter::ok() const { return out_->good(); }
+
+bool BinaryReader::ReadBytes(void* data, size_t size) {
+  if (!ok_) return false;
+  in_->read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+  if (static_cast<size_t>(in_->gcount()) != size) {
+    ok_ = false;
+    return false;
+  }
+  crc_ = Crc32(data, size, crc_);
+  return true;
+}
+
+bool BinaryReader::ReadU8(uint8_t* value) { return ReadBytes(value, 1); }
+
+bool BinaryReader::ReadU32(uint32_t* value) {
+  uint8_t bytes[4];
+  if (!ReadBytes(bytes, 4)) return false;
+  *value = 0;
+  for (int i = 0; i < 4; ++i) *value |= static_cast<uint32_t>(bytes[i]) << (8 * i);
+  return true;
+}
+
+bool BinaryReader::ReadU64(uint64_t* value) {
+  uint8_t bytes[8];
+  if (!ReadBytes(bytes, 8)) return false;
+  *value = 0;
+  for (int i = 0; i < 8; ++i) *value |= static_cast<uint64_t>(bytes[i]) << (8 * i);
+  return true;
+}
+
+bool BinaryReader::ReadDouble(double* value) {
+  uint64_t bits = 0;
+  if (!ReadU64(&bits)) return false;
+  *value = std::bit_cast<double>(bits);
+  return true;
+}
+
+bool BinaryReader::ReadString(std::string* value, size_t max_bytes) {
+  uint64_t size = 0;
+  if (!ReadU64(&size)) return false;
+  if (size > max_bytes) {
+    ok_ = false;
+    return false;
+  }
+  value->resize(static_cast<size_t>(size));
+  if (size == 0) return true;
+  return ReadBytes(value->data(), static_cast<size_t>(size));
+}
+
+void WriteGraph(BinaryWriter& writer, const Graph& graph) {
+  writer.WriteU32(static_cast<uint32_t>(graph.NumVertices()));
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    writer.WriteU32(graph.label(v));
+  }
+  writer.WriteU32(static_cast<uint32_t>(graph.NumEdges()));
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    for (VertexId w : graph.Neighbors(v)) {
+      if (v < w) {
+        writer.WriteU32(v);
+        writer.WriteU32(w);
+      }
+    }
+  }
+}
+
+uint32_t DatasetFingerprint(const std::vector<Graph>& graphs) {
+  // Stream the canonical graph encoding into a discarding buffer; only the
+  // writer's running CRC is kept.
+  class NullBuffer : public std::streambuf {
+   protected:
+    int overflow(int c) override { return c; }
+    std::streamsize xsputn(const char*, std::streamsize n) override {
+      return n;
+    }
+  } null_buffer;
+  std::ostream null_stream(&null_buffer);
+  BinaryWriter writer(null_stream);
+  for (const Graph& graph : graphs) WriteGraph(writer, graph);
+  return writer.crc();
+}
+
+bool ReadGraph(BinaryReader& reader, Graph* graph) {
+  uint32_t num_vertices = 0;
+  if (!reader.ReadU32(&num_vertices)) return false;
+  Graph g;
+  for (uint32_t v = 0; v < num_vertices; ++v) {
+    uint32_t label = 0;
+    if (!reader.ReadU32(&label)) return false;
+    g.AddVertex(label);
+  }
+  uint32_t num_edges = 0;
+  if (!reader.ReadU32(&num_edges)) return false;
+  for (uint32_t e = 0; e < num_edges; ++e) {
+    uint32_t u = 0, v = 0;
+    if (!reader.ReadU32(&u) || !reader.ReadU32(&v)) return false;
+    if (u >= num_vertices || v >= num_vertices) return false;
+    if (!g.AddEdge(u, v)) return false;  // self-loop or duplicate
+  }
+  *graph = std::move(g);
+  return true;
+}
+
+}  // namespace snapshot
+}  // namespace igq

@@ -1,0 +1,95 @@
+// Low-level binary serialization primitives for the persistence subsystem:
+// little-endian integer/double/string encoders with a running CRC-32, plus
+// the shared binary graph encoding used by both the snapshot format and the
+// binary graph-collection files (see docs/FORMATS.md).
+//
+// Both classes are deliberately byte-oriented — values are assembled from
+// individual bytes, so the encoded form is identical on any host
+// endianness. Readers never trust embedded counts blindly: containers grow
+// as bytes actually arrive, so a corrupted length field produces a clean
+// read failure instead of a giant allocation.
+#ifndef IGQ_SNAPSHOT_SERIALIZER_H_
+#define IGQ_SNAPSHOT_SERIALIZER_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace igq {
+namespace snapshot {
+
+/// Standard CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) of
+/// `size` bytes, continuing from `crc` (pass 0 to start a fresh checksum).
+uint32_t Crc32(const void* data, size_t size, uint32_t crc = 0);
+
+/// Streams little-endian primitives to an std::ostream while accumulating
+/// a CRC-32 of every byte written since construction (or the last
+/// ResetCrc()). ok() turns false once the underlying stream fails.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream& out) : out_(&out) {}
+
+  void WriteBytes(const void* data, size_t size);
+  void WriteU8(uint8_t value);
+  void WriteU32(uint32_t value);
+  void WriteU64(uint64_t value);
+  /// IEEE-754 bit pattern as a u64.
+  void WriteDouble(double value);
+  /// u64 byte length followed by the raw bytes.
+  void WriteString(const std::string& value);
+
+  uint32_t crc() const { return crc_; }
+  void ResetCrc() { crc_ = 0; }
+  bool ok() const;
+
+ private:
+  std::ostream* out_;
+  uint32_t crc_ = 0;
+};
+
+/// Mirror of BinaryWriter. Every Read* returns true on success; the first
+/// failure (EOF, stream error, length guard) makes ok() sticky-false and
+/// all subsequent reads fail.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream& in) : in_(&in) {}
+
+  bool ReadBytes(void* data, size_t size);
+  bool ReadU8(uint8_t* value);
+  bool ReadU32(uint32_t* value);
+  bool ReadU64(uint64_t* value);
+  bool ReadDouble(double* value);
+  /// Fails (without allocating) if the encoded length exceeds `max_bytes`.
+  bool ReadString(std::string* value, size_t max_bytes = 1 << 20);
+
+  uint32_t crc() const { return crc_; }
+  void ResetCrc() { crc_ = 0; }
+  bool ok() const { return ok_; }
+
+ private:
+  std::istream* in_;
+  uint32_t crc_ = 0;
+  bool ok_ = true;
+};
+
+/// Graph encoding shared by snapshots and binary graph files:
+///   u32 num_vertices, num_vertices x u32 label,
+///   u32 num_edges,    num_edges x (u32 u, u32 v) with u < v.
+void WriteGraph(BinaryWriter& writer, const Graph& graph);
+
+/// Reads one graph; returns false on malformed input (out-of-range vertex
+/// ids, duplicate or self-loop edges, truncation).
+bool ReadGraph(BinaryReader& reader, Graph* graph);
+
+/// CRC-32 over the binary encoding of every graph in order — a cheap
+/// content fingerprint used to detect a snapshot being loaded against a
+/// different dataset of coincidentally equal size.
+uint32_t DatasetFingerprint(const std::vector<Graph>& graphs);
+
+}  // namespace snapshot
+}  // namespace igq
+
+#endif  // IGQ_SNAPSHOT_SERIALIZER_H_

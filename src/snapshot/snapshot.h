@@ -1,0 +1,68 @@
+// The iGQ snapshot container format (docs/FORMATS.md): a fixed header
+// (magic + format version) followed by a sequence of checksummed sections
+// and a terminating end marker. Sections carry opaque payloads — the cache
+// state produced by QueryCache::Save() and the method index produced by
+// Method::SaveIndex() — so the container can evolve (new section ids)
+// without breaking old readers, and a reader can skip sections it does not
+// understand.
+//
+// Every section's payload is read fully into memory and its CRC-32
+// verified *before* any payload parsing happens; corrupted or truncated
+// files are therefore rejected with an error message, never parsed.
+#ifndef IGQ_SNAPSHOT_SNAPSHOT_H_
+#define IGQ_SNAPSHOT_SNAPSHOT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace igq {
+namespace snapshot {
+
+/// First bytes of every snapshot file: 'I' 'G' 'Q' 'S'.
+inline constexpr uint8_t kSnapshotMagic[4] = {'I', 'G', 'Q', 'S'};
+/// Container format version; bumped on any incompatible layout change.
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+/// Known section ids. kSectionEnd terminates the file and has no payload.
+enum SectionId : uint32_t {
+  kSectionEnd = 0,
+  kSectionCache = 1,        // QueryCache::Save() payload
+  kSectionMethodIndex = 2,  // method name + Method::SaveIndex() payload
+};
+
+/// Hard ceiling on a single section payload (guards against allocating
+/// from a corrupted length field before the checksum can catch it).
+inline constexpr uint64_t kMaxSectionBytes = uint64_t{1} << 31;
+
+/// One decoded section: its id and raw (checksum-verified) payload bytes.
+struct Section {
+  uint32_t id = kSectionEnd;
+  std::string payload;
+};
+
+/// Writes the snapshot magic + version.
+void WriteSnapshotHeader(std::ostream& out);
+
+/// Frames `payload` as a section: u32 id, u64 size, bytes, u32 CRC-32.
+void WriteSection(std::ostream& out, uint32_t id, const std::string& payload);
+
+/// Writes the end marker (a bare kSectionEnd id).
+void WriteSnapshotEnd(std::ostream& out);
+
+/// Validates magic + version. On failure returns false and, when `error`
+/// is non-null, stores a human-readable reason.
+bool ReadSnapshotHeader(std::istream& in, std::string* error);
+
+/// Reads the next section into `section`, verifying its checksum (which
+/// covers the id and size fields as well as the payload). The end marker
+/// yields id == kSectionEnd with an empty payload; because the end marker
+/// itself is unchecksummed, readers must require EOF right after it — a
+/// section id corrupted into 0 then shows up as trailing garbage.
+/// Returns false on truncation, oversized payloads, or checksum mismatch.
+bool ReadSection(std::istream& in, Section* section, std::string* error);
+
+}  // namespace snapshot
+}  // namespace igq
+
+#endif  // IGQ_SNAPSHOT_SNAPSHOT_H_

@@ -1,4 +1,5 @@
-// Tests for the graph collection text format.
+// Tests for the graph collection formats: the text format, the binary
+// fast path, and the sniffing dispatch between them.
 #include "graph/graph_io.h"
 
 #include <gtest/gtest.h>
@@ -62,6 +63,86 @@ TEST(GraphIoTest, FileRoundTrip) {
 
 TEST(GraphIoTest, MissingFileReturnsNullopt) {
   EXPECT_FALSE(ReadGraphsFromFile("/nonexistent/igq.txt").has_value());
+}
+
+TEST(GraphIoBinaryTest, RoundTripPreservesGraphs) {
+  Rng rng(91);
+  std::vector<Graph> graphs;
+  graphs.push_back(Graph{});  // empty graph must survive too
+  for (int i = 0; i < 6; ++i) {
+    graphs.push_back(RandomConnectedGraph(rng, 5 + rng.Below(12), 6, 7));
+  }
+  std::stringstream buffer;
+  WriteGraphsBinary(buffer, graphs);
+  const auto loaded = ReadGraphs(buffer);  // sniffed, not told
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), graphs.size());
+  for (size_t i = 0; i < graphs.size(); ++i) {
+    EXPECT_TRUE((*loaded)[i] == graphs[i]) << "graph " << i;
+  }
+}
+
+TEST(GraphIoBinaryTest, FileRoundTripViaSniffing) {
+  Rng rng(17);
+  const std::vector<Graph> graphs{RandomConnectedGraph(rng, 9, 4, 3)};
+  const std::string path = ::testing::TempDir() + "/igq_graphs.bin";
+  ASSERT_TRUE(WriteGraphsBinaryToFile(path, graphs));
+  const auto loaded = ReadGraphsFromFile(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_TRUE((*loaded)[0] == graphs[0]);
+}
+
+TEST(GraphIoBinaryTest, CorruptedPayloadFailsChecksum) {
+  Rng rng(23);
+  const std::vector<Graph> graphs{RandomConnectedGraph(rng, 10, 5, 4)};
+  std::stringstream buffer;
+  WriteGraphsBinary(buffer, graphs);
+  std::string bytes = buffer.str();
+  bytes[bytes.size() / 2] ^= 0x01;  // flip one payload bit
+  std::stringstream corrupted(bytes);
+  EXPECT_FALSE(ReadGraphs(corrupted).has_value());
+}
+
+TEST(GraphIoBinaryTest, TruncationRejected) {
+  Rng rng(29);
+  const std::vector<Graph> graphs{RandomConnectedGraph(rng, 10, 5, 4)};
+  std::stringstream buffer;
+  WriteGraphsBinary(buffer, graphs);
+  const std::string bytes = buffer.str();
+  for (size_t len : {size_t{2}, size_t{7}, bytes.size() / 2,
+                     bytes.size() - 1}) {
+    std::stringstream truncated(bytes.substr(0, len));
+    EXPECT_FALSE(ReadGraphs(truncated).has_value()) << "prefix " << len;
+  }
+}
+
+TEST(GraphIoBinaryTest, TrailingBytesRejected) {
+  Rng rng(37);
+  const std::vector<Graph> graphs{RandomConnectedGraph(rng, 8, 4, 3)};
+  std::stringstream buffer;
+  WriteGraphsBinary(buffer, graphs);
+  std::stringstream concatenated(buffer.str() + "extra");
+  EXPECT_FALSE(ReadGraphs(concatenated).has_value());
+}
+
+TEST(GraphIoBinaryTest, WrongVersionRejected) {
+  std::stringstream buffer;
+  WriteGraphsBinary(buffer, {});
+  std::string bytes = buffer.str();
+  bytes[4] = 42;  // little-endian version field follows the 4-byte magic
+  std::stringstream wrong(bytes);
+  EXPECT_FALSE(ReadGraphs(wrong).has_value());
+}
+
+TEST(GraphIoBinaryTest, TextFilesStillSniffAsText) {
+  Rng rng(31);
+  const std::vector<Graph> graphs{RandomConnectedGraph(rng, 7, 3, 3)};
+  std::stringstream buffer;
+  WriteGraphs(buffer, graphs);  // text
+  const auto loaded = ReadGraphs(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE((*loaded)[0] == graphs[0]);
 }
 
 }  // namespace
