@@ -35,17 +35,28 @@ class Timer {
 };
 
 /// Adds the scope's duration to an external microsecond counter on exit.
+/// A null sink disables the timer entirely — no clock reads at either end —
+/// which is how the engines skip measurement overhead when the caller asked
+/// for no stats (QueryEngine::Process with stats == nullptr,
+/// BatchOptions::collect_stats == false).
 class ScopedTimer {
  public:
-  explicit ScopedTimer(int64_t* sink_micros) : sink_(sink_micros) {}
-  ~ScopedTimer() { *sink_ += timer_.ElapsedMicros(); }
+  explicit ScopedTimer(int64_t* sink_micros) : sink_(sink_micros) {
+    if (sink_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (sink_ == nullptr) return;
+    *sink_ += std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - start_)
+                  .count();
+  }
 
   ScopedTimer(const ScopedTimer&) = delete;
   ScopedTimer& operator=(const ScopedTimer&) = delete;
 
  private:
   int64_t* sink_;
-  Timer timer_;
+  std::chrono::steady_clock::time_point start_;
 };
 
 }  // namespace igq

@@ -12,7 +12,10 @@ namespace {
 /// Payload version of the serialized cache state.
 constexpr uint32_t kCacheStateVersion = 1;
 
-void SaveRecord(snapshot::BinaryWriter& writer, const CachedQuery& record) {
+}  // namespace
+
+void SaveCachedQuery(snapshot::BinaryWriter& writer,
+                     const CachedQuery& record) {
   writer.WriteU64(record.id);
   snapshot::WriteGraph(writer, record.graph);
   writer.WriteU64(record.answer.size());
@@ -24,8 +27,8 @@ void SaveRecord(snapshot::BinaryWriter& writer, const CachedQuery& record) {
   writer.WriteU64(record.meta.last_hit_at);
 }
 
-bool LoadRecord(snapshot::BinaryReader& reader, CachedQuery* record,
-                uint64_t num_graphs) {
+bool LoadCachedQuery(snapshot::BinaryReader& reader, CachedQuery* record,
+                     uint64_t num_graphs) {
   if (!reader.ReadU64(&record->id)) return false;
   if (!snapshot::ReadGraph(reader, &record->graph)) return false;
   uint64_t answer_size = 0;
@@ -54,7 +57,22 @@ bool LoadRecord(snapshot::BinaryReader& reader, CachedQuery* record,
   return true;
 }
 
-}  // namespace
+double EvictionScore(ReplacementPolicy policy, const CachedQuery& entry,
+                     uint64_t now) {
+  const QueryGraphMetadata& meta = entry.meta;
+  switch (policy) {
+    case ReplacementPolicy::kUtility:
+      return meta.Utility(now).log();
+    case ReplacementPolicy::kPopularity:
+      return static_cast<double>(meta.hits) /
+             static_cast<double>(meta.QueriesSinceInsertion(now));
+    case ReplacementPolicy::kLru:
+      return static_cast<double>(meta.last_hit_at);
+    case ReplacementPolicy::kFifo:
+      return static_cast<double>(entry.id);
+  }
+  return 0.0;
+}
 
 QueryCache::QueryCache(const IgqOptions& options) : options_(options) {
   enumerator_options_.max_edges = options.path_max_edges;
@@ -137,22 +155,11 @@ void QueryCache::Flush() {
                                          : 0;
   if (entries_.size() > target_old) {
     const size_t evict = entries_.size() - target_old;
-    // Eviction score: lower evicts first. kUtility is the paper's policy;
-    // the alternatives back the replacement ablation bench.
+    // Eviction score (EvictionScore): lower evicts first. kUtility is the
+    // paper's policy; the alternatives back the replacement ablation bench.
     auto score = [this](const CachedQuery& entry) {
-      const QueryGraphMetadata& meta = entry.meta;
-      switch (options_.replacement_policy) {
-        case ReplacementPolicy::kUtility:
-          return meta.Utility(queries_processed_).log();
-        case ReplacementPolicy::kPopularity:
-          return static_cast<double>(meta.hits) /
-                 static_cast<double>(meta.QueriesSinceInsertion(queries_processed_));
-        case ReplacementPolicy::kLru:
-          return static_cast<double>(meta.last_hit_at);
-        case ReplacementPolicy::kFifo:
-          return static_cast<double>(entry.id);
-      }
-      return 0.0;
+      return EvictionScore(options_.replacement_policy, entry,
+                           queries_processed_);
     };
     std::vector<size_t> order(entries_.size());
     std::iota(order.begin(), order.end(), 0);
@@ -200,9 +207,9 @@ void QueryCache::Save(snapshot::BinaryWriter& writer, uint64_t num_graphs,
   writer.WriteU64(queries_processed_);
   writer.WriteU64(next_id_);
   writer.WriteU64(entries_.size());
-  for (const CachedQuery& record : entries_) SaveRecord(writer, record);
+  for (const CachedQuery& record : entries_) SaveCachedQuery(writer, record);
   writer.WriteU64(window_.size());
-  for (const CachedQuery& record : window_) SaveRecord(writer, record);
+  for (const CachedQuery& record : window_) SaveCachedQuery(writer, record);
 }
 
 bool QueryCache::Load(snapshot::BinaryReader& reader, uint64_t num_graphs,
@@ -248,7 +255,7 @@ bool QueryCache::Load(snapshot::BinaryReader& reader, uint64_t num_graphs,
   entries.reserve(static_cast<size_t>(std::min<uint64_t>(num_entries, 1024)));
   for (uint64_t i = 0; i < num_entries; ++i) {
     CachedQuery record;
-    if (!LoadRecord(reader, &record, num_graphs)) return false;
+    if (!LoadCachedQuery(reader, &record, num_graphs)) return false;
     entries.push_back(std::move(record));
   }
   uint64_t num_window = 0;
@@ -257,7 +264,7 @@ bool QueryCache::Load(snapshot::BinaryReader& reader, uint64_t num_graphs,
   window.reserve(static_cast<size_t>(std::min<uint64_t>(num_window, 1024)));
   for (uint64_t i = 0; i < num_window; ++i) {
     CachedQuery record;
-    if (!LoadRecord(reader, &record, num_graphs)) return false;
+    if (!LoadCachedQuery(reader, &record, num_graphs)) return false;
     window.push_back(std::move(record));
   }
 

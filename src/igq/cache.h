@@ -36,6 +36,15 @@ struct CacheProbe {
 
 /// Igraphs + Isub + Isuper + Stat(iGQ Graph) + Itemp, with the §5.2
 /// maintenance protocol (batch window, utility eviction, shadow rebuild).
+///
+/// Thread-safety: none — this is the single-stream cache behind QueryEngine,
+/// and every member (including the const accessors, which read state that
+/// Insert/Flush mutate) assumes one caller at a time. Concurrent streams use
+/// ShardedQueryCache (sharded_cache.h), which partitions this same state by
+/// graph hash under reader–writer locks; the two caches share the record
+/// format (SaveCachedQuery/LoadCachedQuery) and the §5.1 eviction scoring
+/// (EvictionScore) so their maintenance picks identical victims for
+/// identical state. See docs/CONCURRENCY.md for the full threading model.
 class QueryCache {
  public:
   explicit QueryCache(const IgqOptions& options);
@@ -119,6 +128,23 @@ class QueryCache {
   uint64_t next_id_ = 0;
   int64_t maintenance_micros_ = 0;
 };
+
+/// §5.1 eviction score of `entry` under `policy` when the global query
+/// counter reads `now`: lower evicts first (kUtility is U(g) = C(g)/M(g) in
+/// log space). Shared by QueryCache::Flush and the sharded cache's deferred
+/// maintenance so both pick identical victims for identical state.
+double EvictionScore(ReplacementPolicy policy, const CachedQuery& entry,
+                     uint64_t now);
+
+/// Serializes one cached-query record (graph, sorted answer, §5.1 metadata)
+/// in the snapshot record format shared by QueryCache and ShardedQueryCache
+/// (docs/FORMATS.md).
+void SaveCachedQuery(snapshot::BinaryWriter& writer, const CachedQuery& record);
+
+/// Restores a record written by SaveCachedQuery. Returns false on malformed
+/// bytes, an answer id outside [0, num_graphs), or an unsorted answer.
+bool LoadCachedQuery(snapshot::BinaryReader& reader, CachedQuery* record,
+                     uint64_t num_graphs);
 
 }  // namespace igq
 

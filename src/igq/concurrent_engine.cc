@@ -1,6 +1,7 @@
-#include "igq/engine.h"
+#include "igq/concurrent_engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
 #include <thread>
 
@@ -18,26 +19,33 @@ void SetError(std::string* error, const std::string& message) {
 
 }  // namespace
 
-QueryEngine::QueryEngine(const GraphDatabase& db, Method* method,
-                         const IgqOptions& options)
+ConcurrentQueryEngine::ConcurrentQueryEngine(const GraphDatabase& db,
+                                             Method* method,
+                                             const IgqOptions& options)
     : db_(&db),
       method_(method),
       options_(ValidatedIgqOptions(options)),
-      cache_(std::make_unique<QueryCache>(options_)) {
+      cache_(std::make_unique<ShardedQueryCache>(options_)) {
   if (options_.verify_threads > 1) {
     pool_ = std::make_unique<VerifyPool>(options_.verify_threads);
   }
 }
 
-QueryEngine::~QueryEngine() = default;
+ConcurrentQueryEngine::~ConcurrentQueryEngine() = default;
 
-std::vector<GraphId> QueryEngine::RunVerification(
-    const std::vector<GraphId>& candidates,
-    const PreparedQuery& prepared) const {
+std::vector<GraphId> ConcurrentQueryEngine::RunVerification(
+    const std::vector<GraphId>& candidates, const PreparedQuery& prepared) {
   auto verify = [this, &prepared](GraphId id) {
     return method_->Verify(prepared, id);
   };
-  if (pool_ != nullptr) return pool_->Run(candidates, verify);
+  // Borrow the shared pool only when it is free AND the candidate set is
+  // big enough for the pool to split (its own inline threshold); a busy
+  // pool means another stream is verifying — running inline then is the
+  // point of stream-level parallelism, never a stall.
+  if (pool_ != nullptr && candidates.size() >= 2 * pool_->threads()) {
+    std::unique_lock<std::mutex> borrow(pool_mutex_, std::try_to_lock);
+    if (borrow.owns_lock()) return pool_->Run(candidates, verify);
+  }
   std::vector<GraphId> verified;
   for (GraphId id : candidates) {
     if (verify(id)) verified.push_back(id);
@@ -45,52 +53,30 @@ std::vector<GraphId> QueryEngine::RunVerification(
   return verified;
 }
 
-std::vector<GraphId> QueryEngine::Process(const Graph& query,
-                                          QueryStats* stats) {
-  // stats == nullptr asks for NO stats collection (BatchOptions doc): every
-  // stat write below is guarded and every ScopedTimer gets a null sink,
-  // which skips its clock reads entirely.
+std::vector<GraphId> ConcurrentQueryEngine::Process(const Graph& query,
+                                                    QueryStats* stats) {
+  // Same null-stats contract as QueryEngine::Process: a null `stats` skips
+  // all collection (no clock reads, no counter writes).
   if (stats != nullptr) *stats = QueryStats{};
-  int64_t* const filter_sink = stats != nullptr ? &stats->filter_micros : nullptr;
+  int64_t* const filter_sink =
+      stats != nullptr ? &stats->filter_micros : nullptr;
   int64_t* const probe_sink = stats != nullptr ? &stats->probe_micros : nullptr;
-  int64_t* const verify_sink = stats != nullptr ? &stats->verify_micros : nullptr;
+  int64_t* const verify_sink =
+      stats != nullptr ? &stats->verify_micros : nullptr;
   ScopedTimer total_timer(stats != nullptr ? &stats->total_micros : nullptr);
 
   std::unique_ptr<PreparedQuery> prepared = method_->Prepare(query);
 
-  // Stage 1+2 (Fig. 6): host-method filtering and the two cache probes —
-  // optionally on separate threads, as in the paper's three-way parallelism.
+  // Host-method filtering. Stream-level parallelism replaces the Fig. 6
+  // per-query thread split: a serving thread that spawned probe helpers per
+  // query would oversubscribe the machine under load, so parallel_probes is
+  // intentionally ignored here (docs/CONCURRENCY.md).
   std::vector<GraphId> candidates;
-  CacheProbe probe;
-  if (!options_.enabled) {
+  {
     ScopedTimer filter_timer(filter_sink);
     candidates = method_->Filter(*prepared);
-  } else if (options_.parallel_probes) {
-    std::thread filter_thread([&] {
-      ScopedTimer filter_timer(filter_sink);
-      candidates = method_->Filter(*prepared);
-    });
-    {
-      ScopedTimer probe_timer(probe_sink);
-      const PathFeatureCounts features = cache_->ExtractFeatures(query);
-      probe = cache_->Probe(query, features);
-    }
-    filter_thread.join();
-  } else {
-    {
-      ScopedTimer filter_timer(filter_sink);
-      candidates = method_->Filter(*prepared);
-    }
-    ScopedTimer probe_timer(probe_sink);
-    const PathFeatureCounts features = cache_->ExtractFeatures(query);
-    probe = cache_->Probe(query, features);
   }
-  if (stats != nullptr) {
-    stats->candidates_initial = candidates.size();
-    stats->probe_iso_tests = probe.probe_iso_tests;
-    stats->isub_hits = probe.supergraph_positions.size();
-    stats->isuper_hits = probe.subgraph_positions.size();
-  }
+  if (stats != nullptr) stats->candidates_initial = candidates.size();
 
   if (!options_.enabled) {
     std::vector<GraphId> answer;
@@ -109,58 +95,64 @@ std::vector<GraphId> QueryEngine::Process(const Graph& query,
   cache_->RecordQueryProcessed();
   const size_t query_nodes = query.NumVertices();
 
-  // §4.3 case 1: identical previous query — return its answer outright.
-  if (probe.exact_position != SIZE_MAX) {
-    const CachedQuery& entry = cache_->entries()[probe.exact_position];
-    cache_->CreditHit(probe.exact_position);
-    cache_->CreditPrune(probe.exact_position, candidates.size(),
-                        SumIsomorphismCosts(*db_, method_->Direction(),
-                                            query_nodes, candidates));
-    if (stats != nullptr) {
-      stats->shortcut = ShortcutKind::kExactHit;
-      stats->candidates_final = 0;
-      stats->answer_size = entry.answer.size();
-    }
-    return entry.answer;
-  }
-
-  // The §4.4 role inversion. For subgraph queries, cached *supergraphs* of g
-  // yield guaranteed answers (formulas (3)/(4)) and cached *subgraphs*
-  // intersect the candidate set (formula (5)). For supergraph queries the
-  // roles swap: cached subgraphs G ⊆ g guarantee (Gi ⊆ G ⊆ g), cached
-  // supergraphs g ⊆ G intersect (Gi ⊆ g implies Gi ⊆ G).
-  const bool subgraph_query =
-      method_->Direction() == QueryDirection::kSubgraph;
-  const std::vector<size_t>& guarantee_positions =
-      subgraph_query ? probe.supergraph_positions : probe.subgraph_positions;
-  const std::vector<size_t>& intersect_positions =
-      subgraph_query ? probe.subgraph_positions : probe.supergraph_positions;
-
   PruneOutcome pruned;
   {
-    ScopedTimer prune_timer(probe_sink);
-    std::vector<const CachedQuery*> guarantee, intersect;
-    guarantee.reserve(guarantee_positions.size());
-    for (size_t position : guarantee_positions) {
-      guarantee.push_back(&cache_->entries()[position]);
+    ScopedTimer probe_timer(probe_sink);
+    const PathFeatureCounts features = cache_->ExtractFeatures(query);
+    // The session holds shared locks on every shard; keep it alive through
+    // pruning (entries are read in place) and release before verification.
+    ShardedQueryCache::ProbeSession session = cache_->Probe(query, features);
+    if (stats != nullptr) {
+      stats->probe_iso_tests = session.probe_iso_tests();
+      stats->isub_hits = session.supergraph_hits().size();
+      stats->isuper_hits = session.subgraph_hits().size();
     }
-    intersect.reserve(intersect_positions.size());
-    for (size_t position : intersect_positions) {
-      intersect.push_back(&cache_->entries()[position]);
+
+    // §4.3 case 1: identical previous query — return its answer outright.
+    if (session.has_exact()) {
+      const CachedQuery& entry = session.entry(session.exact());
+      session.CreditHit(session.exact());
+      session.CreditPrune(session.exact(), candidates.size(),
+                          SumIsomorphismCosts(*db_, method_->Direction(),
+                                              query_nodes, candidates));
+      if (stats != nullptr) {
+        stats->shortcut = ShortcutKind::kExactHit;
+        stats->candidates_final = 0;
+        stats->answer_size = entry.answer.size();
+      }
+      return entry.answer;
+    }
+
+    // The §4.4 role inversion, as in the sequential engine: the guarantee
+    // side yields answers without verification, the intersect side prunes.
+    const bool subgraph_query =
+        method_->Direction() == QueryDirection::kSubgraph;
+    const std::vector<ShardedQueryCache::Hit>& guarantee_hits =
+        subgraph_query ? session.supergraph_hits() : session.subgraph_hits();
+    const std::vector<ShardedQueryCache::Hit>& intersect_hits =
+        subgraph_query ? session.subgraph_hits() : session.supergraph_hits();
+    std::vector<const CachedQuery*> guarantee, intersect;
+    guarantee.reserve(guarantee_hits.size());
+    for (const ShardedQueryCache::Hit& hit : guarantee_hits) {
+      guarantee.push_back(&session.entry(hit));
+    }
+    intersect.reserve(intersect_hits.size());
+    for (const ShardedQueryCache::Hit& hit : intersect_hits) {
+      intersect.push_back(&session.entry(hit));
     }
     pruned = PruneCandidates(
         std::move(candidates), guarantee, intersect,
         [&](PruneSide side, size_t index,
             const std::vector<GraphId>& removed) {
-          const size_t position = side == PruneSide::kGuarantee
-                                      ? guarantee_positions[index]
-                                      : intersect_positions[index];
-          cache_->CreditHit(position);
-          cache_->CreditPrune(position, removed.size(),
+          const ShardedQueryCache::Hit& hit = side == PruneSide::kGuarantee
+                                                  ? guarantee_hits[index]
+                                                  : intersect_hits[index];
+          session.CreditHit(hit);
+          session.CreditPrune(hit, removed.size(),
                               SumIsomorphismCosts(*db_, method_->Direction(),
                                                   query_nodes, removed));
         });
-  }  // prune_timer scope
+  }  // session destroyed: shard locks released before verification
 
   if (stats != nullptr) {
     stats->candidates_final = pruned.remaining.size();
@@ -185,13 +177,39 @@ std::vector<GraphId> QueryEngine::Process(const Graph& query,
 
   if (stats != nullptr) stats->answer_size = answer.size();
 
-  // Stage 6-8 (Fig. 6): store the executed query; maintenance (window flush
-  // + shadow rebuild) is timed inside the cache, off the query path.
   cache_->Insert(query, answer);
   return answer;
 }
 
-bool QueryEngine::SaveSnapshot(std::ostream& out, std::string* error) const {
+std::vector<BatchResult> ConcurrentQueryEngine::ProcessConcurrent(
+    std::span<const Graph> queries, size_t streams,
+    const BatchOptions& batch) {
+  std::vector<BatchResult> results(queries.size());
+  if (queries.empty()) return results;
+  streams = std::clamp<size_t>(streams, 1, queries.size());
+
+  // Dynamic claiming: streams pull the next unprocessed query, so a stream
+  // stuck on an expensive query does not strand its share of the batch.
+  std::atomic<size_t> cursor{0};
+  auto stream_loop = [&] {
+    for (;;) {
+      const size_t index = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (index >= queries.size()) break;
+      BatchResult& result = results[index];
+      result.answer = Process(queries[index],
+                              batch.collect_stats ? &result.stats : nullptr);
+    }
+  };
+  std::vector<std::thread> workers;
+  workers.reserve(streams - 1);
+  for (size_t t = 1; t < streams; ++t) workers.emplace_back(stream_loop);
+  stream_loop();  // the caller is stream 0
+  for (std::thread& worker : workers) worker.join();
+  return results;
+}
+
+bool ConcurrentQueryEngine::SaveSnapshot(std::ostream& out,
+                                         std::string* error) const {
   snapshot::WriteSnapshotHeader(out);
 
   std::ostringstream cache_payload;
@@ -200,11 +218,11 @@ bool QueryEngine::SaveSnapshot(std::ostream& out, std::string* error) const {
     cache_->Save(writer, db_->graphs.size(),
                  snapshot::DatasetFingerprint(db_->graphs));
     if (!writer.ok()) {
-      SetError(error, "failed to serialize cache state");
+      SetError(error, "failed to serialize sharded cache state");
       return false;
     }
   }
-  snapshot::WriteSection(out, snapshot::kSectionCache,
+  snapshot::WriteSection(out, snapshot::kSectionShardedCache,
                          std::move(cache_payload).str());
 
   // The method index rides along when the method supports persistence; the
@@ -227,8 +245,8 @@ bool QueryEngine::SaveSnapshot(std::ostream& out, std::string* error) const {
   return true;
 }
 
-bool QueryEngine::LoadSnapshot(std::istream& in, std::string* error,
-                               SnapshotLoadInfo* info) {
+bool ConcurrentQueryEngine::LoadSnapshot(std::istream& in, std::string* error,
+                                         SnapshotLoadInfo* info) {
   if (info != nullptr) *info = SnapshotLoadInfo{};
   if (!snapshot::ReadSnapshotHeader(in, error)) return false;
 
@@ -240,29 +258,27 @@ bool QueryEngine::LoadSnapshot(std::istream& in, std::string* error,
     snapshot::Section section;
     if (!snapshot::ReadSection(in, &section, error)) return false;
     if (section.id == snapshot::kSectionEnd) break;
-    if (section.id == snapshot::kSectionCache) {
+    if (section.id == snapshot::kSectionShardedCache) {
       cache_payload = std::move(section.payload);
       have_cache = true;
     } else if (section.id == snapshot::kSectionMethodIndex) {
       index_payload = std::move(section.payload);
       have_index = true;
     }
-    // Unknown section ids are skipped: they are checksum-verified data from
-    // a newer writer, not corruption.
+    // Unknown section ids — including kSectionCache, a *sequential* cache
+    // snapshot whose geometry cannot match a sharded cache — are skipped:
+    // they are checksum-verified data, not corruption.
   }
-  // The end marker itself carries no checksum, so a section id corrupted
-  // into 0 would silently drop the file's tail — require EOF behind it.
   if (in.peek() != std::char_traits<char>::eof()) {
     SetError(error, "corrupt snapshot: trailing bytes after the end marker");
     return false;
   }
   if (!have_cache) {
-    SetError(error, "snapshot has no cache section");
+    SetError(error, "snapshot has no sharded-cache section");
     return false;
   }
 
-  // Validate the method-index framing before committing any state, so a
-  // rejected load leaves both the cache and the method untouched.
+  // Validate the method-index framing before committing any state.
   std::istringstream index_stream(std::move(index_payload));
   if (have_index) {
     std::string method_name;
@@ -283,36 +299,29 @@ bool QueryEngine::LoadSnapshot(std::istream& in, std::string* error,
   // Load into a fresh cache object and swap it in only after the method
   // index (if any) also loads, so every failure path leaves the engine —
   // cache and method alike — exactly as it was.
-  auto fresh_cache = std::make_unique<QueryCache>(options_);
+  auto fresh_cache = std::make_unique<ShardedQueryCache>(options_);
   std::istringstream cache_stream(std::move(cache_payload));
   snapshot::BinaryReader cache_reader(cache_stream);
   if (!fresh_cache->Load(cache_reader, db_->graphs.size(),
                          snapshot::DatasetFingerprint(db_->graphs))) {
     SetError(error,
-             "cache section rejected (malformed, saved under different iGQ "
-             "options, or over a different dataset)");
+             "sharded-cache section rejected (malformed, saved under "
+             "different iGQ options — including cache_shards — or over a "
+             "different dataset)");
     return false;
   }
-  // An under-counted record count would leave unread bytes behind — the
-  // same silent data loss the container guards against everywhere else.
   if (cache_stream.peek() != std::char_traits<char>::eof()) {
     SetError(error, "corrupt snapshot: unread bytes in the cache section");
     return false;
   }
 
   if (have_index) {
-    // Method::LoadIndex implementations commit only on success, so a
-    // false here leaves the method's existing index intact.
     if (!method_->LoadIndex(*db_, index_stream)) {
       SetError(error, "method '" + method_->Name() +
                           "' rejected its index payload (incompatible "
                           "configuration or malformed bytes)");
       return false;
     }
-    // Fail-closed on unread bytes. LoadIndex has already committed by this
-    // point, but the index it installed is self-consistent and validated
-    // against db — the caller's recovery path (Build()) simply overwrites
-    // it; the cache below is still untouched.
     if (index_stream.peek() != std::char_traits<char>::eof()) {
       SetError(error,
                "corrupt snapshot: unread bytes in the method-index section");
@@ -324,19 +333,6 @@ bool QueryEngine::LoadSnapshot(std::istream& in, std::string* error,
   cache_ = std::move(fresh_cache);
   if (info != nullptr) info->cached_queries = cache_->size();
   return true;
-}
-
-std::vector<BatchResult> QueryEngine::ProcessBatch(
-    std::span<const Graph> queries, const BatchOptions& batch) {
-  std::vector<BatchResult> results;
-  results.reserve(queries.size());
-  for (const Graph& query : queries) {
-    BatchResult result;
-    result.answer = Process(query, batch.collect_stats ? &result.stats
-                                                       : nullptr);
-    results.push_back(std::move(result));
-  }
-  return results;
 }
 
 }  // namespace igq

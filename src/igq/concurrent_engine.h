@@ -1,0 +1,109 @@
+// ConcurrentQueryEngine — iGQ serving for many concurrent client streams
+// over one *shared* cache. The sequential QueryEngine is a single logical
+// query stream, so concurrent clients would each need a private engine and
+// therefore a private cache; this engine multiplexes any number of streams
+// over a ShardedQueryCache (sharded_cache.h), so a query cached by one
+// stream prunes every stream's candidates — the sharing that makes the iGQ
+// cache pay off under real traffic (§4.2, §7).
+//
+// Threading model (docs/CONCURRENCY.md is the authoritative write-up):
+//
+//   * Process() is thread-safe; call it from as many threads as you like.
+//     ProcessConcurrent() is the convenience driver that spawns the stream
+//     threads for you.
+//   * Verification runs on one shared VerifyPool. A stream whose pruned
+//     candidate set is large enough to split tries to borrow the pool; if
+//     another stream holds it, verification simply runs inline — streams
+//     never block each other on the pool.
+//   * Snapshot calls require quiescence (no in-flight queries).
+//
+// Equivalence: answers are identical to the sequential engine's, query for
+// query — pruning only ever uses verified containment facts, so any cache
+// content yields exact answers. Hit/miss *sequences* may differ under
+// concurrency (they depend on flush interleaving); tests/concurrency_test.cc
+// pins the contract.
+#ifndef IGQ_IGQ_CONCURRENT_ENGINE_H_
+#define IGQ_IGQ_CONCURRENT_ENGINE_H_
+
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "igq/engine.h"
+#include "igq/options.h"
+#include "igq/sharded_cache.h"
+#include "igq/verify_pool.h"
+#include "methods/method.h"
+
+namespace igq {
+
+/// iGQ over any host Method, shared by M concurrent client streams.
+class ConcurrentQueryEngine {
+ public:
+  /// `db` and `method` must outlive the engine; `method` must be
+  /// Build()-ed on `db` — or restored via LoadSnapshot() — before the
+  /// first query, and its Filter/Verify must be thread-safe for
+  /// concurrent queries (true of all registry methods: they only read the
+  /// index after Build). `options` is validated (ValidatedIgqOptions).
+  ConcurrentQueryEngine(const GraphDatabase& db, Method* method,
+                        const IgqOptions& options);
+  ~ConcurrentQueryEngine();
+
+  ConcurrentQueryEngine(const ConcurrentQueryEngine&) = delete;
+  ConcurrentQueryEngine& operator=(const ConcurrentQueryEngine&) = delete;
+
+  /// Executes one query end-to-end against the shared cache and returns
+  /// the sorted ids of all related dataset graphs. Thread-safe — this is
+  /// the per-stream entry point. A null `stats` skips stats collection
+  /// entirely, as in QueryEngine::Process.
+  std::vector<GraphId> Process(const Graph& query, QueryStats* stats = nullptr);
+
+  /// Multiplexes `queries` over `streams` concurrently executing client
+  /// streams (the calling thread participates, so `streams` is the total;
+  /// clamped to [1, queries.size()]). Queries are claimed dynamically, so
+  /// uneven query costs still balance. Results arrive in input order;
+  /// answers are identical to processing the batch on the sequential
+  /// engine. Reentrant — but nested calls share the same cache and pool.
+  std::vector<BatchResult> ProcessConcurrent(std::span<const Graph> queries,
+                                             size_t streams,
+                                             const BatchOptions& batch = {});
+
+  /// Writes a warm-start snapshot: the sharded cache state (its own
+  /// section id — sequential and sharded snapshots are not interchangeable,
+  /// the geometry differs) and the method index when the method supports
+  /// persistence. Requires quiescence: no concurrent Process calls.
+  bool SaveSnapshot(std::ostream& out, std::string* error = nullptr) const;
+
+  /// Restores a snapshot produced by SaveSnapshot() under the same
+  /// IgqOptions (including cache_shards) and method configuration; every
+  /// failure leaves the engine untouched. Requires quiescence. When the
+  /// snapshot carries a method index, this substitutes for Build() — see
+  /// `info->method_index_restored`.
+  bool LoadSnapshot(std::istream& in, std::string* error = nullptr,
+                    SnapshotLoadInfo* info = nullptr);
+
+  QueryDirection direction() const { return method_->Direction(); }
+  const ShardedQueryCache& cache() const { return *cache_; }
+  ShardedQueryCache& mutable_cache() { return *cache_; }
+  const IgqOptions& options() const { return options_; }
+
+ private:
+  /// Verification over `candidates`: borrows the shared pool when it is
+  /// free and the set is big enough to split, else runs inline.
+  std::vector<GraphId> RunVerification(const std::vector<GraphId>& candidates,
+                                       const PreparedQuery& prepared);
+
+  const GraphDatabase* db_;
+  Method* method_;
+  IgqOptions options_;
+  std::unique_ptr<ShardedQueryCache> cache_;
+  std::unique_ptr<VerifyPool> pool_;  // null when verify_threads == 1
+  std::mutex pool_mutex_;             // arbitrates pool borrowing
+};
+
+}  // namespace igq
+
+#endif  // IGQ_IGQ_CONCURRENT_ENGINE_H_

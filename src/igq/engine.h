@@ -50,7 +50,12 @@ struct QueryStats {
 
 /// Knobs for ProcessBatch.
 struct BatchOptions {
-  /// Fill BatchResult::stats for every query (cheap; on by default).
+  /// Fill BatchResult::stats for every query (on by default). When false
+  /// the engine skips stats gathering entirely — no per-stage clock reads
+  /// and no counter writes anywhere on the query path, not merely a
+  /// discarded copy — so throughput-oriented batch serving pays nothing
+  /// for the measurement plumbing; every BatchResult::stats stays
+  /// value-initialized. Answers and cache maintenance are unaffected.
   bool collect_stats = true;
 };
 
@@ -75,8 +80,11 @@ struct SnapshotLoadInfo {
 /// ProcessBatch, and the snapshot calls must not run concurrently with
 /// each other on the same engine — parallelism lives *inside* a query
 /// (the Fig. 6 probe threads and the verification pool, which requires
-/// Method::Verify to be thread-safe). Run concurrent streams by giving
-/// each its own engine over the same db and method.
+/// Method::Verify to be thread-safe). To serve many concurrent streams
+/// over one *shared* cache, use ConcurrentQueryEngine
+/// (concurrent_engine.h); giving each stream its own QueryEngine also
+/// works but keeps the caches private, so streams never share hits. See
+/// docs/CONCURRENCY.md.
 class QueryEngine {
  public:
   /// `db` and `method` must outlive the engine; `method` must be
@@ -89,7 +97,8 @@ class QueryEngine {
 
   /// Executes one query end-to-end and returns the ids of all dataset
   /// graphs related to `query` in the method's direction (sorted). Fills
-  /// `stats` if non-null.
+  /// `stats` if non-null; a null `stats` skips stats collection entirely
+  /// (no per-stage clock reads, no counter writes), not just the copy-out.
   std::vector<GraphId> Process(const Graph& query, QueryStats* stats = nullptr);
 
   /// Executes the queries in order against the same cache, reusing the
@@ -128,10 +137,6 @@ class QueryEngine {
   /// Verification over `candidates`, on the pool when one exists.
   std::vector<GraphId> RunVerification(const std::vector<GraphId>& candidates,
                                        const PreparedQuery& prepared) const;
-
-  /// Sum of §5.1 analytic costs of the tests `ids` would require; pattern
-  /// and target roles follow the query direction.
-  LogValue SumCosts(size_t query_nodes, const std::vector<GraphId>& ids) const;
 
   const GraphDatabase* db_;
   Method* method_;

@@ -17,6 +17,14 @@
 namespace igq {
 
 /// Subgraph index over the cached query graphs.
+///
+/// Thread-safety: immutable after Build(). FindSupergraphsOf is const and
+/// safe from any number of threads concurrently; Build() (and moving the
+/// index) requires exclusive access. The sharded cache relies on exactly
+/// this split — concurrent probes under shard-shared locks, fresh instances
+/// built off-lock and swapped in exclusively (docs/CONCURRENCY.md). Note
+/// Build() keeps a pointer to `cached`: the vector object must stay at the
+/// same address (not just the same contents) for the index's lifetime.
 class IsubIndex {
  public:
   explicit IsubIndex(const PathEnumeratorOptions& options = {})

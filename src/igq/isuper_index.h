@@ -16,6 +16,13 @@
 namespace igq {
 
 /// Supergraph index over the cached query graphs.
+///
+/// Thread-safety: immutable after Build(). FindSubgraphsOf is const and
+/// safe from any number of threads concurrently; Build() (and moving the
+/// index) requires exclusive access, and the `cached` vector object passed
+/// to Build() must stay at a stable address for the index's lifetime. Same
+/// contract as IsubIndex — see docs/CONCURRENCY.md for how the sharded
+/// cache exploits it.
 class IsuperIndex {
  public:
   explicit IsuperIndex(const PathEnumeratorOptions& options = {})

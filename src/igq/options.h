@@ -41,13 +41,24 @@ struct IgqOptions {
   /// as in Fig. 6. Off by default so tests are deterministic.
   bool parallel_probes = false;
 
+  /// Shard count of the concurrent cache (ConcurrentQueryEngine /
+  /// ShardedQueryCache only; the sequential QueryCache ignores it). Cached
+  /// queries partition by structural graph hash into this many
+  /// independently-locked shards; capacity and window divide evenly across
+  /// them (each shard gets the ceiling share, at least 1). More shards mean
+  /// less writer contention and smaller per-flush rebuilds; probes always
+  /// consult every shard, so past ~2× the stream count the returns flatten.
+  /// Clamped to [1, cache_capacity] — see docs/CONCURRENCY.md.
+  size_t cache_shards = 8;
+
   /// Eviction policy (§5.1); kUtility unless running the ablation.
   ReplacementPolicy replacement_policy = ReplacementPolicy::kUtility;
 };
 
 /// Clamps `options` to the documented invariants: cache_capacity >= 1,
-/// 1 <= window_size <= cache_capacity, verify_threads >= 1. The engine
-/// applies this at construction so it never runs with an invalid geometry.
+/// 1 <= window_size <= cache_capacity, verify_threads >= 1,
+/// 1 <= cache_shards <= cache_capacity. The engines apply this at
+/// construction so they never run with an invalid geometry.
 inline IgqOptions ValidatedIgqOptions(IgqOptions options) {
   if (options.cache_capacity == 0) options.cache_capacity = 1;
   if (options.window_size == 0) options.window_size = 1;
@@ -55,6 +66,10 @@ inline IgqOptions ValidatedIgqOptions(IgqOptions options) {
     options.window_size = options.cache_capacity;
   }
   if (options.verify_threads == 0) options.verify_threads = 1;
+  if (options.cache_shards == 0) options.cache_shards = 1;
+  if (options.cache_shards > options.cache_capacity) {
+    options.cache_shards = options.cache_capacity;
+  }
   return options;
 }
 

@@ -1,0 +1,92 @@
+#include "igq/pruning.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "isomorphism/cost_model.h"
+
+namespace igq {
+namespace {
+
+// True iff `id` is in the sorted answer vector.
+bool AnswerContains(const std::vector<GraphId>& answer, GraphId id) {
+  return std::binary_search(answer.begin(), answer.end(), id);
+}
+
+}  // namespace
+
+PruneOutcome PruneCandidates(
+    std::vector<GraphId> candidates,
+    std::span<const CachedQuery* const> guarantee,
+    std::span<const CachedQuery* const> intersect,
+    const std::function<void(PruneSide side, size_t index,
+                             const std::vector<GraphId>& removed)>& credit) {
+  PruneOutcome out;
+
+  // Guaranteed-answer pruning: candidates in the answer set of any cached
+  // query on the guarantee side need no verification.
+  if (!guarantee.empty()) {
+    for (size_t i = 0; i < guarantee.size(); ++i) {
+      const std::vector<GraphId>& answer = guarantee[i]->answer;
+      std::vector<GraphId> removed_here;
+      for (GraphId id : candidates) {
+        if (AnswerContains(answer, id)) removed_here.push_back(id);
+      }
+      credit(PruneSide::kGuarantee, i, removed_here);
+      for (GraphId id : removed_here) out.guaranteed.push_back(id);
+    }
+    std::sort(out.guaranteed.begin(), out.guaranteed.end());
+    out.guaranteed.erase(
+        std::unique(out.guaranteed.begin(), out.guaranteed.end()),
+        out.guaranteed.end());
+    for (GraphId id : candidates) {
+      if (!AnswerContains(out.guaranteed, id)) out.remaining.push_back(id);
+    }
+  } else {
+    out.remaining = std::move(candidates);
+  }
+
+  // Intersection pruning: only candidates in the answer set of every cached
+  // query on the intersection side can still be answers; an empty cached
+  // answer proves the final answer empty (§4.3 case 2).
+  for (size_t i = 0; i < intersect.size(); ++i) {
+    const std::vector<GraphId>& answer = intersect[i]->answer;
+    std::vector<GraphId> kept;
+    std::vector<GraphId> removed_here;
+    for (GraphId id : out.remaining) {
+      if (AnswerContains(answer, id)) {
+        kept.push_back(id);
+      } else {
+        removed_here.push_back(id);
+      }
+    }
+    credit(PruneSide::kIntersect, i, removed_here);
+    out.remaining = std::move(kept);
+    if (answer.empty()) {
+      out.empty_answer_shortcut = true;
+      assert(out.guaranteed.empty());
+      out.remaining.clear();
+      break;
+    }
+  }
+  return out;
+}
+
+LogValue SumIsomorphismCosts(const GraphDatabase& db, QueryDirection direction,
+                             size_t query_nodes,
+                             const std::vector<GraphId>& ids) {
+  // Subgraph queries test the query against stored graphs; supergraph
+  // queries test stored graphs against the query (§4.4) — the cost model's
+  // pattern/target arguments swap accordingly.
+  const bool subgraph = direction == QueryDirection::kSubgraph;
+  LogValue total = LogValue::Zero();
+  for (GraphId id : ids) {
+    const size_t stored_nodes = db.graphs[id].NumVertices();
+    total += subgraph
+                 ? IsomorphismCost(db.num_labels, query_nodes, stored_nodes)
+                 : IsomorphismCost(db.num_labels, stored_nodes, query_nodes);
+  }
+  return total;
+}
+
+}  // namespace igq

@@ -1,0 +1,63 @@
+// The candidate-pruning core shared by QueryEngine and
+// ConcurrentQueryEngine (§4.2–§4.4): given the probe's guarantee-side and
+// intersect-side cached entries, splits the host method's candidate set
+// into guaranteed answers and the subset still needing verification. One
+// implementation serves both engines so the sequential and the concurrent
+// query paths cannot drift apart — the answer-equivalence guarantee of
+// docs/CONCURRENCY.md rests on it.
+#ifndef IGQ_IGQ_PRUNING_H_
+#define IGQ_IGQ_PRUNING_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/log_space.h"
+#include "graph/graph.h"
+#include "igq/query_record.h"
+#include "methods/method.h"
+
+namespace igq {
+
+/// Which probe side a credited entry came from (§4.4 role inversion: for
+/// subgraph queries the guarantee side is Isub(g), for supergraph queries
+/// it is Isuper(g)).
+enum class PruneSide { kGuarantee, kIntersect };
+
+/// What PruneCandidates decided.
+struct PruneOutcome {
+  /// Candidates proven answers by a guarantee-side entry (formulas (3)–(4));
+  /// sorted ascending, deduplicated. They skip verification entirely.
+  std::vector<GraphId> guaranteed;
+  /// Candidates still needing verification (CS_igq(g), formula (5)), in the
+  /// host method's candidate order.
+  std::vector<GraphId> remaining;
+  /// §4.3 case 2: an intersect-side entry with an empty answer proved the
+  /// final answer empty; `remaining` is cleared.
+  bool empty_answer_shortcut = false;
+};
+
+/// Runs the guarantee-side subtraction then the intersect-side filtering
+/// over `candidates`. `credit` is invoked once per cached entry consulted —
+/// identified by its side and index into the corresponding span — with the
+/// candidate ids that entry pruned (possibly none); the caller translates
+/// that into CreditHit/CreditPrune on its cache. Entries after an
+/// empty-answer shortcut are not consulted and earn no credit, exactly as
+/// in the sequential engine.
+PruneOutcome PruneCandidates(
+    std::vector<GraphId> candidates,
+    std::span<const CachedQuery* const> guarantee,
+    std::span<const CachedQuery* const> intersect,
+    const std::function<void(PruneSide side, size_t index,
+                             const std::vector<GraphId>& removed)>& credit);
+
+/// Sum of §5.1 analytic costs of the verification tests `ids` would
+/// require; pattern and target roles follow the query direction (§4.4).
+LogValue SumIsomorphismCosts(const GraphDatabase& db, QueryDirection direction,
+                             size_t query_nodes,
+                             const std::vector<GraphId>& ids);
+
+}  // namespace igq
+
+#endif  // IGQ_IGQ_PRUNING_H_

@@ -1,0 +1,468 @@
+#include "igq/sharded_cache.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/timer.h"
+#include "igq/cache.h"
+#include "snapshot/serializer.h"
+
+namespace igq {
+namespace {
+
+/// Payload version of the serialized sharded-cache state.
+constexpr uint32_t kShardedCacheStateVersion = 1;
+
+}  // namespace
+
+uint64_t GraphShardHash(const Graph& graph) {
+  // FNV-1a over the structural content in vertex-id order. Adjacency lists
+  // are sorted, so structurally equal graphs produce identical streams.
+  uint64_t hash = 1469598103934665603ull;
+  auto mix = [&hash](uint64_t value) {
+    hash ^= value;
+    hash *= 1099511628211ull;
+  };
+  mix(graph.NumVertices());
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    mix(graph.label(v));
+    for (VertexId w : graph.Neighbors(v)) {
+      if (v < w) mix((static_cast<uint64_t>(v) << 32) | w);
+    }
+  }
+  return hash;
+}
+
+ShardedQueryCache::ShardedQueryCache(const IgqOptions& options)
+    : options_(options) {
+  enumerator_options_.max_edges = options_.path_max_edges;
+  enumerator_options_.include_single_vertices = true;
+  const size_t shards = std::max<size_t>(1, options_.cache_shards);
+  shard_capacity_ =
+      std::max<size_t>(1, (options_.cache_capacity + shards - 1) / shards);
+  shard_window_ = std::min(
+      shard_capacity_,
+      std::max<size_t>(1, (options_.window_size + shards - 1) / shards));
+  shards_.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->entries = std::make_unique<std::vector<CachedQuery>>();
+    shard->isub = IsubIndex(enumerator_options_);
+    shard->isuper = IsuperIndex(enumerator_options_);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardedQueryCache::~ShardedQueryCache() = default;
+
+PathFeatureCounts ShardedQueryCache::ExtractFeatures(const Graph& query) const {
+  return CountPathFeatures(query, enumerator_options_);
+}
+
+ShardedQueryCache::ProbeSession::ProbeSession(ShardedQueryCache* owner)
+    : owner_(owner) {}
+
+const CachedQuery& ShardedQueryCache::ProbeSession::entry(
+    const Hit& hit) const {
+  return (*owner_->shards_[hit.shard]->entries)[hit.position];
+}
+
+void ShardedQueryCache::ProbeSession::CreditHit(const Hit& hit) const {
+  Shard& shard = *owner_->shards_[hit.shard];
+  std::lock_guard<std::mutex> credits(shard.credit_mutex);
+  QueryGraphMetadata& meta = (*shard.entries)[hit.position].meta;
+  ++meta.hits;
+  meta.last_hit_at = owner_->queries_processed_.load(std::memory_order_relaxed);
+}
+
+void ShardedQueryCache::ProbeSession::CreditPrune(const Hit& hit,
+                                                  uint64_t removed,
+                                                  LogValue cost) const {
+  Shard& shard = *owner_->shards_[hit.shard];
+  std::lock_guard<std::mutex> credits(shard.credit_mutex);
+  QueryGraphMetadata& meta = (*shard.entries)[hit.position].meta;
+  meta.removed_candidates += removed;
+  meta.cost_saved += cost;
+}
+
+ShardedQueryCache::ProbeSession ShardedQueryCache::Probe(
+    const Graph& query, const PathFeatureCounts& query_features) {
+  ProbeSession session(this);
+  session.locks_.reserve(shards_.size());
+  // Shared locks in shard order; writers hold at most one shard's exclusive
+  // lock at a time, so no acquisition cycle exists.
+  for (const auto& shard : shards_) {
+    session.locks_.emplace_back(shard->mutex);
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = *shards_[s];
+    if (shard.entries->empty()) continue;
+    for (size_t position : shard.isub.FindSupergraphsOf(
+             query, query_features, &session.probe_iso_tests_)) {
+      session.supergraph_hits_.push_back(Hit{s, position});
+    }
+    for (size_t position : shard.isuper.FindSubgraphsOf(
+             query, query_features, &session.probe_iso_tests_)) {
+      session.subgraph_hits_.push_back(Hit{s, position});
+    }
+  }
+  // Exact-match shortcut (§4.3): containment + equal node and edge counts
+  // means isomorphism. Deterministic scan order: supergraph side first,
+  // then subgraph side, each in shard order.
+  auto is_exact = [this, &query](const Hit& hit) {
+    const Graph& g = (*shards_[hit.shard]->entries)[hit.position].graph;
+    return g.NumVertices() == query.NumVertices() &&
+           g.NumEdges() == query.NumEdges();
+  };
+  for (const Hit& hit : session.supergraph_hits_) {
+    if (is_exact(hit)) {
+      session.has_exact_ = true;
+      session.exact_ = hit;
+      return session;
+    }
+  }
+  for (const Hit& hit : session.subgraph_hits_) {
+    if (is_exact(hit)) {
+      session.has_exact_ = true;
+      session.exact_ = hit;
+      return session;
+    }
+  }
+  return session;
+}
+
+void ShardedQueryCache::Insert(const Graph& query,
+                               std::vector<GraphId> answer) {
+  const uint64_t query_hash = GraphShardHash(query);
+  const size_t shard_index = static_cast<size_t>(query_hash % shards_.size());
+  Shard& shard = *shards_[shard_index];
+  bool flush_due = false;
+  {
+    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    // Concurrent streams can race the same query past the probe (both miss,
+    // both insert). Structurally equal graphs always land in this shard, so
+    // a scan of its entries and window suffices to keep the cache
+    // duplicate-free — the invariant the sequential cache gets from the
+    // exact-hit shortcut plus window dedup. The scan compares the cached
+    // 8-byte hashes; graphs are only compared on a hash match, keeping
+    // this exclusive section cheap even on full shards.
+    for (size_t i = 0; i < shard.entry_hashes.size(); ++i) {
+      if (shard.entry_hashes[i] == query_hash &&
+          (*shard.entries)[i].graph == query) {
+        return;
+      }
+    }
+    for (size_t i = 0; i < shard.window_hashes.size(); ++i) {
+      if (shard.window_hashes[i] == query_hash &&
+          shard.window[i].graph == query) {
+        return;
+      }
+    }
+    CachedQuery record;
+    record.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    record.graph = query;
+    record.answer = std::move(answer);
+    std::sort(record.answer.begin(), record.answer.end());
+    record.meta.inserted_at =
+        queries_processed_.load(std::memory_order_relaxed);
+    shard.window.push_back(std::move(record));
+    shard.window_hashes.push_back(query_hash);
+    flush_due = shard.window.size() >= shard_window_;
+  }
+  if (flush_due) MaintainShard(shard_index, /*force=*/false, /*wait=*/false);
+}
+
+void ShardedQueryCache::MaintainShard(size_t shard_index, bool force,
+                                      bool wait) {
+  Shard& shard = *shards_[shard_index];
+  std::unique_lock<std::mutex> gate(shard.maintenance_mutex, std::defer_lock);
+  if (wait) {
+    gate.lock();
+  } else if (!gate.try_lock()) {
+    // Another thread is flushing this shard; its re-check loop will pick up
+    // whatever filled the window meanwhile.
+    return;
+  }
+
+  for (;;) {
+    Timer timer;
+    size_t take = 0;
+    std::vector<size_t> survivor_from;
+    auto staged = std::make_unique<std::vector<CachedQuery>>();
+    std::vector<uint64_t> staged_hashes;
+    const uint64_t now = queries_processed_.load(std::memory_order_relaxed);
+    {
+      std::shared_lock<std::shared_mutex> lock(shard.mutex);
+      // Integrate at most one window-sized slice per pass (the loop drains
+      // the rest): under gate contention the window can overshoot
+      // shard_window_, and merging an oversized slice wholesale would leave
+      // the shard above capacity with no later flush to correct it.
+      take = std::min(shard.window.size(), shard_window_);
+      if (take == 0 || (!force && shard.window.size() < shard_window_)) {
+        return;
+      }
+      const std::vector<CachedQuery>& entries = *shard.entries;
+
+      // Eviction (§5.1) over a frozen metadata snapshot (the credit mutex
+      // blocks H/R/C updates while victims are chosen and copied). Same
+      // scoring as QueryCache::Flush: the incoming window always enters,
+      // only pre-existing entries compete, lowest score evicts first.
+      std::lock_guard<std::mutex> credits(shard.credit_mutex);
+      const size_t target_old =
+          shard_capacity_ > take ? shard_capacity_ - take : 0;
+      std::vector<bool> evicted(entries.size(), false);
+      if (entries.size() > target_old) {
+        const size_t evict = entries.size() - target_old;
+        std::vector<size_t> order(entries.size());
+        std::iota(order.begin(), order.end(), 0);
+        std::stable_sort(
+            order.begin(), order.end(), [&](size_t a, size_t b) {
+              const double sa = EvictionScore(options_.replacement_policy,
+                                              entries[a], now);
+              const double sb = EvictionScore(options_.replacement_policy,
+                                              entries[b], now);
+              if (sa != sb) return sa < sb;
+              return entries[a].id < entries[b].id;  // older first
+            });
+        for (size_t i = 0; i < evict; ++i) evicted[order[i]] = true;
+      }
+      staged->reserve(entries.size() + take);
+      staged_hashes.reserve(entries.size() + take);
+      for (size_t i = 0; i < entries.size(); ++i) {
+        if (!evicted[i]) {
+          survivor_from.push_back(i);
+          staged->push_back(entries[i]);
+          staged_hashes.push_back(shard.entry_hashes[i]);
+        }
+      }
+      for (size_t i = 0; i < take; ++i) {
+        staged->push_back(shard.window[i]);
+        staged_hashes.push_back(shard.window_hashes[i]);
+      }
+    }
+
+    // Shadow rebuild (§5.2) with no structure lock held: probes keep
+    // running against the old entries/indexes while the fresh ones build.
+    IsubIndex fresh_isub(enumerator_options_);
+    fresh_isub.Build(*staged);
+    IsuperIndex fresh_isuper(enumerator_options_);
+    fresh_isuper.Build(*staged);
+
+    bool more = false;
+    {
+      std::unique_lock<std::shared_mutex> lock(shard.mutex);
+      // Credits landed on the old entries while the rebuild ran; carry the
+      // freshest metadata over to the surviving copies. Positions are
+      // stable: only this (gated) path restructures entries.
+      for (size_t i = 0; i < survivor_from.size(); ++i) {
+        (*staged)[i].meta = (*shard.entries)[survivor_from[i]].meta;
+      }
+      // The indexes point at the vector *object* behind the unique_ptr;
+      // moving the pointer in preserves that address.
+      shard.entries = std::move(staged);
+      shard.entry_hashes = std::move(staged_hashes);
+      shard.window.erase(shard.window.begin(),
+                         shard.window.begin() + static_cast<ptrdiff_t>(take));
+      shard.window_hashes.erase(
+          shard.window_hashes.begin(),
+          shard.window_hashes.begin() + static_cast<ptrdiff_t>(take));
+      shard.isub = std::move(fresh_isub);
+      shard.isuper = std::move(fresh_isuper);
+      more = shard.window.size() >= shard_window_ ||
+             (force && !shard.window.empty());
+    }
+    maintenance_micros_.fetch_add(timer.ElapsedMicros(),
+                                  std::memory_order_relaxed);
+    if (!more) return;
+  }
+}
+
+void ShardedQueryCache::FlushAll() {
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    MaintainShard(s, /*force=*/true, /*wait=*/true);
+  }
+}
+
+size_t ShardedQueryCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mutex);
+    total += shard->entries->size();
+  }
+  return total;
+}
+
+size_t ShardedQueryCache::window_fill() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mutex);
+    total += shard->window.size();
+  }
+  return total;
+}
+
+size_t ShardedQueryCache::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mutex);
+    bytes += sizeof(Shard) + shard->isub.MemoryBytes() +
+             shard->isuper.MemoryBytes();
+    for (const CachedQuery& record : *shard->entries) {
+      bytes += record.graph.MemoryBytes();
+      bytes += record.answer.capacity() * sizeof(GraphId);
+      bytes += sizeof(CachedQuery);
+    }
+  }
+  return bytes;
+}
+
+std::vector<Graph> ShardedQueryCache::CachedGraphs() const {
+  std::vector<Graph> graphs;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mutex);
+    for (const CachedQuery& record : *shard->entries) {
+      graphs.push_back(record.graph);
+    }
+    for (const CachedQuery& record : shard->window) {
+      graphs.push_back(record.graph);
+    }
+  }
+  return graphs;
+}
+
+void ShardedQueryCache::Save(snapshot::BinaryWriter& writer,
+                             uint64_t num_graphs, uint32_t dataset_crc) const {
+  // Shared locks on all shards for a single consistent cut; the credit
+  // mutex is taken per shard while its records are written so §5.1 counters
+  // are not read mid-update.
+  std::vector<std::shared_lock<std::shared_mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) locks.emplace_back(shard->mutex);
+
+  writer.WriteU32(kShardedCacheStateVersion);
+  writer.WriteU32(static_cast<uint32_t>(options_.path_max_edges));
+  writer.WriteU64(options_.cache_capacity);
+  writer.WriteU64(options_.window_size);
+  writer.WriteU8(static_cast<uint8_t>(options_.replacement_policy));
+  writer.WriteU32(static_cast<uint32_t>(shards_.size()));
+  writer.WriteU64(num_graphs);
+  writer.WriteU32(dataset_crc);
+  writer.WriteU64(queries_processed_.load());
+  writer.WriteU64(next_id_.load());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> credits(shard->credit_mutex);
+    writer.WriteU64(shard->entries->size());
+    for (const CachedQuery& record : *shard->entries) {
+      SaveCachedQuery(writer, record);
+    }
+    writer.WriteU64(shard->window.size());
+    for (const CachedQuery& record : shard->window) {
+      SaveCachedQuery(writer, record);
+    }
+  }
+}
+
+bool ShardedQueryCache::Load(snapshot::BinaryReader& reader,
+                             uint64_t num_graphs, uint32_t dataset_crc) {
+  uint32_t version = 0, path_max_edges = 0;
+  if (!reader.ReadU32(&version) || version != kShardedCacheStateVersion) {
+    return false;
+  }
+  if (!reader.ReadU32(&path_max_edges) ||
+      path_max_edges != options_.path_max_edges) {
+    return false;
+  }
+  // Geometry must match in full: capacity/window drive flush cadence and
+  // eviction counts, the policy picks victims, and the shard count decides
+  // both graph placement and the per-shard slices.
+  uint64_t cache_capacity = 0, window_size = 0;
+  uint8_t policy = 0;
+  uint32_t shard_count = 0;
+  if (!reader.ReadU64(&cache_capacity) || !reader.ReadU64(&window_size) ||
+      !reader.ReadU8(&policy) || !reader.ReadU32(&shard_count)) {
+    return false;
+  }
+  if (cache_capacity != options_.cache_capacity ||
+      window_size != options_.window_size ||
+      policy != static_cast<uint8_t>(options_.replacement_policy) ||
+      shard_count != shards_.size()) {
+    return false;
+  }
+  uint64_t stamped_num_graphs = 0;
+  uint32_t stamped_crc = 0;
+  if (!reader.ReadU64(&stamped_num_graphs) ||
+      stamped_num_graphs != num_graphs) {
+    return false;
+  }
+  if (!reader.ReadU32(&stamped_crc) || stamped_crc != dataset_crc) {
+    return false;
+  }
+  uint64_t queries_processed = 0, next_id = 0;
+  if (!reader.ReadU64(&queries_processed) || !reader.ReadU64(&next_id)) {
+    return false;
+  }
+
+  // Decode every shard fully before touching live state, so malformed
+  // input leaves this cache unchanged.
+  struct StagedShard {
+    std::vector<CachedQuery> entries;
+    std::vector<CachedQuery> window;
+  };
+  std::vector<StagedShard> staged(shards_.size());
+  for (StagedShard& stage : staged) {
+    uint64_t num_entries = 0;
+    if (!reader.ReadU64(&num_entries)) return false;
+    stage.entries.reserve(
+        static_cast<size_t>(std::min<uint64_t>(num_entries, 1024)));
+    for (uint64_t i = 0; i < num_entries; ++i) {
+      CachedQuery record;
+      if (!LoadCachedQuery(reader, &record, num_graphs)) return false;
+      stage.entries.push_back(std::move(record));
+    }
+    uint64_t num_window = 0;
+    if (!reader.ReadU64(&num_window)) return false;
+    stage.window.reserve(
+        static_cast<size_t>(std::min<uint64_t>(num_window, 1024)));
+    for (uint64_t i = 0; i < num_window; ++i) {
+      CachedQuery record;
+      if (!LoadCachedQuery(reader, &record, num_graphs)) return false;
+      stage.window.push_back(std::move(record));
+    }
+  }
+
+  // Commit and shadow-rebuild each shard's indexes (§5.2). Load requires
+  // quiescence; the exclusive locks below only keep stragglers correct.
+  Timer timer;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    auto entries = std::make_unique<std::vector<CachedQuery>>(
+        std::move(staged[s].entries));
+    IsubIndex fresh_isub(enumerator_options_);
+    fresh_isub.Build(*entries);
+    IsuperIndex fresh_isuper(enumerator_options_);
+    fresh_isuper.Build(*entries);
+    std::vector<uint64_t> entry_hashes, window_hashes;
+    entry_hashes.reserve(entries->size());
+    for (const CachedQuery& record : *entries) {
+      entry_hashes.push_back(GraphShardHash(record.graph));
+    }
+    window_hashes.reserve(staged[s].window.size());
+    for (const CachedQuery& record : staged[s].window) {
+      window_hashes.push_back(GraphShardHash(record.graph));
+    }
+    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    shard.entries = std::move(entries);
+    shard.window = std::move(staged[s].window);
+    shard.entry_hashes = std::move(entry_hashes);
+    shard.window_hashes = std::move(window_hashes);
+    shard.isub = std::move(fresh_isub);
+    shard.isuper = std::move(fresh_isuper);
+  }
+  queries_processed_.store(queries_processed);
+  next_id_.store(next_id);
+  maintenance_micros_.fetch_add(timer.ElapsedMicros(),
+                                std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace igq

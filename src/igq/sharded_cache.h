@@ -1,0 +1,222 @@
+// ShardedQueryCache — the concurrent variant of QueryCache (§4.2, §5)
+// behind ConcurrentQueryEngine: the same Igraphs + Isub + Isuper +
+// Stat(iGQ Graph) + Itemp state, partitioned by structural graph hash into
+// N independently-locked shards so probes from many client streams proceed
+// in parallel.
+//
+// Concurrency design (docs/CONCURRENCY.md has the full model):
+//
+//   * Every shard guards its entries/window/indexes with a reader–writer
+//     lock. Probes take shared locks on all shards, so any number of
+//     streams probe simultaneously; they block only for the microseconds a
+//     flush needs to swap freshly built state in.
+//   * Metadata credits (§5.1 H/R/C updates) happen under the shared lock
+//     plus a tiny per-shard credit mutex, so probing is never serialized by
+//     bookkeeping.
+//   * Maintenance (window flush: §5.1 eviction + §5.2 shadow rebuild) is a
+//     deferred single-writer path. The flushing thread stages survivors and
+//     builds the fresh Isub/Isuper outside any structure lock, then swaps
+//     the new state in under a brief exclusive lock. Readers never wait on
+//     eviction or index building — only on the O(1) swap.
+//
+// Equivalence: any cache content yields exact answers (pruning only uses
+// verified containment facts), so ConcurrentQueryEngine answers match the
+// sequential QueryEngine query for query. Eviction victims are chosen by
+// the same EvictionScore as QueryCache::Flush, over a §5.1 metadata
+// snapshot taken when the flush begins.
+#ifndef IGQ_IGQ_SHARDED_CACHE_H_
+#define IGQ_IGQ_SHARDED_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+#include "features/feature_set.h"
+#include "features/path_enumerator.h"
+#include "igq/isub_index.h"
+#include "igq/isuper_index.h"
+#include "igq/options.h"
+#include "igq/query_record.h"
+
+namespace igq {
+namespace snapshot {
+class BinaryReader;
+class BinaryWriter;
+}  // namespace snapshot
+
+/// Structural hash of a graph (labels + sorted adjacency, id order). Equal
+/// graphs (Graph::operator==) hash equally, so a query's shard placement is
+/// deterministic and duplicate inserts always meet in the same shard.
+uint64_t GraphShardHash(const Graph& graph);
+
+/// Sharded Igraphs + Isub + Isuper with reader–writer locking and deferred
+/// single-writer maintenance. All public members are thread-safe unless
+/// noted; Load and the destructor require external quiescence.
+class ShardedQueryCache {
+ public:
+  /// A cached entry's address: which shard and its position in that shard's
+  /// flushed entries. Valid only while the ProbeSession that produced it is
+  /// alive (its shared locks pin the shard state).
+  struct Hit {
+    size_t shard = 0;
+    size_t position = 0;
+  };
+
+  /// Result of probing all shards, holding a shared lock on each until
+  /// destroyed. The engine keeps the session alive through candidate
+  /// pruning (entries are read in place, nothing is copied) and releases it
+  /// before verification, the long stage. Shared locks never block other
+  /// sessions — only a flush's final swap waits for them.
+  class ProbeSession {
+   public:
+    ProbeSession(ProbeSession&&) = default;
+    ProbeSession& operator=(ProbeSession&&) = delete;
+    ~ProbeSession() = default;
+
+    /// Hits G with query ⊆ G (the Isub set), in deterministic shard order.
+    const std::vector<Hit>& supergraph_hits() const { return supergraph_hits_; }
+    /// Hits G with G ⊆ query (the Isuper set).
+    const std::vector<Hit>& subgraph_hits() const { return subgraph_hits_; }
+    /// The §4.3 exact-match shortcut, if any.
+    bool has_exact() const { return has_exact_; }
+    const Hit& exact() const { return exact_; }
+    /// VF2 tests run against cached graphs during the probe.
+    size_t probe_iso_tests() const { return probe_iso_tests_; }
+
+    const CachedQuery& entry(const Hit& hit) const;
+
+    /// §5.1 metadata updates for `hit` (H += 1 / R += removed, C += cost).
+    /// Safe from concurrent sessions: serialized per shard by the credit
+    /// mutex, and excluded from flush swaps by this session's shared lock.
+    void CreditHit(const Hit& hit) const;
+    void CreditPrune(const Hit& hit, uint64_t removed, LogValue cost) const;
+
+   private:
+    friend class ShardedQueryCache;
+    explicit ProbeSession(ShardedQueryCache* owner);
+
+    ShardedQueryCache* owner_;
+    std::vector<std::shared_lock<std::shared_mutex>> locks_;
+    std::vector<Hit> supergraph_hits_;
+    std::vector<Hit> subgraph_hits_;
+    bool has_exact_ = false;
+    Hit exact_;
+    size_t probe_iso_tests_ = 0;
+  };
+
+  explicit ShardedQueryCache(const IgqOptions& options);
+  ~ShardedQueryCache();
+
+  ShardedQueryCache(const ShardedQueryCache&) = delete;
+  ShardedQueryCache& operator=(const ShardedQueryCache&) = delete;
+
+  /// Extracts the path features the probe needs (pure; thread-safe).
+  PathFeatureCounts ExtractFeatures(const Graph& query) const;
+
+  /// Looks up sub/supergraph relationships between `query` and the cached
+  /// queries across all shards. Window (Itemp) entries stay invisible until
+  /// their flush, as in the paper. The returned session holds shared locks —
+  /// destroy it before any call that needs exclusive access on this thread.
+  /// (Non-const because sessions credit §5.1 metadata through it.)
+  ProbeSession Probe(const Graph& query,
+                     const PathFeatureCounts& query_features);
+
+  /// Advances the global query counter (the denominator clock for M(g)).
+  void RecordQueryProcessed() { ++queries_processed_; }
+
+  /// Queues the executed query and its sorted answer into the owning
+  /// shard's window; a full window triggers the deferred flush on this
+  /// thread (skipped if another thread is already flushing that shard).
+  /// Duplicates — structurally equal graphs already cached or queued in the
+  /// shard, which concurrent streams can race past the probe — are dropped.
+  void Insert(const Graph& query, std::vector<GraphId> answer);
+
+  /// Forces window integration on every shard (snapshot symmetry with
+  /// QueryCache::Flush; normal operation never needs it). Blocks until any
+  /// in-flight flush of each shard completes.
+  void FlushAll();
+
+  size_t num_shards() const { return shards_.size(); }
+  /// Per-shard slice of cache_capacity / window_size (ceiling share).
+  size_t shard_capacity() const { return shard_capacity_; }
+  size_t shard_window() const { return shard_window_; }
+
+  /// Totals across shards. Each is one consistent read per shard; the total
+  /// is advisory while writers run (shards are summed one lock at a time).
+  size_t size() const;
+  size_t window_fill() const;
+  uint64_t queries_processed() const { return queries_processed_.load(); }
+  int64_t maintenance_micros() const { return maintenance_micros_.load(); }
+  size_t MemoryBytes() const;
+
+  /// Copies of every cached graph — flushed entries first, then pending
+  /// window entries, shard by shard. For equivalence tests and inspection.
+  std::vector<Graph> CachedGraphs() const;
+
+  /// Serializes the complete behavioral state (all shards' entries and
+  /// windows, §5.1 metadata, global counters) plus the geometry and the
+  /// dataset fingerprint, in the record format shared with QueryCache.
+  /// Takes shared locks + credit mutexes, so it is safe against concurrent
+  /// probes and credits; concurrent Insert/flush make the snapshot a valid
+  /// but arbitrary cut — quiesce first for a meaningful one.
+  void Save(snapshot::BinaryWriter& writer, uint64_t num_graphs,
+            uint32_t dataset_crc) const;
+
+  /// Restores state saved by Save() and shadow-rebuilds every shard's
+  /// Isub/Isuper. Returns false — leaving this cache unchanged — on
+  /// malformed input, a dataset mismatch, or a snapshot taken under
+  /// different geometry (path_max_edges, capacity, window, shard count, or
+  /// policy). NOT thread-safe: no other call may run concurrently.
+  bool Load(snapshot::BinaryReader& reader, uint64_t num_graphs,
+            uint32_t dataset_crc);
+
+ private:
+  /// One shard: a slice of Igraphs with its own locks and indexes. The
+  /// entries vector lives behind a unique_ptr so the indexes' internal
+  /// pointer to it survives the flush swap (the vector object the fresh
+  /// indexes were built over is moved in wholesale).
+  struct Shard {
+    /// Structure lock: entries/window/indexes. Shared for probes, exclusive
+    /// for Insert appends and the flush swap.
+    mutable std::shared_mutex mutex;
+    /// Serializes §5.1 metadata credits, which happen under the *shared*
+    /// structure lock (two sessions may credit the same entry at once).
+    mutable std::mutex credit_mutex;
+    /// Single-writer gate for the deferred flush; taken before any
+    /// structure lock on the same shard.
+    std::mutex maintenance_mutex;
+
+    std::unique_ptr<std::vector<CachedQuery>> entries;
+    std::vector<CachedQuery> window;  // Itemp slice
+    IsubIndex isub;
+    IsuperIndex isuper;
+    /// GraphShardHash of each entries/window graph, kept aligned so
+    /// Insert's duplicate scan under the exclusive lock compares 8-byte
+    /// hashes (falling back to structural equality only on a hash match)
+    /// instead of whole graphs — the exclusive section stays cheap.
+    std::vector<uint64_t> entry_hashes;
+    std::vector<uint64_t> window_hashes;
+  };
+
+  /// The deferred flush: integrates `shard`'s window when due (always, if
+  /// `force`). `wait` blocks for the maintenance gate instead of skipping
+  /// when another thread holds it.
+  void MaintainShard(size_t shard_index, bool force, bool wait);
+
+  IgqOptions options_;
+  PathEnumeratorOptions enumerator_options_;
+  size_t shard_capacity_ = 1;
+  size_t shard_window_ = 1;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> queries_processed_{0};
+  std::atomic<uint64_t> next_id_{0};
+  std::atomic<int64_t> maintenance_micros_{0};
+};
+
+}  // namespace igq
+
+#endif  // IGQ_IGQ_SHARDED_CACHE_H_

@@ -20,8 +20,15 @@ namespace igq {
 
 /// Fixed-size pool executing one verification task at a time. The calling
 /// thread participates as a worker, so a pool of size N spawns N-1 threads.
-/// Run() is not reentrant and must always be called from the same logical
-/// owner (the query engine processes queries one at a time).
+///
+/// Thread-safety: Run() executes ONE task at a time — it is not reentrant
+/// and two threads must never be inside Run() simultaneously. Different
+/// threads may call Run() at different times, provided the calls are
+/// externally serialized: the sequential QueryEngine serializes trivially
+/// (one query at a time), ConcurrentQueryEngine arbitrates with a
+/// try-locked borrow — a stream that finds the pool busy verifies inline
+/// instead of queuing behind it (docs/CONCURRENCY.md). The destructor must
+/// not race a Run() in progress.
 class VerifyPool {
  public:
   /// `threads` is the total worker count including the caller (>= 1).

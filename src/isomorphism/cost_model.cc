@@ -3,6 +3,22 @@
 #include <cmath>
 
 namespace igq {
+namespace {
+
+// std::lgamma writes the process-global `signgam` on glibc, which is a data
+// race when concurrent query streams evaluate §5.1 costs (ThreadSanitizer
+// flags it). Use the POSIX reentrant variant where available; the argument
+// is always positive here, so the sign output is irrelevant.
+double LogGamma(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
+}  // namespace
 
 LogValue IsomorphismCost(size_t num_labels, size_t pattern_nodes,
                          size_t target_nodes) {
@@ -13,8 +29,8 @@ LogValue IsomorphismCost(size_t num_labels, size_t pattern_nodes,
   const double n = static_cast<double>(pattern_nodes);
   const double labels = num_labels < 1 ? 1.0 : static_cast<double>(num_labels);
   // log c = log Ni + log(Ni!) - log((Ni-n)!) - (n+1) log L
-  const double log_cost = std::log(ni) + std::lgamma(ni + 1.0) -
-                          std::lgamma(ni - n + 1.0) -
+  const double log_cost = std::log(ni) + LogGamma(ni + 1.0) -
+                          LogGamma(ni - n + 1.0) -
                           (n + 1.0) * std::log(labels);
   return LogValue::FromLog(log_cost);
 }

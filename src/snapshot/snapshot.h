@@ -27,8 +27,9 @@ inline constexpr uint32_t kSnapshotVersion = 1;
 /// Known section ids. kSectionEnd terminates the file and has no payload.
 enum SectionId : uint32_t {
   kSectionEnd = 0,
-  kSectionCache = 1,        // QueryCache::Save() payload
-  kSectionMethodIndex = 2,  // method name + Method::SaveIndex() payload
+  kSectionCache = 1,         // QueryCache::Save() payload
+  kSectionMethodIndex = 2,   // method name + Method::SaveIndex() payload
+  kSectionShardedCache = 3,  // ShardedQueryCache::Save() payload
 };
 
 /// Hard ceiling on a single section payload (guards against allocating

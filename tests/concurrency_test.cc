@@ -1,0 +1,348 @@
+// Tests for the concurrent serving layer (docs/CONCURRENCY.md): the
+// sharded cache's placement/dedup invariants, the answer-equivalence and
+// cache-content contracts of ConcurrentQueryEngine vs the sequential
+// engine, multi-threaded stress under eviction pressure (the ThreadSanitizer
+// CI target), the collect_stats=false fast path, and the sharded-cache
+// snapshot round trip.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <span>
+#include <sstream>
+
+#include "igq/concurrent_engine.h"
+#include "igq/engine.h"
+#include "igq/sharded_cache.h"
+#include "methods/registry.h"
+#include "tests/test_util.h"
+
+namespace igq {
+namespace {
+
+using testing::BruteForceSubgraphAnswer;
+using testing::RandomConnectedGraph;
+using testing::RandomSubgraphOf;
+
+GraphDatabase MakeDb(uint64_t seed, size_t num_graphs = 40) {
+  Rng rng(seed);
+  GraphDatabase db;
+  for (size_t i = 0; i < num_graphs; ++i) {
+    db.graphs.push_back(
+        RandomConnectedGraph(rng, 14 + rng.Below(10), 6 + rng.Below(8), 3));
+  }
+  db.RefreshLabelCount();
+  return db;
+}
+
+// Query stream with repeats and containment structure so all cache paths
+// (exact hits, guarantee side, intersect side) actually fire.
+std::vector<Graph> MakeWorkload(const GraphDatabase& db, uint64_t seed,
+                                size_t count) {
+  Rng rng(seed);
+  std::vector<Graph> queries;
+  queries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    if (!queries.empty() && rng.Below(4) == 0) {
+      queries.push_back(queries[rng.Below(queries.size())]);  // repeat
+    } else {
+      const Graph& source = db.graphs[rng.Below(db.graphs.size())];
+      queries.push_back(RandomSubgraphOf(rng, source, 4 + rng.Below(8)));
+    }
+  }
+  return queries;
+}
+
+/// True iff the two collections hold structurally equal graphs, ignoring
+/// order (Graph has no ordering, so match-and-erase).
+bool SameGraphMultiset(std::vector<Graph> a, std::vector<Graph> b) {
+  if (a.size() != b.size()) return false;
+  for (const Graph& graph : a) {
+    auto it = std::find(b.begin(), b.end(), graph);
+    if (it == b.end()) return false;
+    b.erase(it);
+  }
+  return true;
+}
+
+// ---- ShardedQueryCache invariants. ----
+
+TEST(ShardedCacheTest, HashIsStructuralAndPlacementDeterministic) {
+  Rng rng(7);
+  const Graph g = RandomConnectedGraph(rng, 10, 6, 3);
+  const Graph copy = g;
+  EXPECT_EQ(GraphShardHash(g), GraphShardHash(copy));
+
+  Graph relabeled = g;
+  relabeled.set_label(0, g.label(0) + 1);
+  EXPECT_NE(GraphShardHash(g), GraphShardHash(relabeled));
+}
+
+TEST(ShardedCacheTest, InsertDeduplicatesAcrossWindowAndEntries) {
+  IgqOptions options;
+  options.cache_capacity = 32;
+  options.window_size = 4;
+  options.cache_shards = 1;  // all graphs share one shard: dedup must hold
+  ShardedQueryCache cache(ValidatedIgqOptions(options));
+
+  Rng rng(11);
+  const Graph g = RandomConnectedGraph(rng, 8, 4, 3);
+  cache.Insert(g, {1, 2});
+  cache.Insert(g, {1, 2});  // window duplicate
+  EXPECT_EQ(cache.size() + cache.window_fill(), 1u);
+
+  cache.FlushAll();
+  EXPECT_EQ(cache.size(), 1u);
+  cache.Insert(g, {1, 2});  // flushed-entry duplicate
+  EXPECT_EQ(cache.size() + cache.window_fill(), 1u);
+}
+
+TEST(ShardedCacheTest, ProbeSeesFlushedEntriesOnly) {
+  IgqOptions options;
+  options.cache_capacity = 16;
+  options.window_size = 8;
+  options.cache_shards = 2;
+  ShardedQueryCache cache(ValidatedIgqOptions(options));
+
+  Rng rng(13);
+  const Graph g = RandomConnectedGraph(rng, 8, 4, 3);
+  cache.Insert(g, {0});
+  {
+    auto session = cache.Probe(g, cache.ExtractFeatures(g));
+    EXPECT_FALSE(session.has_exact());  // still in the window (Itemp)
+  }
+  cache.FlushAll();
+  {
+    auto session = cache.Probe(g, cache.ExtractFeatures(g));
+    ASSERT_TRUE(session.has_exact());
+    EXPECT_EQ(session.entry(session.exact()).answer, std::vector<GraphId>{0});
+  }
+}
+
+// ---- ConcurrentQueryEngine vs the sequential engine. ----
+
+TEST(ConcurrentEngineTest, AnswersAndCacheContentsMatchSequentialReplay) {
+  const GraphDatabase db = MakeDb(17);
+  const std::vector<Graph> queries = MakeWorkload(db, 18, 120);
+
+  IgqOptions options;
+  options.cache_capacity = 500;  // no eviction: content equivalence is exact
+  options.window_size = 20;
+  options.cache_shards = 4;
+
+  auto seq_method = MethodRegistry::Create(QueryDirection::kSubgraph, "ggsx");
+  seq_method->Build(db);
+  QueryEngine sequential(db, seq_method.get(), options);
+  std::vector<std::vector<GraphId>> expected;
+  expected.reserve(queries.size());
+  for (const Graph& query : queries) {
+    expected.push_back(sequential.Process(query));
+  }
+
+  auto method = MethodRegistry::Create(QueryDirection::kSubgraph, "ggsx");
+  method->Build(db);
+  ConcurrentQueryEngine engine(db, method.get(), options);
+  const auto results = engine.ProcessConcurrent(queries, /*streams=*/4);
+
+  ASSERT_EQ(results.size(), queries.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].answer, expected[i]) << "query " << i;
+  }
+
+  // Below capacity no entry is ever evicted, so both engines must end up
+  // caching exactly the distinct executed queries. (The sequential window
+  // is not directly inspectable, but flushed entries + pending count must
+  // add up to the same distinct set.)
+  std::vector<Graph> distinct;
+  for (const Graph& query : queries) {
+    if (std::find(distinct.begin(), distinct.end(), query) == distinct.end()) {
+      distinct.push_back(query);
+    }
+  }
+  EXPECT_TRUE(SameGraphMultiset(engine.cache().CachedGraphs(), distinct));
+  EXPECT_EQ(
+      sequential.cache().entries().size() + sequential.cache().window_fill(),
+      distinct.size());
+}
+
+TEST(ConcurrentEngineTest, StressUnderEvictionPressureStaysExact) {
+  const GraphDatabase db = MakeDb(23, 30);
+  const std::vector<Graph> queries = MakeWorkload(db, 24, 160);
+
+  // Tiny capacity forces continuous flushes and evictions while six
+  // streams probe — the interleaving TSan verifies and answers must
+  // survive. Expected answers come from brute force, which no cache state
+  // can perturb.
+  std::vector<std::vector<GraphId>> expected;
+  expected.reserve(queries.size());
+  for (const Graph& query : queries) {
+    expected.push_back(BruteForceSubgraphAnswer(db.graphs, query));
+  }
+
+  IgqOptions options;
+  options.cache_capacity = 24;
+  options.window_size = 8;
+  options.cache_shards = 4;
+  options.verify_threads = 2;  // exercise shared-pool borrowing too
+
+  auto method = MethodRegistry::Create(QueryDirection::kSubgraph, "ggsx");
+  method->Build(db);
+  ConcurrentQueryEngine engine(db, method.get(), options);
+  const auto results = engine.ProcessConcurrent(queries, /*streams=*/6);
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].answer, expected[i]) << "query " << i;
+  }
+  EXPECT_LE(engine.cache().size(),
+            engine.cache().num_shards() * engine.cache().shard_capacity());
+}
+
+TEST(ConcurrentEngineTest, SupergraphDirectionIsAnswerEquivalentToo) {
+  const GraphDatabase db = MakeDb(29, 24);
+  Rng rng(30);
+  std::vector<Graph> queries;
+  for (size_t i = 0; i < 60; ++i) {
+    // Supergraph queries: dataset graphs contained in the (larger) query.
+    queries.push_back(RandomConnectedGraph(rng, 18 + rng.Below(8),
+                                           10 + rng.Below(6), 3));
+  }
+
+  IgqOptions options;
+  options.cache_capacity = 40;
+  options.window_size = 10;
+  options.cache_shards = 3;
+
+  auto seq_method =
+      MethodRegistry::Create(QueryDirection::kSupergraph, "featurecount");
+  seq_method->Build(db);
+  QueryEngine sequential(db, seq_method.get(), options);
+  auto method =
+      MethodRegistry::Create(QueryDirection::kSupergraph, "featurecount");
+  method->Build(db);
+  ConcurrentQueryEngine engine(db, method.get(), options);
+
+  const auto results = engine.ProcessConcurrent(queries, /*streams=*/3);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(results[i].answer, sequential.Process(queries[i]))
+        << "query " << i;
+  }
+}
+
+TEST(ConcurrentEngineTest, CollectStatsOffSkipsStatsButKeepsAnswers) {
+  const GraphDatabase db = MakeDb(31, 20);
+  const std::vector<Graph> queries = MakeWorkload(db, 32, 40);
+
+  IgqOptions options;
+  options.cache_capacity = 64;
+  options.window_size = 8;
+  options.cache_shards = 2;
+
+  auto method = MethodRegistry::Create(QueryDirection::kSubgraph, "ggsx");
+  method->Build(db);
+
+  BatchOptions no_stats;
+  no_stats.collect_stats = false;
+
+  // Concurrent path: answers unchanged, stats left value-initialized.
+  ConcurrentQueryEngine engine(db, method.get(), options);
+  const auto quiet = engine.ProcessConcurrent(queries, 2, no_stats);
+  ConcurrentQueryEngine loud_engine(db, method.get(), options);
+  const auto loud = loud_engine.ProcessConcurrent(queries, 2);
+  ASSERT_EQ(quiet.size(), loud.size());
+  size_t loud_candidates = 0;
+  for (size_t i = 0; i < quiet.size(); ++i) {
+    EXPECT_EQ(quiet[i].answer, loud[i].answer) << "query " << i;
+    EXPECT_EQ(quiet[i].stats.iso_tests, 0u);
+    EXPECT_EQ(quiet[i].stats.candidates_initial, 0u);
+    EXPECT_EQ(quiet[i].stats.total_micros, 0);
+    EXPECT_EQ(loud[i].stats.answer_size, loud[i].answer.size());
+    loud_candidates += loud[i].stats.candidates_initial;
+  }
+  // The loud side must actually have collected stats, or the quiet-side
+  // zeros above prove nothing.
+  EXPECT_GT(loud_candidates, 0u);
+
+  // Sequential batch path — the knob's home turf — honors it identically.
+  QueryEngine seq_quiet_engine(db, method.get(), options);
+  const auto seq_quiet =
+      seq_quiet_engine.ProcessBatch(std::span<const Graph>(queries), no_stats);
+  QueryEngine seq_loud_engine(db, method.get(), options);
+  const auto seq_loud =
+      seq_loud_engine.ProcessBatch(std::span<const Graph>(queries));
+  ASSERT_EQ(seq_quiet.size(), seq_loud.size());
+  for (size_t i = 0; i < seq_quiet.size(); ++i) {
+    EXPECT_EQ(seq_quiet[i].answer, seq_loud[i].answer) << "query " << i;
+    EXPECT_EQ(seq_quiet[i].stats.iso_tests, 0u);
+    EXPECT_EQ(seq_quiet[i].stats.total_micros, 0);
+    EXPECT_EQ(seq_quiet[i].stats.answer_size, 0u);
+  }
+}
+
+// ---- Sharded snapshot round trip. ----
+
+TEST(ConcurrentEngineTest, ShardedSnapshotRoundTrips) {
+  const GraphDatabase db = MakeDb(37, 30);
+  const std::vector<Graph> warm = MakeWorkload(db, 38, 80);
+  const std::vector<Graph> probe = MakeWorkload(db, 39, 40);
+
+  IgqOptions options;
+  options.cache_capacity = 60;
+  options.window_size = 12;
+  options.cache_shards = 4;
+
+  auto method = MethodRegistry::Create(QueryDirection::kSubgraph, "ggsx");
+  method->Build(db);
+  ConcurrentQueryEngine engine(db, method.get(), options);
+  engine.ProcessConcurrent(warm, 4);
+
+  std::stringstream snapshot;
+  std::string error;
+  ASSERT_TRUE(engine.SaveSnapshot(snapshot, &error)) << error;
+  const std::string bytes = snapshot.str();
+
+  // Restore into a fresh engine; cache contents and probe behavior must
+  // match the producer exactly.
+  auto restored_method =
+      MethodRegistry::Create(QueryDirection::kSubgraph, "ggsx");
+  ConcurrentQueryEngine restored(db, restored_method.get(), options);
+  SnapshotLoadInfo info;
+  std::istringstream in(bytes);
+  ASSERT_TRUE(restored.LoadSnapshot(in, &error, &info)) << error;
+  EXPECT_TRUE(info.method_index_restored);
+  EXPECT_EQ(info.cached_queries, engine.cache().size());
+  EXPECT_EQ(restored.cache().window_fill(), engine.cache().window_fill());
+  EXPECT_TRUE(SameGraphMultiset(restored.cache().CachedGraphs(),
+                                engine.cache().CachedGraphs()));
+
+  for (const Graph& query : probe) {
+    QueryStats original_stats, restored_stats;
+    EXPECT_EQ(restored.Process(query, &restored_stats),
+              engine.Process(query, &original_stats));
+    EXPECT_EQ(restored_stats.iso_tests, original_stats.iso_tests);
+  }
+
+  // Geometry mismatches and corruption are rejected without side effects.
+  IgqOptions other_shards = options;
+  other_shards.cache_shards = 2;
+  ConcurrentQueryEngine mismatched(db, restored_method.get(), other_shards);
+  std::istringstream in2(bytes);
+  EXPECT_FALSE(mismatched.LoadSnapshot(in2, &error));
+  EXPECT_EQ(mismatched.cache().size(), 0u);
+
+  std::istringstream truncated(bytes.substr(0, bytes.size() / 2));
+  ConcurrentQueryEngine fresh(db, restored_method.get(), options);
+  EXPECT_FALSE(fresh.LoadSnapshot(truncated, &error));
+  EXPECT_EQ(fresh.cache().size(), 0u);
+
+  // A sequential-engine snapshot has no sharded-cache section: rejected.
+  auto seq_method = MethodRegistry::Create(QueryDirection::kSubgraph, "ggsx");
+  seq_method->Build(db);
+  QueryEngine sequential(db, seq_method.get(), options);
+  for (const Graph& query : warm) sequential.Process(query);
+  std::stringstream seq_snapshot;
+  ASSERT_TRUE(sequential.SaveSnapshot(seq_snapshot, &error)) << error;
+  ConcurrentQueryEngine wrong_kind(db, restored_method.get(), options);
+  EXPECT_FALSE(wrong_kind.LoadSnapshot(seq_snapshot, &error));
+  EXPECT_NE(error.find("no sharded-cache section"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace igq
