@@ -1,20 +1,62 @@
-// Micro-benchmarks (google-benchmark) for the core substrates: VF2 vs
-// Ullmann matching, path enumeration, trie operations, Isuper filtering,
-// fingerprint subset tests, and the log-space cost model.
+// Micro-benchmarks (google-benchmark) for the core substrates: the
+// zero-allocation matching core (plan compile, batch verification, edge
+// oracles, allocation counts), VF2 vs Ullmann matching, path enumeration,
+// trie operations, Isuper filtering, fingerprint subset tests, and the
+// log-space cost model.
+//
+// Also hosts the CI matcher-equivalence gate: `bench_micro_core --smoke`
+// runs no benchmarks; it cross-checks every matching-core entry point
+// against the Ullmann oracle on random instances and asserts the verify
+// hot path is allocation-free in steady state, exiting non-zero on any
+// mismatch (wired into .github/workflows/ci.yml).
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "features/fingerprint.h"
 #include "features/path_enumerator.h"
 #include "graph/algorithms.h"
+#include "graph/csr_view.h"
 #include "isomorphism/cost_model.h"
+#include "isomorphism/match_core.h"
 #include "isomorphism/ullmann.h"
 #include "isomorphism/vf2.h"
 #include "methods/feature_count_index.h"
 #include "methods/path_trie.h"
 
+// ---------------------------------------------------------------------------
+// Global allocation counter. Counts every operator new in this binary, so
+// the matcher benches can report allocations-per-verify and the smoke gate
+// can assert the steady-state hot path never touches the allocator.
+// ---------------------------------------------------------------------------
+namespace {
+std::atomic<uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
 namespace igq {
 namespace {
+
+uint64_t AllocationsNow() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
 
 Graph MakeRandomGraph(uint64_t seed, size_t vertices, size_t extra_edges,
                       size_t labels) {
@@ -33,6 +75,176 @@ Graph MakeRandomGraph(uint64_t seed, size_t vertices, size_t extra_edges,
   }
   return g;
 }
+
+// A verification batch shaped like a filtered candidate set: one query,
+// many targets, roughly half containing the query.
+struct VerifyBatch {
+  Graph query;
+  std::vector<Graph> targets;
+};
+
+VerifyBatch MakeVerifyBatch(size_t num_targets, size_t target_vertices) {
+  VerifyBatch batch;
+  const Graph host = MakeRandomGraph(23, target_vertices, target_vertices / 2,
+                                     4);
+  batch.query = BfsNeighborhoodQuery(host, 0, 8);
+  for (size_t i = 0; i < num_targets; ++i) {
+    if (i % 2 == 0) {
+      // Positive by construction: the query planted verbatim into fresh
+      // random surroundings (extra vertices + edges appended around it).
+      Rng rng(100 + i);
+      Graph g = batch.query;
+      while (g.NumVertices() < target_vertices) {
+        g.AddVertex(static_cast<Label>(rng.Below(4)));
+      }
+      const size_t extra_edges = target_vertices + target_vertices / 2;
+      for (size_t e = 0; e < extra_edges; ++e) {
+        const VertexId u = static_cast<VertexId>(rng.Below(g.NumVertices()));
+        const VertexId w = static_cast<VertexId>(rng.Below(g.NumVertices()));
+        if (u != w) g.AddEdge(u, w);
+      }
+      batch.targets.push_back(std::move(g));
+    } else {
+      // (Usually) negative: an unrelated random graph.
+      batch.targets.push_back(MakeRandomGraph(200 + i, target_vertices,
+                                              target_vertices / 2, 4));
+    }
+  }
+  return batch;
+}
+
+// --- Matching-core benches -------------------------------------------------
+
+void BM_PlanCompile(benchmark::State& state) {
+  const Graph host = MakeRandomGraph(7, 200, 100, 4);
+  const Graph pattern =
+      BfsNeighborhoodQuery(host, 0, static_cast<size_t>(state.range(0)));
+  MatchPlan plan;
+  for (auto _ : state) {
+    plan.Compile(pattern);
+    benchmark::DoNotOptimize(plan.num_vertices());
+  }
+}
+BENCHMARK(BM_PlanCompile)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+// Plan-reuse batch verification: compile once, verify every target through
+// the thread's scratch arena — the shape of every Method::Verify batch.
+void BM_VerifyBatchPlanReuse(benchmark::State& state) {
+  const VerifyBatch batch =
+      MakeVerifyBatch(64, static_cast<size_t>(state.range(0)));
+  MatchContext& ctx = MatchContext::ThreadLocal();
+  MatchPlan plan;
+  plan.Compile(batch.query);
+  uint64_t allocs_begin = 0;
+  for (auto _ : state) {
+    if (allocs_begin == 0) allocs_begin = AllocationsNow();
+    size_t hits = 0;
+    for (const Graph& target : batch.targets) {
+      hits += ContainsIn(plan, target, ctx) ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.counters["allocs/verify"] = benchmark::Counter(
+      static_cast<double>(AllocationsNow() - allocs_begin) /
+      (static_cast<double>(state.iterations()) * batch.targets.size()));
+  state.SetItemsProcessed(state.iterations() * batch.targets.size());
+}
+BENCHMARK(BM_VerifyBatchPlanReuse)->Arg(50)->Arg(200)->Arg(800);
+
+// The production shape of Method::Verify since the core refactor: plan
+// compiled once per query AND target views prebuilt once per dataset
+// (label buckets + adaptive edge oracle), so the only per-candidate work
+// is the search itself.
+void BM_VerifyBatchPrebuiltViews(benchmark::State& state) {
+  const VerifyBatch batch =
+      MakeVerifyBatch(64, static_cast<size_t>(state.range(0)));
+  MatchContext& ctx = MatchContext::ThreadLocal();
+  MatchPlan plan;
+  plan.Compile(batch.query);
+  CsrViewStore views;
+  views.Build(batch.targets);
+  uint64_t allocs_begin = 0;
+  for (auto _ : state) {
+    if (allocs_begin == 0) allocs_begin = AllocationsNow();
+    size_t hits = 0;
+    for (size_t i = 0; i < views.size(); ++i) {
+      hits += PlanContains(plan, views.view(i), ctx) ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.counters["allocs/verify"] = benchmark::Counter(
+      static_cast<double>(AllocationsNow() - allocs_begin) /
+      (static_cast<double>(state.iterations()) * views.size()));
+  state.SetItemsProcessed(state.iterations() * views.size());
+}
+BENCHMARK(BM_VerifyBatchPrebuiltViews)->Arg(50)->Arg(200)->Arg(800);
+
+// The same batch through the one-shot adapter, which re-compiles the plan
+// per pair — what every call site did before the core refactor (the old
+// code additionally re-allocated all search state per pair).
+void BM_VerifyBatchPerPairCompile(benchmark::State& state) {
+  const VerifyBatch batch =
+      MakeVerifyBatch(64, static_cast<size_t>(state.range(0)));
+  uint64_t allocs_begin = 0;
+  for (auto _ : state) {
+    if (allocs_begin == 0) allocs_begin = AllocationsNow();
+    size_t hits = 0;
+    for (const Graph& target : batch.targets) {
+      hits += Vf2Matcher().Contains(batch.query, target) ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.counters["allocs/verify"] = benchmark::Counter(
+      static_cast<double>(AllocationsNow() - allocs_begin) /
+      (static_cast<double>(state.iterations()) * batch.targets.size()));
+  state.SetItemsProcessed(state.iterations() * batch.targets.size());
+}
+BENCHMARK(BM_VerifyBatchPerPairCompile)->Arg(50)->Arg(200)->Arg(800);
+
+// Edge-oracle crossover: HasEdge probes against the two oracles at several
+// target sizes (same probe sequence), to place the bitset/sorted-range
+// heuristic (docs/PERFORMANCE.md).
+void EdgeOracleBench(benchmark::State& state, CsrGraphView::EdgeOracle mode) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Graph g = MakeRandomGraph(31, n, 2 * n, 4);
+  const CsrGraphView view(g, mode);
+  Rng rng(5);
+  std::vector<std::pair<VertexId, VertexId>> probes(1024);
+  for (auto& [u, v] : probes) {
+    u = static_cast<VertexId>(rng.Below(n));
+    v = static_cast<VertexId>(rng.Below(n));
+  }
+  for (auto _ : state) {
+    size_t hits = 0;
+    for (const auto& [u, v] : probes) hits += view.HasEdge(u, v) ? 1 : 0;
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * probes.size());
+}
+void BM_EdgeOracleBitset(benchmark::State& state) {
+  EdgeOracleBench(state, CsrGraphView::EdgeOracle::kBitset);
+}
+void BM_EdgeOracleSortedRange(benchmark::State& state) {
+  EdgeOracleBench(state, CsrGraphView::EdgeOracle::kSortedRange);
+}
+BENCHMARK(BM_EdgeOracleBitset)->Arg(64)->Arg(256)->Arg(1024)->Arg(2048);
+BENCHMARK(BM_EdgeOracleSortedRange)->Arg(64)->Arg(256)->Arg(1024)->Arg(2048);
+
+// Cost of (re)building a target view into warm scratch — the per-candidate
+// price of the plan-reuse path.
+void BM_CsrViewAssign(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Graph g = MakeRandomGraph(41, n, n / 2, 4);
+  CsrGraphView view;
+  view.Assign(g);  // warm the buffers
+  for (auto _ : state) {
+    view.Assign(g);
+    benchmark::DoNotOptimize(view.NumVertices());
+  }
+}
+BENCHMARK(BM_CsrViewAssign)->Arg(50)->Arg(200)->Arg(800);
+
+// --- Pre-existing substrate benches ----------------------------------------
 
 void BM_Vf2PositiveMatch(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
@@ -132,7 +344,109 @@ void BM_CostModel(benchmark::State& state) {
 }
 BENCHMARK(BM_CostModel);
 
+// ---------------------------------------------------------------------------
+// --smoke: the CI matcher-equivalence and zero-allocation gate.
+// ---------------------------------------------------------------------------
+
+int RunSmoke() {
+  int failures = 0;
+  const auto fail = [&failures](const char* what, size_t round) {
+    std::fprintf(stderr, "SMOKE FAIL: %s (round %zu)\n", what, round);
+    ++failures;
+  };
+
+  // 1. Equivalence: every core entry point must agree with the Ullmann
+  //    oracle (an algorithmically independent matcher) on random pairs.
+  Rng rng(20260728);
+  UllmannMatcher ullmann;
+  MatchContext& ctx = MatchContext::ThreadLocal();
+  size_t positives = 0;
+  for (size_t round = 0; round < 120; ++round) {
+    const size_t nt = 6 + rng.Below(20);
+    const Graph target = MakeRandomGraph(1000 + round, nt, rng.Below(2 * nt),
+                                         1 + rng.Below(4));
+    Graph pattern;
+    if (round % 2 == 0) {
+      pattern = BfsNeighborhoodQuery(
+          target, static_cast<VertexId>(rng.Below(nt)), 2 + rng.Below(6));
+    } else {
+      pattern = MakeRandomGraph(2000 + round, 3 + rng.Below(5), rng.Below(4),
+                                1 + rng.Below(4));
+    }
+    const bool oracle = ullmann.Contains(pattern, target);
+    positives += oracle ? 1 : 0;
+
+    if (Vf2Matcher().Contains(pattern, target) != oracle) {
+      fail("Vf2Matcher::Contains disagrees with Ullmann", round);
+    }
+    MatchPlan plan;
+    plan.Compile(pattern);
+    if (ContainsIn(plan, target, ctx) != oracle) {
+      fail("ContainsIn (plan reuse) disagrees with Ullmann", round);
+    }
+    const CsrGraphView view(target);
+    if (ContainsPattern(pattern, view, ctx) != oracle) {
+      fail("ContainsPattern (target reuse) disagrees with Ullmann", round);
+    }
+    const CsrGraphView range_view(target,
+                                  CsrGraphView::EdgeOracle::kSortedRange);
+    const CsrGraphView bitset_view(target, CsrGraphView::EdgeOracle::kBitset);
+    if (PlanContains(plan, range_view, ctx) != oracle ||
+        PlanContains(plan, bitset_view, ctx) != oracle) {
+      fail("edge oracles disagree", round);
+    }
+  }
+  if (positives < 30 || positives > 110) {
+    fail("degenerate smoke workload (positives out of range)", positives);
+  }
+
+  // 2. Zero-allocation steady state: after one warm-up pass, a plan-reuse
+  //    verification batch must not touch the allocator at all.
+  const VerifyBatch batch = MakeVerifyBatch(64, 200);
+  MatchPlan plan;
+  plan.Compile(batch.query);
+  size_t hits = 0;
+  for (const Graph& target : batch.targets) {
+    hits += ContainsIn(plan, target, ctx) ? 1 : 0;  // warm the arena
+  }
+  const uint64_t before = AllocationsNow();
+  for (const Graph& target : batch.targets) {
+    hits += ContainsIn(plan, target, ctx) ? 1 : 0;
+  }
+  const uint64_t steady_allocs = AllocationsNow() - before;
+  // Half the batch contains the query by construction (planted verbatim),
+  // and the batch ran twice (warm-up + measured pass).
+  if (hits < batch.targets.size()) {
+    fail("steady-state batch missed planted embeddings", hits);
+  }
+  if (steady_allocs != 0) {
+    std::fprintf(stderr,
+                 "SMOKE FAIL: steady-state verify batch performed %llu "
+                 "allocations (expected 0)\n",
+                 static_cast<unsigned long long>(steady_allocs));
+    ++failures;
+  }
+
+  if (failures == 0) {
+    std::printf(
+        "SMOKE PASS: 120 equivalence rounds x 5 entry points, "
+        "steady-state allocations/verify = 0\n");
+    return 0;
+  }
+  std::fprintf(stderr, "SMOKE: %d failure(s)\n", failures);
+  return 1;
+}
+
 }  // namespace
 }  // namespace igq
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return igq::RunSmoke();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// A non-owning, trivially-copyable reference to a callable — the classic
+// function_ref (P0792). Used on hot paths (VerifyPool dispatch, pruning
+// credit callbacks) where std::function's ownership, potential heap
+// allocation and larger call overhead buy nothing: the callee never
+// outlives the call expression.
+//
+// Lifetime contract: a FunctionRef must not outlive the callable it was
+// constructed from. Binding a temporary lambda directly to a FunctionRef
+// parameter is fine (the temporary lives for the full call); storing a
+// FunctionRef member is only safe while the original callable stays alive.
+#ifndef IGQ_COMMON_FUNCTION_REF_H_
+#define IGQ_COMMON_FUNCTION_REF_H_
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace igq {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  FunctionRef() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f) noexcept  // NOLINT(google-explicit-constructor)
+      : object_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        invoke_([](void* object, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(object))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  R operator()(Args... args) const {
+    return invoke_(object_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* object_ = nullptr;
+  R (*invoke_)(void*, Args...) = nullptr;
+};
+
+}  // namespace igq
+
+#endif  // IGQ_COMMON_FUNCTION_REF_H_

@@ -1,0 +1,91 @@
+#include "graph/csr_view.h"
+
+#include <algorithm>
+
+namespace igq {
+
+void CsrGraphView::Assign(const Graph& g, EdgeOracle oracle) {
+  const size_t n = g.NumVertices();
+
+  // Flat adjacency. clear() + push-style refill keeps the grown capacity.
+  labels_.clear();
+  offsets_.clear();
+  neighbors_.clear();
+  labels_.reserve(n);
+  offsets_.reserve(n + 1);
+  neighbors_.reserve(2 * g.NumEdges());
+  offsets_.push_back(0);
+  for (VertexId v = 0; v < n; ++v) {
+    labels_.push_back(g.label(v));
+    const std::vector<VertexId>& adj = g.Neighbors(v);
+    neighbors_.insert(neighbors_.end(), adj.begin(), adj.end());
+    offsets_.push_back(static_cast<uint32_t>(neighbors_.size()));
+  }
+
+  // Label partition. Distinct labels via sort+unique of a scratch copy held
+  // in bucket_labels_ itself, then a counting pass places vertices grouped
+  // by label, ascending by id within each bucket.
+  bucket_labels_.assign(labels_.begin(), labels_.end());
+  std::sort(bucket_labels_.begin(), bucket_labels_.end());
+  bucket_labels_.erase(
+      std::unique(bucket_labels_.begin(), bucket_labels_.end()),
+      bucket_labels_.end());
+  const size_t num_buckets = bucket_labels_.size();
+  bucket_offsets_.assign(num_buckets + 1, 0);
+  // One bucket lookup per vertex, remembered for the placement pass (the
+  // scratch buffers are members so Assign stays allocation-free once warm).
+  bucket_of_.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    const uint32_t bucket = static_cast<uint32_t>(
+        std::lower_bound(bucket_labels_.begin(), bucket_labels_.end(),
+                         labels_[v]) -
+        bucket_labels_.begin());
+    bucket_of_[v] = bucket;
+    ++bucket_offsets_[bucket + 1];
+  }
+  for (size_t k = 1; k <= num_buckets; ++k) {
+    bucket_offsets_[k] += bucket_offsets_[k - 1];
+  }
+  bucket_vertices_.resize(n);
+  bucket_cursor_.assign(bucket_offsets_.begin(), bucket_offsets_.end() - 1);
+  for (VertexId v = 0; v < n; ++v) {
+    bucket_vertices_[bucket_cursor_[bucket_of_[v]]++] = v;
+  }
+
+  // Edge oracle.
+  const bool bitset = oracle == EdgeOracle::kBitset ||
+                      (oracle == EdgeOracle::kAuto &&
+                       WantsBitset(n, g.NumEdges()));
+  if (bitset) {
+    words_per_row_ = (n + 63) / 64;
+    bits_.assign(n * words_per_row_, 0);
+    for (VertexId v = 0; v < n; ++v) {
+      uint64_t* row = bits_.data() + static_cast<size_t>(v) * words_per_row_;
+      for (VertexId w : Neighbors(v)) row[w >> 6] |= 1ULL << (w & 63);
+    }
+  } else {
+    words_per_row_ = 0;
+    bits_.clear();
+  }
+}
+
+std::span<const VertexId> CsrGraphView::VerticesWithLabel(Label label) const {
+  const auto it =
+      std::lower_bound(bucket_labels_.begin(), bucket_labels_.end(), label);
+  if (it == bucket_labels_.end() || *it != label) return {};
+  const size_t bucket = it - bucket_labels_.begin();
+  return {bucket_vertices_.data() + bucket_offsets_[bucket],
+          bucket_vertices_.data() + bucket_offsets_[bucket + 1]};
+}
+
+size_t CsrGraphView::MemoryBytes() const {
+  return sizeof(*this) + offsets_.capacity() * sizeof(uint32_t) +
+         neighbors_.capacity() * sizeof(VertexId) +
+         labels_.capacity() * sizeof(Label) +
+         bucket_labels_.capacity() * sizeof(Label) +
+         bucket_offsets_.capacity() * sizeof(uint32_t) +
+         bucket_vertices_.capacity() * sizeof(VertexId) +
+         bits_.capacity() * sizeof(uint64_t);
+}
+
+}  // namespace igq

@@ -4,7 +4,7 @@
 #include <map>
 #include <unordered_set>
 
-#include "isomorphism/vf2.h"
+#include "isomorphism/match_core.h"
 
 namespace igq {
 
@@ -19,6 +19,10 @@ void IsubIndex::Build(const std::vector<CachedQuery>& cached) {
       trie_.Add(key, static_cast<GraphId>(i), count);
     }
   }
+  // Probe-test targets, laid out once per rebuild (off the query path).
+  cached_views_.Build(cached.size(), [&cached](size_t i) -> const Graph& {
+    return cached[i].graph;
+  });
 }
 
 std::vector<size_t> IsubIndex::FindSupergraphsOf(
@@ -51,16 +55,25 @@ std::vector<size_t> IsubIndex::FindSupergraphsOf(
     if (candidates.empty()) return result;
   }
 
+  // The query is the pattern for every surviving candidate: compile its
+  // search plan once into this thread's scratch and reuse it across all
+  // probe tests against the prebuilt cached-graph views (probes run
+  // concurrently across shards, so the scratch must be thread-local,
+  // never a member).
+  MatchContext& ctx = MatchContext::ThreadLocal();
+  MatchPlan& plan = ctx.scratch_plan();
+  plan.Compile(query);
   for (GraphId candidate : candidates) {
-    const CachedQuery& record = (*cached_)[candidate];
     if (probe_tests != nullptr) ++(*probe_tests);
-    if (Vf2Matcher::FindEmbedding(query, record.graph).has_value()) {
+    if (PlanContains(plan, cached_views_.view(candidate), ctx)) {
       result.push_back(candidate);
     }
   }
   return result;
 }
 
-size_t IsubIndex::MemoryBytes() const { return trie_.MemoryBytes(); }
+size_t IsubIndex::MemoryBytes() const {
+  return trie_.MemoryBytes() + cached_views_.MemoryBytes();
+}
 
 }  // namespace igq

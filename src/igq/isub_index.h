@@ -11,6 +11,7 @@
 
 #include "features/feature_set.h"
 #include "features/path_enumerator.h"
+#include "graph/csr_view.h"
 #include "igq/query_record.h"
 #include "methods/path_trie.h"
 
@@ -48,6 +49,10 @@ class IsubIndex {
   PathEnumeratorOptions options_;
   PathTrie trie_{/*store_locations=*/false};
   const std::vector<CachedQuery>* cached_ = nullptr;
+  /// Probe-test substrate: CSR views of the cached graphs (the probe's
+  /// verification targets), built with the trie during the off-lock shadow
+  /// rebuild so FindSupergraphsOf never builds a view on the query path.
+  CsrViewStore cached_views_;
 };
 
 }  // namespace igq

@@ -1,6 +1,6 @@
 #include "igq/isuper_index.h"
 
-#include "isomorphism/vf2.h"
+#include "isomorphism/match_core.h"
 
 namespace igq {
 
@@ -10,6 +10,13 @@ void IsuperIndex::Build(const std::vector<CachedQuery>& cached) {
   for (size_t i = 0; i < cached.size(); ++i) {
     index_.AddGraph(static_cast<GraphId>(i), cached[i].graph);
   }
+  // Probe-test patterns: the cached graphs' search plans are
+  // query-independent, so compile them once per rebuild (off the query
+  // path).
+  cached_plans_.resize(cached.size());
+  for (size_t i = 0; i < cached.size(); ++i) {
+    cached_plans_[i].Compile(cached[i].graph);
+  }
 }
 
 std::vector<size_t> IsuperIndex::FindSubgraphsOf(
@@ -17,10 +24,18 @@ std::vector<size_t> IsuperIndex::FindSubgraphsOf(
     size_t* probe_tests) const {
   std::vector<size_t> result;
   if (cached_ == nullptr || cached_->empty()) return result;
-  for (GraphId candidate : index_.FindPotentialSubgraphsOf(query_features)) {
-    const CachedQuery& record = (*cached_)[candidate];
+  const std::vector<GraphId> candidates =
+      index_.FindPotentialSubgraphsOf(query_features);
+  if (candidates.empty()) return result;
+  // The query is the target for every candidate: build its CSR view once
+  // into this thread's scratch and probe it with the prebuilt cached-graph
+  // plans (thread-local scratch — probes run concurrently).
+  MatchContext& ctx = MatchContext::ThreadLocal();
+  CsrGraphView& query_view = ctx.scratch_target();
+  query_view.Assign(query);
+  for (GraphId candidate : candidates) {
     if (probe_tests != nullptr) ++(*probe_tests);
-    if (Vf2Matcher::FindEmbedding(record.graph, query).has_value()) {
+    if (PlanContains(cached_plans_[candidate], query_view, ctx)) {
       result.push_back(candidate);
     }
   }

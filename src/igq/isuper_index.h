@@ -11,6 +11,7 @@
 #include "features/feature_set.h"
 #include "features/path_enumerator.h"
 #include "igq/query_record.h"
+#include "isomorphism/match_core.h"
 #include "methods/feature_count_index.h"
 
 namespace igq {
@@ -36,11 +37,19 @@ class IsuperIndex {
                                       const PathFeatureCounts& query_features,
                                       size_t* probe_tests = nullptr) const;
 
-  size_t MemoryBytes() const { return index_.MemoryBytes(); }
+  size_t MemoryBytes() const {
+    size_t bytes = index_.MemoryBytes();
+    for (const MatchPlan& plan : cached_plans_) bytes += plan.MemoryBytes();
+    return bytes;
+  }
 
  private:
   FeatureCountIndex index_;
   const std::vector<CachedQuery>* cached_ = nullptr;
+  /// Probe-test substrate: search plans of the cached graphs (the probe's
+  /// patterns — their variable orders are query-independent), compiled
+  /// during the off-lock shadow rebuild.
+  std::vector<MatchPlan> cached_plans_;
 };
 
 }  // namespace igq

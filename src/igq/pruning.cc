@@ -19,8 +19,9 @@ PruneOutcome PruneCandidates(
     std::vector<GraphId> candidates,
     std::span<const CachedQuery* const> guarantee,
     std::span<const CachedQuery* const> intersect,
-    const std::function<void(PruneSide side, size_t index,
-                             const std::vector<GraphId>& removed)>& credit) {
+    FunctionRef<void(PruneSide side, size_t index,
+                     const std::vector<GraphId>& removed)>
+        credit) {
   PruneOutcome out;
 
   // Guaranteed-answer pruning: candidates in the answer set of any cached

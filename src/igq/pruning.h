@@ -9,10 +9,10 @@
 #define IGQ_IGQ_PRUNING_H_
 
 #include <cstdint>
-#include <functional>
 #include <span>
 #include <vector>
 
+#include "common/function_ref.h"
 #include "common/log_space.h"
 #include "graph/graph.h"
 #include "igq/query_record.h"
@@ -44,13 +44,15 @@ struct PruneOutcome {
 /// candidate ids that entry pruned (possibly none); the caller translates
 /// that into CreditHit/CreditPrune on its cache. Entries after an
 /// empty-answer shortcut are not consulted and earn no credit, exactly as
-/// in the sequential engine.
+/// in the sequential engine. `credit` is a non-owning FunctionRef: a lambda
+/// bound at the call site is fine, it is only invoked during this call.
 PruneOutcome PruneCandidates(
     std::vector<GraphId> candidates,
     std::span<const CachedQuery* const> guarantee,
     std::span<const CachedQuery* const> intersect,
-    const std::function<void(PruneSide side, size_t index,
-                             const std::vector<GraphId>& removed)>& credit);
+    FunctionRef<void(PruneSide side, size_t index,
+                     const std::vector<GraphId>& removed)>
+        credit);
 
 /// Sum of §5.1 analytic costs of the verification tests `ids` would
 /// require; pattern and target roles follow the query direction (§4.4).

@@ -19,9 +19,8 @@ VerifyPool::~VerifyPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-std::vector<GraphId> VerifyPool::Run(
-    const std::vector<GraphId>& candidates,
-    const std::function<bool(GraphId)>& verify) {
+std::vector<GraphId> VerifyPool::Run(const std::vector<GraphId>& candidates,
+                                     FunctionRef<bool(GraphId)> verify) {
   std::vector<GraphId> verified;
   if (candidates.empty()) return verified;
   if (workers_.empty() || candidates.size() < 2 * threads()) {
@@ -35,7 +34,7 @@ std::vector<GraphId> VerifyPool::Run(
   {
     std::lock_guard<std::mutex> lock(mutex_);
     candidates_ = &candidates;
-    verify_ = &verify;
+    verify_ = verify;
     outcome_ = &outcome;
     cursor_.store(0, std::memory_order_relaxed);
     active_workers_ = workers_.size();
@@ -53,7 +52,7 @@ std::vector<GraphId> VerifyPool::Run(
     std::unique_lock<std::mutex> lock(mutex_);
     done_cv_.wait(lock, [this] { return active_workers_ == 0; });
     candidates_ = nullptr;
-    verify_ = nullptr;
+    verify_ = FunctionRef<bool(GraphId)>();
     outcome_ = nullptr;
   }
 
@@ -67,7 +66,7 @@ void VerifyPool::WorkerLoop() {
   uint64_t seen_generation = 0;
   for (;;) {
     const std::vector<GraphId>* candidates;
-    const std::function<bool(GraphId)>* verify;
+    FunctionRef<bool(GraphId)> verify;
     std::vector<char>* outcome;
     {
       std::unique_lock<std::mutex> lock(mutex_);
@@ -83,7 +82,7 @@ void VerifyPool::WorkerLoop() {
     for (;;) {
       const size_t index = cursor_.fetch_add(1);
       if (index >= candidates->size()) break;
-      (*outcome)[index] = (*verify)((*candidates)[index]) ? 1 : 0;
+      (*outcome)[index] = verify((*candidates)[index]) ? 1 : 0;
     }
     {
       std::lock_guard<std::mutex> lock(mutex_);

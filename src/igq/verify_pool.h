@@ -9,11 +9,11 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/function_ref.h"
 #include "graph/graph.h"
 
 namespace igq {
@@ -39,10 +39,14 @@ class VerifyPool {
   VerifyPool& operator=(const VerifyPool&) = delete;
 
   /// Runs `verify` over all candidates and returns the subset that verified,
-  /// preserving candidate order. `verify` must be thread-safe. Small inputs
-  /// (fewer than two items per worker) run inline on the caller.
+  /// preserving candidate order. `verify` must be thread-safe and outlive
+  /// the call (FunctionRef does not own it — binding a lambda at the call
+  /// site is fine). Small inputs (fewer than two items per worker) run
+  /// inline on the caller. Each worker is a persistent thread, so the
+  /// matching core's per-thread MatchContext arenas are reused across every
+  /// query and batch this pool ever verifies.
   std::vector<GraphId> Run(const std::vector<GraphId>& candidates,
-                           const std::function<bool(GraphId)>& verify);
+                           FunctionRef<bool(GraphId)> verify);
 
   /// Total worker count including the calling thread.
   size_t threads() const { return workers_.size() + 1; }
@@ -59,7 +63,7 @@ class VerifyPool {
 
   // Current task (valid while active_workers_ > 0).
   const std::vector<GraphId>* candidates_ = nullptr;
-  const std::function<bool(GraphId)>* verify_ = nullptr;
+  FunctionRef<bool(GraphId)> verify_;
   std::vector<char>* outcome_ = nullptr;
   std::atomic<size_t> cursor_{0};
 

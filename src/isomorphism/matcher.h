@@ -11,14 +11,23 @@
 
 namespace igq {
 
+struct MatchStats;  // isomorphism/match_core.h
+
 /// Strategy interface so the verification stage of any method can swap
 /// matching algorithms (VF2 by default, Ullmann as the classic baseline).
+///
+/// Search metrics flow through the explicit MatchStats out-parameter;
+/// implementations must leave `stats` untouched when it is nullptr. (The
+/// old thread_local LastSearchStates() side-channel misattributed states
+/// whenever VerifyPool workers interleaved queries on one thread.)
 class SubgraphMatcher {
  public:
   virtual ~SubgraphMatcher() = default;
 
-  /// True iff `pattern` is subgraph-isomorphic to `target`.
-  virtual bool Contains(const Graph& pattern, const Graph& target) const = 0;
+  /// True iff `pattern` is subgraph-isomorphic to `target`. When `stats`
+  /// is non-null, the search's metrics are ACCUMULATED into it.
+  virtual bool Contains(const Graph& pattern, const Graph& target,
+                        MatchStats* stats = nullptr) const = 0;
 
   /// Algorithm name for reports.
   virtual std::string Name() const = 0;

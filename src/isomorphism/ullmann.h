@@ -1,18 +1,25 @@
 // Ullmann's subgraph-isomorphism algorithm (J.ACM 1976) — the classic
 // baseline the paper cites as the ancestor of most matchers. Included both
-// as a correctness cross-check for VF2 and for the micro-benchmarks.
+// as a correctness cross-check for VF2 and for the micro-benchmarks. Since
+// the zero-allocation core refactor it reads Graph adjacency directly (its
+// refinement loop only iterates neighbors, so a CSR build would buy
+// nothing) with its candidate matrices carved from a per-thread arena, so
+// repeated calls are allocation-free after warm-up.
 #ifndef IGQ_ISOMORPHISM_ULLMANN_H_
 #define IGQ_ISOMORPHISM_ULLMANN_H_
 
+#include "isomorphism/match_core.h"
 #include "isomorphism/matcher.h"
 
 namespace igq {
 
 /// Ullmann matcher with the standard refinement procedure over a boolean
-/// candidate matrix (bitset rows).
+/// candidate matrix (bitset rows). MatchStats::states counts search states
+/// entered, one per tentative row assignment plus one per solution.
 class UllmannMatcher : public SubgraphMatcher {
  public:
-  bool Contains(const Graph& pattern, const Graph& target) const override;
+  bool Contains(const Graph& pattern, const Graph& target,
+                MatchStats* stats = nullptr) const override;
   std::string Name() const override { return "Ullmann"; }
 };
 

@@ -1,186 +1,87 @@
 #include "isomorphism/vf2.h"
 
-#include <algorithm>
-#include <functional>
-
 namespace igq {
 namespace {
 
-constexpr VertexId kUnmapped = UINT32_MAX;
-
+// Backing store for the deprecated LastSearchStates() shim only; all real
+// metrics flow through the explicit MatchStats out-parameters.
 thread_local uint64_t g_last_states = 0;
 
-// Variable ordering: most-constrained-first BFS. Start from the pattern
-// vertex with the rarest (label, degree) signature, then repeatedly pick the
-// unordered vertex with the most already-ordered neighbors (ties: higher
-// degree). Each ordered vertex remembers one ordered neighbor ("parent") so
-// candidates can be generated from the parent's image neighborhood.
-struct SearchPlan {
-  std::vector<VertexId> order;
-  // parent[depth]: pattern vertex (already ordered before `depth`) adjacent
-  // to order[depth], or kUnmapped if order[depth] starts a new component.
-  std::vector<VertexId> parent;
-};
-
-SearchPlan BuildPlan(const Graph& pattern) {
-  const size_t n = pattern.NumVertices();
-  SearchPlan plan;
-  plan.order.reserve(n);
-  plan.parent.assign(n, kUnmapped);
-  std::vector<bool> placed(n, false);
-  std::vector<uint32_t> placed_neighbors(n, 0);
-
-  for (size_t placed_count = 0; placed_count < n; ++placed_count) {
-    VertexId best = kUnmapped;
-    for (VertexId v = 0; v < n; ++v) {
-      if (placed[v]) continue;
-      if (best == kUnmapped ||
-          placed_neighbors[v] > placed_neighbors[best] ||
-          (placed_neighbors[v] == placed_neighbors[best] &&
-           pattern.Degree(v) > pattern.Degree(best))) {
-        best = v;
-      }
-    }
-    placed[best] = true;
-    // Parent: any neighbor already placed (used for candidate generation).
-    for (VertexId w : pattern.Neighbors(best)) {
-      if (placed[w] && w != best) {
-        plan.parent[plan.order.size()] = w;
-        break;
-      }
-    }
-    plan.order.push_back(best);
-    for (VertexId w : pattern.Neighbors(best)) ++placed_neighbors[w];
+// Runs `stats` through the search (so the shim always has a number to
+// read), then accumulates into the caller's stats if any.
+struct ShimStats {
+  explicit ShimStats(MatchStats* out) : out_(out) {}
+  ~ShimStats() {
+    g_last_states = local.states;
+    if (out_ != nullptr) *out_ += local;
   }
-  return plan;
-}
-
-class Vf2State {
- public:
-  Vf2State(const Graph& pattern, const Graph& target,
-           const std::vector<bool>* allowed)
-      : pattern_(pattern),
-        target_(target),
-        allowed_(allowed),
-        plan_(BuildPlan(pattern)),
-        pattern_map_(pattern.NumVertices(), kUnmapped),
-        target_used_(target.NumVertices(), false) {}
-
-  // Visits embeddings; `on_match` returns true to continue enumeration,
-  // false to stop. Returns false iff enumeration was stopped early.
-  bool Enumerate(const std::function<bool(const std::vector<VertexId>&)>& on_match) {
-    g_last_states = 0;
-    return Recurse(0, on_match);
-  }
-
- private:
-  bool Feasible(VertexId u, VertexId x) const {
-    if (target_used_[x]) return false;
-    if (allowed_ != nullptr && !(*allowed_)[x]) return false;
-    if (pattern_.label(u) != target_.label(x)) return false;
-    if (target_.Degree(x) < pattern_.Degree(u)) return false;
-    // Every mapped pattern-neighbor of u must land on a target-neighbor of x.
-    size_t unmapped_neighbors = 0;
-    for (VertexId un : pattern_.Neighbors(u)) {
-      const VertexId image = pattern_map_[un];
-      if (image == kUnmapped) {
-        ++unmapped_neighbors;
-      } else if (!target_.HasEdge(x, image)) {
-        return false;
-      }
-    }
-    // Lookahead: u's unmapped neighbors must fit among x's free neighbors.
-    size_t free_target_neighbors = 0;
-    for (VertexId xn : target_.Neighbors(x)) {
-      if (!target_used_[xn] && (allowed_ == nullptr || (*allowed_)[xn])) {
-        ++free_target_neighbors;
-      }
-    }
-    return free_target_neighbors >= unmapped_neighbors;
-  }
-
-  bool Recurse(size_t depth,
-               const std::function<bool(const std::vector<VertexId>&)>& on_match) {
-    ++g_last_states;
-    if (depth == plan_.order.size()) return on_match(pattern_map_);
-    const VertexId u = plan_.order[depth];
-    const VertexId parent = plan_.parent[depth];
-
-    if (parent != kUnmapped) {
-      // Candidates: neighbors of the parent's image.
-      for (VertexId x : target_.Neighbors(pattern_map_[parent])) {
-        if (!Feasible(u, x)) continue;
-        pattern_map_[u] = x;
-        target_used_[x] = true;
-        const bool keep_going = Recurse(depth + 1, on_match);
-        target_used_[x] = false;
-        pattern_map_[u] = kUnmapped;
-        if (!keep_going) return false;
-      }
-    } else {
-      for (VertexId x = 0; x < target_.NumVertices(); ++x) {
-        if (!Feasible(u, x)) continue;
-        pattern_map_[u] = x;
-        target_used_[x] = true;
-        const bool keep_going = Recurse(depth + 1, on_match);
-        target_used_[x] = false;
-        pattern_map_[u] = kUnmapped;
-        if (!keep_going) return false;
-      }
-    }
-    return true;
-  }
-
-  const Graph& pattern_;
-  const Graph& target_;
-  const std::vector<bool>* allowed_;
-  SearchPlan plan_;
-  std::vector<VertexId> pattern_map_;
-  std::vector<bool> target_used_;
+  MatchStats local;
+  MatchStats* out_;
 };
 
 }  // namespace
 
-bool Vf2Matcher::Contains(const Graph& pattern, const Graph& target) const {
-  return FindEmbedding(pattern, target).has_value();
+bool Vf2Matcher::Contains(const Graph& pattern, const Graph& target,
+                          MatchStats* stats) const {
+  ShimStats shim(stats);
+  if (pattern.NumVertices() == 0) return true;
+  if (pattern.NumVertices() > target.NumVertices() ||
+      pattern.NumEdges() > target.NumEdges()) {
+    return false;
+  }
+  MatchContext& ctx = MatchContext::ThreadLocal();
+  MatchPlan& plan = ctx.scratch_plan();
+  plan.Compile(pattern);
+  ++shim.local.plan_compiles;
+  // Boolean path: no embedding is materialized, so nothing allocates.
+  return PlanContains(plan, GraphRef(target), ctx, &shim.local);
 }
 
 std::optional<std::vector<VertexId>> Vf2Matcher::FindEmbedding(
-    const Graph& pattern, const Graph& target) {
-  return FindEmbeddingRestricted(pattern, target, nullptr);
+    const Graph& pattern, const Graph& target, MatchStats* stats) {
+  return FindEmbeddingRestricted(pattern, target, nullptr, stats);
 }
 
 std::optional<std::vector<VertexId>> Vf2Matcher::FindEmbeddingRestricted(
     const Graph& pattern, const Graph& target,
-    const std::vector<bool>* allowed) {
+    const std::vector<bool>* allowed, MatchStats* stats) {
+  ShimStats shim(stats);
   if (pattern.NumVertices() == 0) return std::vector<VertexId>{};
   if (pattern.NumVertices() > target.NumVertices() ||
       pattern.NumEdges() > target.NumEdges()) {
     return std::nullopt;
   }
-  std::optional<std::vector<VertexId>> found;
-  Vf2State state(pattern, target, allowed);
-  state.Enumerate([&found](const std::vector<VertexId>& mapping) {
-    found = mapping;
-    return false;  // stop at the first embedding
-  });
-  return found;
+  MatchContext& ctx = MatchContext::ThreadLocal();
+  MatchPlan& plan = ctx.scratch_plan();
+  plan.Compile(pattern);
+  ++shim.local.plan_compiles;
+  // One-shot pair: search the Graph directly (GraphRef) — a CSR build
+  // would cost more than the typical first-match search it serves.
+  const GraphRef ref(target);
+  if (allowed != nullptr) {
+    ScopedAllowed restriction(ctx, target.NumVertices());
+    for (VertexId v = 0; v < target.NumVertices(); ++v) {
+      if ((*allowed)[v]) restriction.Allow(v);
+    }
+    return PlanFindEmbedding(plan, ref, ctx, &shim.local);
+  }
+  return PlanFindEmbedding(plan, ref, ctx, &shim.local);
 }
 
 uint64_t Vf2Matcher::CountEmbeddings(const Graph& pattern, const Graph& target,
-                                     uint64_t limit) {
+                                     uint64_t limit, MatchStats* stats) {
+  ShimStats shim(stats);
   if (pattern.NumVertices() == 0) return 1;
   if (pattern.NumVertices() > target.NumVertices() ||
       pattern.NumEdges() > target.NumEdges()) {
     return 0;
   }
-  uint64_t count = 0;
-  Vf2State state(pattern, target, nullptr);
-  state.Enumerate([&count, limit](const std::vector<VertexId>&) {
-    ++count;
-    return limit == 0 || count < limit;
-  });
-  return count;
+  MatchContext& ctx = MatchContext::ThreadLocal();
+  MatchPlan& plan = ctx.scratch_plan();
+  plan.Compile(pattern);
+  ++shim.local.plan_compiles;
+  return PlanCountEmbeddings(plan, GraphRef(target), ctx, limit,
+                             &shim.local);
 }
 
 uint64_t Vf2Matcher::LastSearchStates() { return g_last_states; }

@@ -1,8 +1,12 @@
-// VF2 subgraph-isomorphism algorithm (Cordella et al., TPAMI 2004) — the
-// matcher the paper's three host methods use for their verification stage.
-// Implements label/degree feasibility rules, a connectivity-driven variable
-// order, and an optional restriction of the target vertex set (used by the
-// Grapes-style connected-component verification).
+// VF2-style subgraph-isomorphism matcher (Cordella et al., TPAMI 2004) —
+// the matcher the paper's three host methods use for their verification
+// stage. Since the zero-allocation core refactor this class is a thin
+// adapter over isomorphism/match_core.h: each call compiles a MatchPlan and
+// builds a CSR target view into the calling thread's MatchContext scratch,
+// so repeated calls are allocation-free after warm-up. Batch call sites
+// that verify one query against many targets should use the core directly
+// (compile the plan once, then ContainsIn per candidate) — the methods and
+// the cache indexes do.
 #ifndef IGQ_ISOMORPHISM_VF2_H_
 #define IGQ_ISOMORPHISM_VF2_H_
 
@@ -10,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "isomorphism/match_core.h"
 #include "isomorphism/matcher.h"
 
 namespace igq {
@@ -17,25 +22,29 @@ namespace igq {
 /// VF2-based matcher with first-match early exit.
 class Vf2Matcher : public SubgraphMatcher {
  public:
-  bool Contains(const Graph& pattern, const Graph& target) const override;
+  bool Contains(const Graph& pattern, const Graph& target,
+                MatchStats* stats = nullptr) const override;
   std::string Name() const override { return "VF2"; }
 
   /// Returns one embedding (pattern vertex -> target vertex) if any exists.
   static std::optional<std::vector<VertexId>> FindEmbedding(
-      const Graph& pattern, const Graph& target);
+      const Graph& pattern, const Graph& target, MatchStats* stats = nullptr);
 
   /// As FindEmbedding, but target vertices with allowed[v] == false are
   /// excluded from the mapping. `allowed` may be nullptr (no restriction).
   static std::optional<std::vector<VertexId>> FindEmbeddingRestricted(
       const Graph& pattern, const Graph& target,
-      const std::vector<bool>* allowed);
+      const std::vector<bool>* allowed, MatchStats* stats = nullptr);
 
   /// Counts embeddings, stopping at `limit` (0 = count all). Used by tests.
   static uint64_t CountEmbeddings(const Graph& pattern, const Graph& target,
-                                  uint64_t limit = 0);
+                                  uint64_t limit = 0,
+                                  MatchStats* stats = nullptr);
 
-  /// Total recursive states explored by the last call on this thread;
-  /// exposed for the micro benchmarks.
+  /// DEPRECATED shim: search states of the last Vf2Matcher call on this
+  /// thread. Misattributes states when pool workers interleave queries on
+  /// one thread — pass a MatchStats out-parameter instead. Kept only until
+  /// the remaining callers migrate.
   static uint64_t LastSearchStates();
 };
 

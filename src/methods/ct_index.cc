@@ -1,6 +1,6 @@
 #include "methods/ct_index.h"
 
-#include "isomorphism/vf2.h"
+#include "isomorphism/match_core.h"
 
 namespace igq {
 namespace {
@@ -51,6 +51,9 @@ void CtIndexMethod::Build(const GraphDatabase& db) {
   for (const Graph& graph : db.graphs) {
     fingerprints_.push_back(FingerprintOf(graph));
   }
+  // CSR views of every dataset graph, built once and shared by all
+  // Verify() calls (cheap next to tree/cycle enumeration).
+  target_views_.Build(db.graphs);
 }
 
 std::unique_ptr<PreparedQuery> CtIndexMethod::Prepare(
@@ -71,8 +74,8 @@ std::vector<GraphId> CtIndexMethod::Filter(
 }
 
 bool CtIndexMethod::Verify(const PreparedQuery& prepared, GraphId id) const {
-  return Vf2Matcher::FindEmbedding(prepared.query(), db_->graphs[id])
-      .has_value();
+  return PlanContains(prepared.plan(), target_views_.view(id),
+                      MatchContext::ThreadLocal());
 }
 
 size_t CtIndexMethod::IndexMemoryBytes() const {

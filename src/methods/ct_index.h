@@ -13,6 +13,7 @@
 #include "features/cycle_enumerator.h"
 #include "features/fingerprint.h"
 #include "features/tree_enumerator.h"
+#include "graph/csr_view.h"
 #include "methods/method.h"
 
 namespace igq {
@@ -55,6 +56,7 @@ class CtIndexMethod : public Method {
   Options options_;
   const GraphDatabase* db_ = nullptr;
   std::vector<Fingerprint> fingerprints_;
+  CsrViewStore target_views_;  // verification substrate, built with db
 };
 
 }  // namespace igq

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <map>
 
-#include "isomorphism/vf2.h"
+#include "isomorphism/match_core.h"
 #include "snapshot/serializer.h"
 
 namespace igq {
@@ -127,12 +127,19 @@ void FeatureCountSupergraphMethod::Build(const GraphDatabase& db) {
   for (GraphId id = 0; id < db.graphs.size(); ++id) {
     index_.AddGraph(id, db.graphs[id]);
   }
+  pattern_plans_.resize(db.graphs.size());
+  for (GraphId id = 0; id < db.graphs.size(); ++id) {
+    pattern_plans_[id].Compile(db.graphs[id]);
+  }
 }
 
 bool FeatureCountSupergraphMethod::Verify(const PreparedQuery& prepared,
                                           GraphId id) const {
-  return Vf2Matcher::FindEmbedding(db_->graphs[id], prepared.query())
-      .has_value();
+  // Supergraph direction: the stored graph is the pattern, the query the
+  // target. Both halves are precompiled — the stored graph's plan at
+  // Build() time, the query's CSR view once in Prepare().
+  return PlanContains(pattern_plans_[id], prepared.query_view(),
+                      MatchContext::ThreadLocal());
 }
 
 bool FeatureCountSupergraphMethod::SaveIndex(std::ostream& out) const {
@@ -154,6 +161,11 @@ bool FeatureCountSupergraphMethod::LoadIndex(const GraphDatabase& db,
     return false;
   }
   db_ = &db;
+  // Derived data, never serialized: recompile the per-graph search plans.
+  pattern_plans_.resize(db.graphs.size());
+  for (GraphId id = 0; id < db.graphs.size(); ++id) {
+    pattern_plans_[id].Compile(db.graphs[id]);
+  }
   return true;
 }
 

@@ -105,6 +105,11 @@ class FeatureCountSupergraphMethod : public Method {
  private:
   FeatureCountIndex index_;
   const GraphDatabase* db_ = nullptr;
+  /// Search plans of every dataset graph, precompiled at Build/LoadIndex:
+  /// in the supergraph direction the STORED graphs are the patterns, so
+  /// their variable orders never depend on the query and can be reused
+  /// across all queries (docs/PERFORMANCE.md).
+  std::vector<MatchPlan> pattern_plans_;
 };
 
 }  // namespace igq

@@ -6,7 +6,7 @@
 
 #include <string>
 
-#include "isomorphism/vf2.h"
+#include "isomorphism/match_core.h"
 #include "methods/path_method_base.h"
 
 namespace igq {
@@ -22,8 +22,10 @@ class GgsxMethod : public PathMethodBase {
   std::string Name() const override { return "GGSX"; }
 
   bool Verify(const PreparedQuery& prepared, GraphId id) const override {
-    return Vf2Matcher::FindEmbedding(prepared.query(), db()->graphs[id])
-        .has_value();
+    // Plan compiled once in Prepare(), target view prebuilt at Build():
+    // the only per-candidate work is the search itself.
+    return PlanContains(prepared.plan(), target_view(id),
+                        MatchContext::ThreadLocal());
   }
 };
 

@@ -18,10 +18,13 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "graph/csr_view.h"
 #include "graph/graph.h"
+#include "isomorphism/match_core.h"
 
 namespace igq {
 
@@ -51,15 +54,42 @@ struct GraphDatabase {
 /// Verify() calls (e.g. the query's path features). Methods subclass this.
 /// Owns a copy of the query graph so the prepared state may outlive the
 /// caller's argument (queries are small; the copy is cheap).
+///
+/// Also owns the query's compiled matching state, built on first use and
+/// reused across every Verify() call in the batch: plan() for the subgraph
+/// direction (query is the pattern) and query_view() for the supergraph
+/// direction (query is the target). Each method direction touches exactly
+/// one of the two, so each is compiled lazily (thread-safe via
+/// std::call_once — Verify() runs concurrently on the VerifyPool) and
+/// immutable from then on.
 class PreparedQuery {
  public:
   explicit PreparedQuery(const Graph& query) : query_(query) {}
   virtual ~PreparedQuery() = default;
 
+  PreparedQuery(const PreparedQuery&) = delete;
+  PreparedQuery& operator=(const PreparedQuery&) = delete;
+
   const Graph& query() const { return query_; }
+
+  /// Compiled search plan with the query as the pattern.
+  const MatchPlan& plan() const {
+    std::call_once(plan_once_, [this] { plan_.Compile(query_); });
+    return plan_;
+  }
+
+  /// CSR view with the query as the target.
+  const CsrGraphView& query_view() const {
+    std::call_once(view_once_, [this] { query_view_.Assign(query_); });
+    return query_view_;
+  }
 
  private:
   Graph query_;
+  mutable std::once_flag plan_once_;
+  mutable MatchPlan plan_;
+  mutable std::once_flag view_once_;
+  mutable CsrGraphView query_view_;
 };
 
 /// A filter-then-verify query processing method M. One contract serves both

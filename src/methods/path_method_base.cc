@@ -81,6 +81,10 @@ void PathMethodBase::Build(const GraphDatabase& db) {
     }
     per_graph[i].clear();
   }
+
+  // Verification substrate: CSR views of every dataset graph, built once
+  // here and reused by every Verify() call of every future query.
+  target_views_.Build(db.graphs);
 }
 
 bool PathMethodBase::SaveIndex(std::ostream& out) const {
@@ -113,6 +117,9 @@ bool PathMethodBase::LoadIndex(const GraphDatabase& db, std::istream& in) {
   if (trie.store_locations() != options_.store_locations) return false;
   trie_ = std::move(trie);
   db_ = &db;
+  // Derived data, never serialized: rebuild the verification views over
+  // the restored dataset (cheap next to path enumeration).
+  target_views_.Build(db.graphs);
   return true;
 }
 

@@ -11,6 +11,7 @@
 
 #include "features/feature_set.h"
 #include "features/path_enumerator.h"
+#include "graph/csr_view.h"
 #include "methods/method.h"
 #include "methods/path_trie.h"
 
@@ -68,6 +69,12 @@ class PathMethodBase : public Method {
 
  protected:
   const GraphDatabase* db() const { return db_; }
+  /// Precomputed CSR view of dataset graph `id` — built once per
+  /// Build()/LoadIndex() and shared by every Verify() call (see
+  /// docs/PERFORMANCE.md).
+  const CsrGraphView& target_view(GraphId id) const {
+    return target_views_.view(id);
+  }
   PathEnumeratorOptions EnumeratorOptions() const {
     PathEnumeratorOptions opts;
     opts.max_edges = options_.max_path_edges;
@@ -80,6 +87,7 @@ class PathMethodBase : public Method {
  private:
   const GraphDatabase* db_ = nullptr;
   PathTrie trie_;
+  CsrViewStore target_views_;
 };
 
 }  // namespace igq

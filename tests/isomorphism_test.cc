@@ -5,7 +5,9 @@
 
 #include <cmath>
 
+#include "graph/csr_view.h"
 #include "isomorphism/cost_model.h"
+#include "isomorphism/match_core.h"
 #include "isomorphism/ullmann.h"
 #include "isomorphism/vf2.h"
 #include "tests/test_util.h"
@@ -140,8 +142,129 @@ TEST(Vf2Test, RestrictedEmbeddingHonorsMask) {
 }
 
 TEST(Vf2Test, SearchStatesExposed) {
+  // Deprecated thread_local shim; new callers pass MatchStats instead.
   Vf2Matcher::FindEmbedding(Triangle(), Triangle());
   EXPECT_GT(Vf2Matcher::LastSearchStates(), 0u);
+}
+
+TEST(Vf2Test, MatchStatsAccumulate) {
+  MatchStats stats;
+  EXPECT_TRUE(Vf2Matcher::FindEmbedding(Triangle(), Triangle(), &stats)
+                  .has_value());
+  const uint64_t after_one = stats.states;
+  EXPECT_GT(after_one, 0u);
+  EXPECT_EQ(stats.plan_compiles, 1u);
+  EXPECT_EQ(stats.embeddings, 1u);
+  // Stats are accumulated, not overwritten, so one MatchStats can span a
+  // whole verification batch.
+  EXPECT_TRUE(Vf2Matcher::FindEmbedding(Triangle(), Triangle(), &stats)
+                  .has_value());
+  EXPECT_EQ(stats.states, 2 * after_one);
+  EXPECT_EQ(stats.plan_compiles, 2u);
+}
+
+// Regression pin for the search-state counts of the zero-allocation core:
+// the O(1) epoch-derived lookahead must make exactly the decisions of the
+// classic per-candidate rescan, so these counts must never drift. (The
+// matcher_fuzz_test suite checks the same property against the frozen
+// pre-refactor reference on random instances.)
+TEST(Vf2Test, SearchStateCountsPinned) {
+  Graph k4(4);
+  for (VertexId u = 0; u < 4; ++u) {
+    for (VertexId w = u + 1; w < 4; ++w) k4.AddEdge(u, w);
+  }
+  MatchStats first;
+  EXPECT_TRUE(Vf2Matcher::FindEmbedding(Triangle(), k4, &first).has_value());
+  EXPECT_EQ(first.states, 4u);  // root + 2 extensions + 1 solution state
+
+  MatchStats all;
+  EXPECT_EQ(Vf2Matcher::CountEmbeddings(Triangle(), k4, 0, &all), 24u);
+  EXPECT_EQ(all.states, 41u);
+  EXPECT_EQ(all.embeddings, 24u);
+
+  // A deterministic medium-size pair (same generator family as the
+  // benches): 8-vertex BFS query planted in a 40-vertex host.
+  Rng rng(12345);
+  Graph host = RandomConnectedGraph(rng, 40, 30, 3);
+  Graph query = BfsNeighborhoodQuery(host, 0, 8);
+  MatchStats planted;
+  EXPECT_TRUE(Vf2Matcher::FindEmbedding(query, host, &planted).has_value());
+  EXPECT_EQ(planted.states, 9u);
+  MatchStats planted_all;
+  EXPECT_EQ(Vf2Matcher::CountEmbeddings(query, host, 0, &planted_all), 48u);
+  EXPECT_EQ(planted_all.states, 142u);
+}
+
+TEST(CsrViewTest, MirrorsGraphAndPartitionsLabels) {
+  Rng rng(7);
+  const Graph g = RandomConnectedGraph(rng, 30, 25, 4);
+  const CsrGraphView view(g);
+  ASSERT_EQ(view.NumVertices(), g.NumVertices());
+  ASSERT_EQ(view.NumEdges(), g.NumEdges());
+  size_t bucketed = 0;
+  for (Label label = 0; label < 4; ++label) {
+    VertexId previous = 0;
+    bool first = true;
+    for (VertexId v : view.VerticesWithLabel(label)) {
+      EXPECT_EQ(g.label(v), label);
+      if (!first) EXPECT_LT(previous, v);  // ascending within the bucket
+      previous = v;
+      first = false;
+      ++bucketed;
+    }
+  }
+  EXPECT_EQ(bucketed, g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(view.label(v), g.label(v));
+    EXPECT_EQ(view.Degree(v), g.Degree(v));
+    ASSERT_EQ(view.Neighbors(v).size(), g.Neighbors(v).size());
+  }
+}
+
+TEST(CsrViewTest, EdgeOraclesAgree) {
+  Rng rng(11);
+  const Graph g = RandomConnectedGraph(rng, 40, 60, 3);
+  const CsrGraphView bitset(g, CsrGraphView::EdgeOracle::kBitset);
+  const CsrGraphView range(g, CsrGraphView::EdgeOracle::kSortedRange);
+  EXPECT_TRUE(bitset.uses_bitset());
+  EXPECT_FALSE(range.uses_bitset());
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      EXPECT_EQ(bitset.HasEdge(u, v), g.HasEdge(u, v));
+      EXPECT_EQ(range.HasEdge(u, v), g.HasEdge(u, v));
+    }
+  }
+}
+
+TEST(CsrViewTest, AutoOracleFollowsCrossoverHeuristic) {
+  // Tiny graphs always take the bitset; big sparse graphs never do; big
+  // dense ones do up to the hard cap.
+  EXPECT_TRUE(CsrGraphView::WantsBitset(16, 20));
+  EXPECT_TRUE(CsrGraphView::WantsBitset(CsrGraphView::kBitsetSmallVertices, 0));
+  EXPECT_FALSE(CsrGraphView::WantsBitset(1024, 1024));  // avg degree 2
+  EXPECT_TRUE(CsrGraphView::WantsBitset(1024, 8 * 1024));
+  EXPECT_FALSE(CsrGraphView::WantsBitset(
+      CsrGraphView::kBitsetMaxVertices + 1,
+      100 * CsrGraphView::kBitsetMaxVertices));
+  Graph path = PathGraph(std::vector<Label>(300, 0));
+  EXPECT_FALSE(CsrGraphView(path).uses_bitset());
+}
+
+TEST(CsrViewTest, AssignReusesStorageAcrossGraphs) {
+  Rng rng(13);
+  CsrGraphView view;
+  // Growing then shrinking then growing again must stay correct (the
+  // buffers deliberately keep their capacity warm).
+  for (size_t n : {20u, 5u, 35u}) {
+    const Graph g = RandomConnectedGraph(rng, n, n / 2, 3);
+    view.Assign(g);
+    ASSERT_EQ(view.NumVertices(), g.NumVertices());
+    for (VertexId u = 0; u < g.NumVertices(); ++u) {
+      for (VertexId v = 0; v < g.NumVertices(); ++v) {
+        ASSERT_EQ(view.HasEdge(u, v), g.HasEdge(u, v));
+      }
+    }
+  }
 }
 
 TEST(UllmannTest, AgreesOnHandCases) {
