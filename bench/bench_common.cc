@@ -1,7 +1,9 @@
 #include "bench/bench_common.h"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 
 #include "common/timer.h"
 #include "methods/registry.h"
@@ -101,6 +103,72 @@ std::unique_ptr<Method> BuildMethod(const std::string& name,
 double Speedup(double baseline, double improved) {
   if (improved <= 0.0) return baseline > 0.0 ? 1e9 : 1.0;
   return baseline / improved;
+}
+
+namespace {
+
+// True iff `value` is a plain JSON number (no leading +, no stray text).
+bool IsJsonNumber(const std::string& value) {
+  if (value.empty()) return false;
+  char* end = nullptr;
+  std::strtod(value.c_str(), &end);
+  if (end != value.c_str() + value.size()) return false;
+  const char first = value[0] == '-' && value.size() > 1 ? value[1] : value[0];
+  return std::isdigit(static_cast<unsigned char>(first)) != 0;
+}
+
+void AppendJsonString(std::string* out, const std::string& value) {
+  out->push_back('"');
+  for (char c : value) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+BenchJson::BenchJson(const Flags& flags, const std::string& bench_name)
+    : bench_name_(bench_name) {
+  if (!flags.Has("json")) return;
+  const std::string value = flags.GetString("json", "1");
+  path_ = value == "1" ? "BENCH_filtering.json" : value;
+}
+
+void BenchJson::AddRow(
+    std::vector<std::pair<std::string, std::string>> fields) {
+  if (enabled()) rows_.push_back(std::move(fields));
+}
+
+BenchJson::~BenchJson() {
+  if (!enabled()) return;
+  std::string out = "{\n  \"bench\": ";
+  AppendJsonString(&out, bench_name_);
+  out += ",\n  \"rows\": [\n";
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    out += "    {";
+    for (size_t f = 0; f < rows_[r].size(); ++f) {
+      const auto& [key, value] = rows_[r][f];
+      AppendJsonString(&out, key);
+      out += ": ";
+      if (IsJsonNumber(value)) {
+        out += value;
+      } else {
+        AppendJsonString(&out, value);
+      }
+      if (f + 1 < rows_[r].size()) out += ", ";
+    }
+    out += r + 1 < rows_.size() ? "},\n" : "}\n";
+  }
+  out += "  ]\n}\n";
+  std::ofstream file(path_, std::ios::trunc);
+  file << out;
+  file.flush();
+  if (!file.good()) {
+    std::fprintf(stderr, "[json] FAILED to write %s\n", path_.c_str());
+    return;
+  }
+  std::printf("[json] wrote %zu row(s) to %s\n", rows_.size(), path_.c_str());
 }
 
 void PrintHeader(const std::string& figure, const std::string& description) {

@@ -79,6 +79,26 @@ double Speedup(double baseline, double improved);
 /// this run's parameters.
 void PrintHeader(const std::string& figure, const std::string& description);
 
+/// Machine-readable bench output, opted into with `--json[=path]` (default
+/// path: BENCH_filtering.json in the working directory). Collects flat
+/// key→value rows and writes `{"bench": ..., "rows": [...]}` when
+/// destroyed; values that parse as numbers are emitted as JSON numbers.
+/// Disabled (every call a no-op) when the flag is absent, so benches can
+/// call AddRow unconditionally.
+class BenchJson {
+ public:
+  BenchJson(const Flags& flags, const std::string& bench_name);
+  ~BenchJson();
+
+  bool enabled() const { return !path_.empty(); }
+  void AddRow(std::vector<std::pair<std::string, std::string>> fields);
+
+ private:
+  std::string path_;
+  std::string bench_name_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
+
 }  // namespace bench
 }  // namespace igq
 

@@ -30,6 +30,7 @@ int Main(int argc, char** argv) {
   TablePrinter table;
   table.SetHeader({"method", "avg candidates", "avg answers",
                    "avg false positives", "FP ratio %"});
+  BenchJson json(flags, "fig03_filtering_pdbs");
   for (const std::string& name :
        MethodRegistry::Known(QueryDirection::kSubgraph)) {
     if (name == "grapes6") continue;
@@ -49,6 +50,14 @@ int Main(int argc, char** argv) {
                                               candidates
                                         : 0.0,
                                     1)});
+    json.AddRow({{"dataset", "pdbs"},
+                 {"method", method->Name()},
+                 {"queries", std::to_string(result.queries)},
+                 {"candidates", std::to_string(result.candidates)},
+                 {"answers", std::to_string(result.answers)},
+                 {"filter_micros", std::to_string(result.filter_micros)},
+                 {"verify_micros", std::to_string(result.verify_micros)},
+                 {"total_micros", std::to_string(result.total_micros)}});
   }
   table.Print();
   return 0;

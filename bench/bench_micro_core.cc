@@ -19,17 +19,22 @@
 #include <string>
 #include <vector>
 
+#include "common/id_set.h"
 #include "common/rng.h"
 #include "features/fingerprint.h"
 #include "features/path_enumerator.h"
 #include "graph/algorithms.h"
 #include "graph/csr_view.h"
+#include "igq/isub_index.h"
+#include "igq/isuper_index.h"
+#include "igq/pruning.h"
 #include "isomorphism/cost_model.h"
 #include "isomorphism/match_core.h"
 #include "isomorphism/ullmann.h"
 #include "isomorphism/vf2.h"
 #include "methods/feature_count_index.h"
 #include "methods/path_trie.h"
+#include "tests/scalar_prune_reference.h"
 
 // ---------------------------------------------------------------------------
 // Global allocation counter. Counts every operator new in this binary, so
@@ -111,6 +116,51 @@ VerifyBatch MakeVerifyBatch(size_t num_targets, size_t target_vertices) {
     }
   }
   return batch;
+}
+
+// --- Filtering-pipeline fixtures -------------------------------------------
+//
+// The frozen scalar pruning reference and the random-set generator are
+// shared with tests/idset_test.cc (tests/scalar_prune_reference.h): one
+// authoritative copy for both the unit-test oracle and this smoke gate.
+
+using scalar_reference::RandomSortedUniqueIds;
+using scalar_reference::ScalarPruneReference;
+
+// A pruning workload shaped like the 10k-graph dataset profile the paper
+// filters over: a large candidate set, two guarantee-side and two
+// intersect-side cached entries mixing dense (bitmap) and sparse (array)
+// answers.
+struct PruneFixture {
+  std::vector<GraphId> candidates;
+  std::vector<CachedQuery> entries;
+  std::vector<std::vector<GraphId>> scalar_answers;  // same content, vectors
+  std::vector<const CachedQuery*> guarantee, intersect;
+  std::vector<const std::vector<GraphId>*> scalar_guarantee, scalar_intersect;
+};
+
+PruneFixture MakePruneFixture(size_t universe, size_t num_candidates) {
+  Rng rng(97);
+  PruneFixture fx;
+  fx.candidates = RandomSortedUniqueIds(rng, universe, num_candidates);
+  const size_t sizes[] = {universe / 2, universe / 64, universe / 3,
+                          universe / 100};
+  for (size_t size : sizes) {
+    std::vector<GraphId> answer = RandomSortedUniqueIds(rng, universe, size);
+    fx.scalar_answers.push_back(answer);
+    CachedQuery entry;
+    entry.answer = IdSet::FromSortedUnique(std::move(answer), universe);
+    fx.entries.push_back(std::move(entry));
+  }
+  for (size_t i = 0; i < 2; ++i) {
+    fx.guarantee.push_back(&fx.entries[i]);
+    fx.scalar_guarantee.push_back(&fx.scalar_answers[i]);
+  }
+  for (size_t i = 2; i < 4; ++i) {
+    fx.intersect.push_back(&fx.entries[i]);
+    fx.scalar_intersect.push_back(&fx.scalar_answers[i]);
+  }
+  return fx;
 }
 
 // --- Matching-core benches -------------------------------------------------
@@ -327,6 +377,44 @@ void BM_IsuperFilter(benchmark::State& state) {
 }
 BENCHMARK(BM_IsuperFilter)->Arg(100)->Arg(500)->Arg(1500);
 
+// §4.3 candidate pruning, frozen scalar shape: per-candidate binary
+// searches over plain sorted answer vectors, fresh buffers per entry —
+// what every query paid before the IdSet rewrite.
+void BM_PruneCandidatesScalar(benchmark::State& state) {
+  const PruneFixture fx =
+      MakePruneFixture(10000, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ScalarPruneReference(
+        fx.candidates, fx.scalar_guarantee, fx.scalar_intersect));
+  }
+  state.SetItemsProcessed(state.iterations() * fx.candidates.size());
+}
+BENCHMARK(BM_PruneCandidatesScalar)->Arg(1000)->Arg(10000);
+
+// The same workload through the IdSet pruning core: Partition kernels over
+// adaptive answer sets, all intermediates in a reused PruneScratch.
+void BM_PruneCandidatesIdSet(benchmark::State& state) {
+  const PruneFixture fx =
+      MakePruneFixture(10000, static_cast<size_t>(state.range(0)));
+  PruneScratch scratch;
+  auto noop = [](PruneSide, size_t, std::span<const GraphId>) {};
+  // Warm the scratch before sampling the allocation counter, as the smoke
+  // gate does — the published allocs/prune metric is the steady state.
+  PruneCandidates(fx.candidates, fx.guarantee, fx.intersect, noop, scratch);
+  const uint64_t allocs_begin = AllocationsNow();
+  for (auto _ : state) {
+    const PruneOutcome& out =
+        PruneCandidates(fx.candidates, fx.guarantee, fx.intersect, noop,
+                        scratch);
+    benchmark::DoNotOptimize(out.remaining.size());
+  }
+  state.counters["allocs/prune"] = benchmark::Counter(
+      static_cast<double>(AllocationsNow() - allocs_begin) /
+      static_cast<double>(state.iterations()));
+  state.SetItemsProcessed(state.iterations() * fx.candidates.size());
+}
+BENCHMARK(BM_PruneCandidatesIdSet)->Arg(1000)->Arg(10000);
+
 void BM_FingerprintSubsetTest(benchmark::State& state) {
   Fingerprint a(4096), b(4096);
   for (int i = 0; i < 200; ++i) a.AddFeature("f" + std::to_string(i));
@@ -427,10 +515,134 @@ int RunSmoke() {
     ++failures;
   }
 
+  // 3. IdSet pruning equivalence: PruneCandidates must agree with the
+  //    frozen scalar pipeline — outcome and per-entry removed sets — on
+  //    randomized cache states spanning both answer representations.
+  {
+    Rng prng(777);
+    PruneScratch scratch;
+    for (size_t round = 0; round < 80; ++round) {
+      const size_t universe = 100 + prng.Below(8000);
+      const std::vector<GraphId> candidates =
+          RandomSortedUniqueIds(prng, universe, prng.Below(universe));
+      const size_t num_guarantee = prng.Below(3);
+      const size_t num_intersect = prng.Below(3);
+      std::vector<CachedQuery> entries(num_guarantee + num_intersect);
+      std::vector<std::vector<GraphId>> answers;
+      for (CachedQuery& entry : entries) {
+        size_t size;
+        const size_t die = prng.Below(8);
+        if (die == 0 && num_guarantee == 0) {
+          size = 0;  // exercises the §4.3 case-2 shortcut
+        } else if (die < 5) {
+          size = 1 + prng.Below(universe / 10 + 1);  // sparse: array
+        } else {
+          size = universe / 2 + prng.Below(universe / 2);  // dense: bitmap
+        }
+        std::vector<GraphId> answer = RandomSortedUniqueIds(prng, universe, size);
+        answers.push_back(answer);
+        entry.answer = IdSet::FromSortedUnique(std::move(answer), universe);
+      }
+      std::vector<const CachedQuery*> guarantee, intersect;
+      std::vector<const std::vector<GraphId>*> sg, si;
+      for (size_t i = 0; i < num_guarantee; ++i) {
+        guarantee.push_back(&entries[i]);
+        sg.push_back(&answers[i]);
+      }
+      for (size_t i = 0; i < num_intersect; ++i) {
+        intersect.push_back(&entries[num_guarantee + i]);
+        si.push_back(&answers[num_guarantee + i]);
+      }
+      const scalar_reference::ScalarOutcome expected =
+          ScalarPruneReference(candidates, sg, si);
+      const PruneOutcome& outcome = PruneCandidates(
+          candidates, guarantee, intersect,
+          [](PruneSide, size_t, std::span<const GraphId>) {}, scratch);
+      if (outcome.guaranteed.ToVector() != expected.guaranteed ||
+          outcome.remaining != expected.remaining ||
+          outcome.empty_answer_shortcut != expected.empty_answer_shortcut) {
+        fail("IdSet PruneCandidates disagrees with the scalar pipeline",
+             round);
+      }
+    }
+  }
+
+  // 4. Zero-allocation steady state for the filtering pipeline: a warmed
+  //    PruneCandidates and warmed Isub/Isuper probes must not touch the
+  //    allocator at all.
+  {
+    const PruneFixture fx = MakePruneFixture(10000, 10000);
+    PruneScratch scratch;
+    auto noop = [](PruneSide, size_t, std::span<const GraphId>) {};
+    PruneCandidates(fx.candidates, fx.guarantee, fx.intersect, noop,
+                    scratch);  // warm the scratch
+    const uint64_t prune_before = AllocationsNow();
+    for (int pass = 0; pass < 3; ++pass) {
+      PruneCandidates(fx.candidates, fx.guarantee, fx.intersect, noop,
+                      scratch);
+    }
+    const uint64_t prune_allocs = AllocationsNow() - prune_before;
+    if (prune_allocs != 0) {
+      std::fprintf(stderr,
+                   "SMOKE FAIL: steady-state PruneCandidates performed %llu "
+                   "allocations (expected 0)\n",
+                   static_cast<unsigned long long>(prune_allocs));
+      ++failures;
+    }
+
+    // Probe indexes over a small cached-query population.
+    PathEnumeratorOptions popts;
+    popts.max_edges = 4;
+    popts.include_single_vertices = true;
+    const Graph host = MakeRandomGraph(55, 300, 150, 6);
+    Rng crng(71);
+    std::vector<CachedQuery> cached(40);
+    for (size_t i = 0; i < cached.size(); ++i) {
+      // Half the population grows from the probe query's own root, so BFS
+      // nesting guarantees both sub- and supergraph hits below.
+      const VertexId root =
+          i % 2 == 0 ? 7 : static_cast<VertexId>(crng.Below(300));
+      cached[i].graph = BfsNeighborhoodQuery(host, root, 4 + (i % 9) * 2);
+    }
+    IsubIndex isub(popts);
+    isub.Build(cached);
+    IsuperIndex isuper(popts);
+    isuper.Build(cached);
+    const Graph probe_query = BfsNeighborhoodQuery(host, 7, 12);
+    const PathFeatureCounts features = CountPathFeatures(probe_query, popts);
+    std::vector<size_t> isub_hits, isuper_hits;
+    // Warm-up: the probe scratch buffers rotate roles (swap-based
+    // narrowing), so every buffer needs a few passes to reach the capacity
+    // of its largest role before the steady state is allocation-free.
+    for (int pass = 0; pass < 3; ++pass) {
+      isub.FindSupergraphsOf(probe_query, features, &isub_hits);
+      isuper.FindSubgraphsOf(probe_query, features, &isuper_hits);
+    }
+    const uint64_t probe_before = AllocationsNow();
+    size_t total_hits = 0;
+    for (int pass = 0; pass < 3; ++pass) {
+      isub.FindSupergraphsOf(probe_query, features, &isub_hits);
+      isuper.FindSubgraphsOf(probe_query, features, &isuper_hits);
+      total_hits += isub_hits.size() + isuper_hits.size();
+    }
+    const uint64_t probe_allocs = AllocationsNow() - probe_before;
+    if (probe_allocs != 0) {
+      std::fprintf(stderr,
+                   "SMOKE FAIL: steady-state index probes performed %llu "
+                   "allocations (expected 0)\n",
+                   static_cast<unsigned long long>(probe_allocs));
+      ++failures;
+    }
+    if (total_hits == 0) {
+      fail("degenerate probe workload (no index hits at all)", 0);
+    }
+  }
+
   if (failures == 0) {
     std::printf(
-        "SMOKE PASS: 120 equivalence rounds x 5 entry points, "
-        "steady-state allocations/verify = 0\n");
+        "SMOKE PASS: 120 matcher equivalence rounds x 5 entry points, "
+        "80 IdSet<->scalar pruning rounds, steady-state allocations "
+        "(verify, prune, probes) = 0\n");
     return 0;
   }
   std::fprintf(stderr, "SMOKE: %d failure(s)\n", failures);

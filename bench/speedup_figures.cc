@@ -80,6 +80,7 @@ void RunWorkloadsByMethodsFigure(const std::string& figure_name,
 
   TablePrinter table;
   table.SetHeader({"workload", "GGSX", "Grapes", "Grapes(6)", "CT-Index"});
+  BenchJson json(flags, figure_name);
   std::vector<std::unique_ptr<Method>> methods;
   const auto method_names = MethodRegistry::Known(QueryDirection::kSubgraph);
   for (const std::string& name : method_names) {
@@ -102,6 +103,15 @@ void RunWorkloadsByMethodsFigure(const std::string& figure_name,
       std::printf("[cell] %s/%s: baseline=%.0f igq=%.0f\n",
                   workload_name.c_str(), method_names[m].c_str(),
                   cell.baseline, cell.igq);
+      json.AddRow(
+          {{"dataset", dataset_name},
+           {"workload", workload_name},
+           {"method", method_names[m]},
+           {"metric", metric == Metric::kIsoTests ? "iso_tests" : "micros"},
+           {"baseline", TablePrinter::Num(cell.baseline, 0)},
+           {"igq", TablePrinter::Num(cell.igq, 0)},
+           {"speedup",
+            TablePrinter::Num(Speedup(cell.baseline, cell.igq), 4)}});
     }
     table.AddRow(std::move(row));
   }

@@ -1,0 +1,317 @@
+#include "common/id_set.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace igq {
+namespace {
+
+/// True iff `ids` is sorted strictly ascending (sorted and duplicate-free).
+bool IsSortedUnique(const std::vector<GraphId>& ids) {
+  for (size_t i = 1; i < ids.size(); ++i) {
+    if (ids[i] <= ids[i - 1]) return false;
+  }
+  return true;
+}
+
+/// Galloping lower bound: first position in [lo, hi) with data[pos] >= key,
+/// found by doubling probes from `lo` then binary search in the last gap —
+/// O(log distance) instead of O(log size), which is what makes skewed
+/// intersections cheap when the needles advance through a much larger
+/// haystack.
+size_t GallopLowerBound(std::span<const GraphId> data, size_t lo, GraphId key) {
+  size_t step = 1;
+  size_t hi = lo;
+  while (hi < data.size() && data[hi] < key) {
+    lo = hi + 1;
+    hi += step;
+    step <<= 1;
+  }
+  hi = std::min(hi, data.size());
+  return static_cast<size_t>(
+      std::lower_bound(data.begin() + static_cast<ptrdiff_t>(lo),
+                       data.begin() + static_cast<ptrdiff_t>(hi), key) -
+      data.begin());
+}
+
+}  // namespace
+
+IdSet IdSet::FromIds(std::vector<GraphId> ids, size_t universe) {
+  if (!IsSortedUnique(ids)) {
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  }
+  return FromSortedUnique(std::move(ids), universe);
+}
+
+IdSet IdSet::FromSortedUnique(std::vector<GraphId> ids, size_t universe) {
+  assert(IsSortedUnique(ids));
+  assert(ids.empty() || ids.back() < universe || universe == 0);
+  IdSet set;
+  set.universe_ = universe;
+  set.size_ = ids.size();
+  if (WantsBitmap(ids.size(), universe)) {
+    set.repr_ = Repr::kBitmap;
+    set.BuildBitmap(ids);
+  } else {
+    set.repr_ = Repr::kArray;
+    set.ids_ = std::move(ids);
+  }
+  return set;
+}
+
+void IdSet::AssignSortedUnique(std::span<const GraphId> ids, size_t universe) {
+  assert(std::is_sorted(ids.begin(), ids.end()));
+  assert(ids.empty() || universe == 0 || ids.back() < universe);
+  universe_ = universe;
+  size_ = ids.size();
+  if (WantsBitmap(ids.size(), universe)) {
+    repr_ = Repr::kBitmap;
+    ids_.clear();
+    BuildBitmap(ids);
+  } else {
+    repr_ = Repr::kArray;
+    words_.clear();
+    ids_.assign(ids.begin(), ids.end());
+  }
+}
+
+void IdSet::Clear() {
+  repr_ = Repr::kArray;
+  universe_ = 0;
+  size_ = 0;
+  ids_.clear();
+  words_.clear();
+}
+
+void IdSet::BuildBitmap(std::span<const GraphId> ids) {
+  words_.assign((universe_ + 63) / 64, 0);
+  for (GraphId id : ids) {
+    words_[static_cast<size_t>(id) >> 6] |= uint64_t{1} << (id & 63);
+  }
+}
+
+bool IdSet::ArrayContains(GraphId id) const {
+  return std::binary_search(ids_.begin(), ids_.end(), id);
+}
+
+void IdSet::Materialize(std::vector<GraphId>* out) const {
+  out->clear();
+  out->reserve(size_);
+  ForEach([out](GraphId id) { out->push_back(id); });
+}
+
+void IdSet::Partition(std::span<const GraphId> ids, std::vector<GraphId>* kept,
+                      std::vector<GraphId>* removed) const {
+  if (kept != nullptr) kept->clear();
+  if (removed != nullptr) removed->clear();
+  if (repr_ == Repr::kBitmap) {
+    for (GraphId id : ids) {
+      const size_t word = static_cast<size_t>(id) >> 6;
+      const bool member =
+          word < words_.size() && ((words_[word] >> (id & 63)) & 1u);
+      std::vector<GraphId>* sink = member ? kept : removed;
+      if (sink != nullptr) sink->push_back(id);
+    }
+    return;
+  }
+  const std::span<const GraphId> mine(ids_.data(), ids_.size());
+  if (mine.size() > ids.size() * kGallopSkew) {
+    // Few probes against a much larger sorted array: gallop instead of
+    // walking the whole array.
+    size_t pos = 0;
+    for (GraphId id : ids) {
+      pos = GallopLowerBound(mine, pos, id);
+      const bool member = pos < mine.size() && mine[pos] == id;
+      std::vector<GraphId>* sink = member ? kept : removed;
+      if (sink != nullptr) sink->push_back(id);
+    }
+    return;
+  }
+  // Merge walk: both sides advance monotonically.
+  size_t pos = 0;
+  for (GraphId id : ids) {
+    while (pos < mine.size() && mine[pos] < id) ++pos;
+    const bool member = pos < mine.size() && mine[pos] == id;
+    std::vector<GraphId>* sink = member ? kept : removed;
+    if (sink != nullptr) sink->push_back(id);
+  }
+}
+
+bool IdSet::operator==(const IdSet& other) const {
+  if (size_ != other.size_) return false;
+  if (repr_ == Repr::kArray && other.repr_ == Repr::kArray) {
+    return ids_ == other.ids_;
+  }
+  // Mixed or bitmap/bitmap (universes may differ): compare member streams.
+  bool equal = true;
+  size_t index = 0;
+  std::vector<GraphId> mine;  // cold path; reprs differ only across configs
+  Materialize(&mine);
+  other.ForEach([&](GraphId id) {
+    if (index >= mine.size() || mine[index] != id) equal = false;
+    ++index;
+  });
+  return equal && index == mine.size();
+}
+
+// --- Sorted-span kernels -----------------------------------------------------
+
+void IntersectSorted(std::span<const GraphId> a, std::span<const GraphId> b,
+                     std::vector<GraphId>* out) {
+  out->clear();
+  if (a.empty() || b.empty()) return;
+  if (a.size() > b.size()) std::swap(a, b);  // a is the smaller side
+  if (b.size() > a.size() * IdSet::kGallopSkew) {
+    size_t pos = 0;
+    for (GraphId id : a) {
+      pos = GallopLowerBound(b, pos, id);
+      if (pos == b.size()) return;
+      if (b[pos] == id) out->push_back(id);
+    }
+    return;
+  }
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      out->push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+}
+
+void UnionSorted(std::span<const GraphId> a, std::span<const GraphId> b,
+                 std::vector<GraphId>* out) {
+  out->clear();
+  out->reserve(a.size() + b.size());
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      out->push_back(a[i++]);
+    } else if (b[j] < a[i]) {
+      out->push_back(b[j++]);
+    } else {
+      out->push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+  out->insert(out->end(), a.begin() + static_cast<ptrdiff_t>(i), a.end());
+  out->insert(out->end(), b.begin() + static_cast<ptrdiff_t>(j), b.end());
+}
+
+void DifferenceSorted(std::span<const GraphId> a, std::span<const GraphId> b,
+                      std::vector<GraphId>* out) {
+  out->clear();
+  if (b.empty()) {
+    out->assign(a.begin(), a.end());
+    return;
+  }
+  if (b.size() > a.size() * IdSet::kGallopSkew) {
+    size_t pos = 0;
+    for (GraphId id : a) {
+      pos = GallopLowerBound(b, pos, id);
+      if (pos == b.size() || b[pos] != id) out->push_back(id);
+    }
+    return;
+  }
+  size_t j = 0;
+  for (GraphId id : a) {
+    while (j < b.size() && b[j] < id) ++j;
+    if (j == b.size() || b[j] != id) out->push_back(id);
+  }
+}
+
+// --- Whole-set kernels -------------------------------------------------------
+
+namespace {
+
+/// Dispatches a word-wise blocked kernel when both operands are bitmaps
+/// over one universe; otherwise materializes spans and runs the sorted
+/// kernel. `WordOp(x, y)` combines two 64-bit blocks.
+template <typename WordOp, typename SpanKernel>
+void BlockedBinaryOp(const IdSet& a, const IdSet& b, IdSet* out,
+                     std::vector<GraphId>* scratch, WordOp word_op,
+                     SpanKernel span_kernel) {
+  assert(out != &a && out != &b);
+  // An unknown-universe (0) operand may hold ids past the other operand's
+  // universe, so the result's universe must stay unknown too — a bounded
+  // universe smaller than a member would make BuildBitmap write out of
+  // range. With both universes known, every member is below the larger.
+  const size_t out_universe = a.universe() == 0 || b.universe() == 0
+                                  ? 0
+                                  : std::max(a.universe(), b.universe());
+  if (a.repr() == IdSet::Repr::kBitmap && b.repr() == IdSet::Repr::kBitmap &&
+      a.universe() == b.universe()) {
+    // Blocked path: combine 64 potential members per operation, then
+    // materialize once so the result's representation re-adapts to its
+    // actual density.
+    std::vector<GraphId>& ids = *scratch;
+    ids.clear();
+    const std::span<const uint64_t> wa = a.words();
+    const std::span<const uint64_t> wb = b.words();
+    const size_t words = std::max(wa.size(), wb.size());
+    for (size_t w = 0; w < words; ++w) {
+      uint64_t block = word_op(w < wa.size() ? wa[w] : 0,
+                               w < wb.size() ? wb[w] : 0);
+      while (block != 0) {
+        const int bit = __builtin_ctzll(block);
+        ids.push_back(static_cast<GraphId>((w << 6) + static_cast<size_t>(bit)));
+        block &= block - 1;
+      }
+    }
+    out->AssignSortedUnique(ids, a.universe());
+    return;
+  }
+  std::vector<GraphId>& ids = *scratch;
+  std::vector<GraphId> lhs_storage, rhs_storage;
+  std::span<const GraphId> lhs, rhs;
+  if (a.repr() == IdSet::Repr::kArray) {
+    lhs = a.array();
+  } else {
+    a.Materialize(&lhs_storage);
+    lhs = lhs_storage;
+  }
+  if (b.repr() == IdSet::Repr::kArray) {
+    rhs = b.array();
+  } else {
+    b.Materialize(&rhs_storage);
+    rhs = rhs_storage;
+  }
+  span_kernel(lhs, rhs, &ids);
+  out->AssignSortedUnique(ids, out_universe);
+}
+
+}  // namespace
+
+void IdSetUnion(const IdSet& a, const IdSet& b, IdSet* out,
+                std::vector<GraphId>* scratch) {
+  BlockedBinaryOp(a, b, out, scratch,
+                  [](uint64_t x, uint64_t y) { return x | y; }, UnionSorted);
+}
+
+void IdSetIntersect(const IdSet& a, const IdSet& b, IdSet* out,
+                    std::vector<GraphId>* scratch) {
+  BlockedBinaryOp(a, b, out, scratch,
+                  [](uint64_t x, uint64_t y) { return x & y; },
+                  IntersectSorted);
+}
+
+void IdSetDifference(const IdSet& a, const IdSet& b, IdSet* out,
+                     std::vector<GraphId>* scratch) {
+  BlockedBinaryOp(a, b, out, scratch,
+                  [](uint64_t x, uint64_t y) { return x & ~y; },
+                  DifferenceSorted);
+}
+
+IdSetScratch& IdSetScratch::ThreadLocal() {
+  static thread_local IdSetScratch scratch;
+  return scratch;
+}
+
+}  // namespace igq

@@ -28,7 +28,7 @@ std::vector<Label> UnpackPathKey(PathKey key) {
   const size_t length = PathKeyLength(key);
   std::vector<Label> labels(length);
   for (size_t i = 0; i < length; ++i) {
-    labels[i] = static_cast<Label>((key >> (8 * (i + 1))) & 0xff) - 1;
+    labels[i] = PathKeyLabelAt(key, i);
   }
   return labels;
 }

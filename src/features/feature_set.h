@@ -36,6 +36,13 @@ std::vector<Label> UnpackPathKey(PathKey key);
 /// Number of vertices encoded in `key`.
 inline size_t PathKeyLength(PathKey key) { return key & 0xff; }
 
+/// The i-th label of `key` (canonical orientation), i < PathKeyLength(key).
+/// Lets hot paths (the trie descents) walk a key without materializing the
+/// UnpackPathKey vector.
+inline Label PathKeyLabelAt(PathKey key, size_t i) {
+  return static_cast<Label>((key >> (8 * (i + 1))) & 0xff) - 1;
+}
+
 /// Multiset of path features: canonical key -> number of occurrences.
 /// Occurrences count *directed* path instances, so an undirected instance
 /// contributes 2 for paths of >= 2 vertices and 1 for single vertices; the

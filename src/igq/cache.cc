@@ -18,8 +18,11 @@ void SaveCachedQuery(snapshot::BinaryWriter& writer,
                      const CachedQuery& record) {
   writer.WriteU64(record.id);
   snapshot::WriteGraph(writer, record.graph);
+  // Answers are written as sorted id arrays regardless of their in-memory
+  // representation (docs/FORMATS.md): the encoding predates the adaptive
+  // IdSet and stays byte-identical.
   writer.WriteU64(record.answer.size());
-  for (GraphId id : record.answer) writer.WriteU32(id);
+  record.answer.ForEach([&writer](GraphId id) { writer.WriteU32(id); });
   writer.WriteU64(record.meta.hits);
   writer.WriteU64(record.meta.inserted_at);
   writer.WriteU64(record.meta.removed_candidates);
@@ -33,18 +36,21 @@ bool LoadCachedQuery(snapshot::BinaryReader& reader, CachedQuery* record,
   if (!snapshot::ReadGraph(reader, &record->graph)) return false;
   uint64_t answer_size = 0;
   if (!reader.ReadU64(&answer_size)) return false;
-  record->answer.clear();
-  record->answer.reserve(
-      static_cast<size_t>(std::min<uint64_t>(answer_size, 1024)));
+  std::vector<GraphId> answer_ids;
+  answer_ids.reserve(static_cast<size_t>(std::min<uint64_t>(answer_size, 1024)));
   for (uint64_t i = 0; i < answer_size; ++i) {
     uint32_t id = 0;
     if (!reader.ReadU32(&id)) return false;
     if (id >= num_graphs) return false;  // answer ids index the dataset
-    if (i > 0 && id <= record->answer.back()) {
+    if (i > 0 && id <= answer_ids.back()) {
       return false;  // answers must be sorted ascending, no duplicates
     }
-    record->answer.push_back(id);
+    answer_ids.push_back(id);
   }
+  // Validated sorted-unique above; the in-memory representation re-adapts
+  // to the restored answer's density.
+  record->answer =
+      IdSet::FromSortedUnique(std::move(answer_ids), num_graphs);
   double cost_saved_log = 0;
   if (!reader.ReadU64(&record->meta.hits) ||
       !reader.ReadU64(&record->meta.inserted_at) ||
@@ -74,7 +80,8 @@ double EvictionScore(ReplacementPolicy policy, const CachedQuery& entry,
   return 0.0;
 }
 
-QueryCache::QueryCache(const IgqOptions& options) : options_(options) {
+QueryCache::QueryCache(const IgqOptions& options, size_t universe)
+    : options_(options), universe_(universe) {
   enumerator_options_.max_edges = options.path_max_edges;
   enumerator_options_.include_single_vertices = true;
   isub_ = IsubIndex(enumerator_options_);
@@ -89,10 +96,10 @@ CacheProbe QueryCache::Probe(const Graph& query,
                              const PathFeatureCounts& query_features) const {
   CacheProbe probe;
   if (entries_.empty()) return probe;
-  probe.supergraph_positions =
-      isub_.FindSupergraphsOf(query, query_features, &probe.probe_iso_tests);
-  probe.subgraph_positions =
-      isuper_.FindSubgraphsOf(query, query_features, &probe.probe_iso_tests);
+  isub_.FindSupergraphsOf(query, query_features, &probe.supergraph_positions,
+                          &probe.probe_iso_tests);
+  isuper_.FindSubgraphsOf(query, query_features, &probe.subgraph_positions,
+                          &probe.probe_iso_tests);
 
   // Exact-match shortcut (§4.3): g related to G by containment and equal in
   // node and edge count means g and G are isomorphic.
@@ -136,8 +143,11 @@ void QueryCache::Insert(const Graph& query, std::vector<GraphId> answer) {
   CachedQuery record;
   record.id = next_id_++;
   record.graph = query;
-  record.answer = std::move(answer);
-  std::sort(record.answer.begin(), record.answer.end());
+  // FromIds is the one shared normalization path (also used by the sharded
+  // cache): it detects the already-sorted answers the engines produce in
+  // one pass instead of unconditionally re-sorting, and picks the adaptive
+  // representation.
+  record.answer = IdSet::FromIds(std::move(answer), universe_);
   record.meta.inserted_at = queries_processed_;
   window_.push_back(std::move(record));
   if (window_.size() >= options_.window_size) Flush();
@@ -290,7 +300,7 @@ size_t QueryCache::MemoryBytes() const {
   size_t bytes = sizeof(*this) + isub_.MemoryBytes() + isuper_.MemoryBytes();
   for (const CachedQuery& record : entries_) {
     bytes += record.graph.MemoryBytes();
-    bytes += record.answer.capacity() * sizeof(GraphId);
+    bytes += record.answer.MemoryBytes();
     bytes += sizeof(CachedQuery);
   }
   return bytes;

@@ -47,7 +47,10 @@ struct CacheProbe {
 /// identical state. See docs/CONCURRENCY.md for the full threading model.
 class QueryCache {
  public:
-  explicit QueryCache(const IgqOptions& options);
+  /// `universe` is the dataset size the cached answers index; it drives the
+  /// answers' adaptive IdSet representation (array vs bitmap). 0 — unknown
+  /// universe — is valid and keeps every answer in array form.
+  explicit QueryCache(const IgqOptions& options, size_t universe = 0);
 
   // The sub-indexes hold a pointer to entries_; keep the object pinned.
   QueryCache(const QueryCache&) = delete;
@@ -119,6 +122,7 @@ class QueryCache {
 
  private:
   IgqOptions options_;
+  size_t universe_ = 0;  // dataset size the answers index
   PathEnumeratorOptions enumerator_options_;
   std::vector<CachedQuery> entries_;
   std::vector<CachedQuery> window_;  // Itemp

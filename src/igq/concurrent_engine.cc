@@ -25,7 +25,7 @@ ConcurrentQueryEngine::ConcurrentQueryEngine(const GraphDatabase& db,
     : db_(&db),
       method_(method),
       options_(ValidatedIgqOptions(options)),
-      cache_(std::make_unique<ShardedQueryCache>(options_)) {
+      cache_(std::make_unique<ShardedQueryCache>(options_, db.graphs.size())) {
   if (options_.verify_threads > 1) {
     pool_ = std::make_unique<VerifyPool>(options_.verify_threads);
   }
@@ -95,7 +95,9 @@ std::vector<GraphId> ConcurrentQueryEngine::Process(const Graph& query,
   cache_->RecordQueryProcessed();
   const size_t query_nodes = query.NumVertices();
 
-  PruneOutcome pruned;
+  // This thread's prune scratch; the outcome inside stays valid through
+  // verification and answer assembly (each stream thread has its own).
+  PruneScratch& prune_scratch = PruneScratch::ThreadLocal();
   {
     ScopedTimer probe_timer(probe_sink);
     const PathFeatureCounts features = cache_->ExtractFeatures(query);
@@ -120,7 +122,7 @@ std::vector<GraphId> ConcurrentQueryEngine::Process(const Graph& query,
         stats->candidates_final = 0;
         stats->answer_size = entry.answer.size();
       }
-      return entry.answer;
+      return entry.answer.ToVector();
     }
 
     // The §4.4 role inversion, as in the sequential engine: the guarantee
@@ -140,10 +142,9 @@ std::vector<GraphId> ConcurrentQueryEngine::Process(const Graph& query,
     for (const ShardedQueryCache::Hit& hit : intersect_hits) {
       intersect.push_back(&session.entry(hit));
     }
-    pruned = PruneCandidates(
-        std::move(candidates), guarantee, intersect,
-        [&](PruneSide side, size_t index,
-            const std::vector<GraphId>& removed) {
+    PruneCandidates(
+        candidates, guarantee, intersect,
+        [&](PruneSide side, size_t index, std::span<const GraphId> removed) {
           const ShardedQueryCache::Hit& hit = side == PruneSide::kGuarantee
                                                   ? guarantee_hits[index]
                                                   : intersect_hits[index];
@@ -151,8 +152,10 @@ std::vector<GraphId> ConcurrentQueryEngine::Process(const Graph& query,
           session.CreditPrune(hit, removed.size(),
                               SumIsomorphismCosts(*db_, method_->Direction(),
                                                   query_nodes, removed));
-        });
+        },
+        prune_scratch);
   }  // session destroyed: shard locks released before verification
+  const PruneOutcome& pruned = prune_scratch.outcome;
 
   if (stats != nullptr) {
     stats->candidates_final = pruned.remaining.size();
@@ -168,12 +171,10 @@ std::vector<GraphId> ConcurrentQueryEngine::Process(const Graph& query,
   }
   if (stats != nullptr) stats->iso_tests = pruned.remaining.size();
 
-  // Formula (4): Answer(g) = verified ∪ (pruned guaranteed answers).
+  // Formula (4): Answer(g) = verified ∪ (pruned guaranteed answers), via
+  // the shared assembly next to PruneCandidates.
   std::vector<GraphId> answer;
-  answer.reserve(verified.size() + pruned.guaranteed.size());
-  std::merge(verified.begin(), verified.end(), pruned.guaranteed.begin(),
-             pruned.guaranteed.end(), std::back_inserter(answer));
-  answer.erase(std::unique(answer.begin(), answer.end()), answer.end());
+  AssembleAnswer(pruned, verified, prune_scratch, &answer);
 
   if (stats != nullptr) stats->answer_size = answer.size();
 
@@ -299,7 +300,8 @@ bool ConcurrentQueryEngine::LoadSnapshot(std::istream& in, std::string* error,
   // Load into a fresh cache object and swap it in only after the method
   // index (if any) also loads, so every failure path leaves the engine —
   // cache and method alike — exactly as it was.
-  auto fresh_cache = std::make_unique<ShardedQueryCache>(options_);
+  auto fresh_cache =
+      std::make_unique<ShardedQueryCache>(options_, db_->graphs.size());
   std::istringstream cache_stream(std::move(cache_payload));
   snapshot::BinaryReader cache_reader(cache_stream);
   if (!fresh_cache->Load(cache_reader, db_->graphs.size(),

@@ -23,7 +23,7 @@ QueryEngine::QueryEngine(const GraphDatabase& db, Method* method,
     : db_(&db),
       method_(method),
       options_(ValidatedIgqOptions(options)),
-      cache_(std::make_unique<QueryCache>(options_)) {
+      cache_(std::make_unique<QueryCache>(options_, db.graphs.size())) {
   if (options_.verify_threads > 1) {
     pool_ = std::make_unique<VerifyPool>(options_.verify_threads);
   }
@@ -121,7 +121,7 @@ std::vector<GraphId> QueryEngine::Process(const Graph& query,
       stats->candidates_final = 0;
       stats->answer_size = entry.answer.size();
     }
-    return entry.answer;
+    return entry.answer.ToVector();
   }
 
   // The §4.4 role inversion. For subgraph queries, cached *supergraphs* of g
@@ -136,7 +136,9 @@ std::vector<GraphId> QueryEngine::Process(const Graph& query,
   const std::vector<size_t>& intersect_positions =
       subgraph_query ? probe.subgraph_positions : probe.supergraph_positions;
 
-  PruneOutcome pruned;
+  // The prune scratch (and the outcome inside it) is this thread's; it
+  // stays valid through verification and answer assembly below.
+  PruneScratch& prune_scratch = PruneScratch::ThreadLocal();
   {
     ScopedTimer prune_timer(probe_sink);
     std::vector<const CachedQuery*> guarantee, intersect;
@@ -148,10 +150,9 @@ std::vector<GraphId> QueryEngine::Process(const Graph& query,
     for (size_t position : intersect_positions) {
       intersect.push_back(&cache_->entries()[position]);
     }
-    pruned = PruneCandidates(
-        std::move(candidates), guarantee, intersect,
-        [&](PruneSide side, size_t index,
-            const std::vector<GraphId>& removed) {
+    PruneCandidates(
+        candidates, guarantee, intersect,
+        [&](PruneSide side, size_t index, std::span<const GraphId> removed) {
           const size_t position = side == PruneSide::kGuarantee
                                       ? guarantee_positions[index]
                                       : intersect_positions[index];
@@ -159,8 +160,10 @@ std::vector<GraphId> QueryEngine::Process(const Graph& query,
           cache_->CreditPrune(position, removed.size(),
                               SumIsomorphismCosts(*db_, method_->Direction(),
                                                   query_nodes, removed));
-        });
+        },
+        prune_scratch);
   }  // prune_timer scope
+  const PruneOutcome& pruned = prune_scratch.outcome;
 
   if (stats != nullptr) {
     stats->candidates_final = pruned.remaining.size();
@@ -176,12 +179,10 @@ std::vector<GraphId> QueryEngine::Process(const Graph& query,
   }
   if (stats != nullptr) stats->iso_tests = pruned.remaining.size();
 
-  // Formula (4): Answer(g) = verified ∪ (pruned guaranteed answers).
+  // Formula (4): Answer(g) = verified ∪ (pruned guaranteed answers), via
+  // the shared assembly next to PruneCandidates.
   std::vector<GraphId> answer;
-  answer.reserve(verified.size() + pruned.guaranteed.size());
-  std::merge(verified.begin(), verified.end(), pruned.guaranteed.begin(),
-             pruned.guaranteed.end(), std::back_inserter(answer));
-  answer.erase(std::unique(answer.begin(), answer.end()), answer.end());
+  AssembleAnswer(pruned, verified, prune_scratch, &answer);
 
   if (stats != nullptr) stats->answer_size = answer.size();
 
@@ -283,7 +284,7 @@ bool QueryEngine::LoadSnapshot(std::istream& in, std::string* error,
   // Load into a fresh cache object and swap it in only after the method
   // index (if any) also loads, so every failure path leaves the engine —
   // cache and method alike — exactly as it was.
-  auto fresh_cache = std::make_unique<QueryCache>(options_);
+  auto fresh_cache = std::make_unique<QueryCache>(options_, db_->graphs.size());
   std::istringstream cache_stream(std::move(cache_payload));
   snapshot::BinaryReader cache_reader(cache_stream);
   if (!fresh_cache->Load(cache_reader, db_->graphs.size(),

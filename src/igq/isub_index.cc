@@ -1,8 +1,6 @@
 #include "igq/isub_index.h"
 
-#include <algorithm>
 #include <map>
-#include <unordered_set>
 
 #include "isomorphism/match_core.h"
 
@@ -25,34 +23,43 @@ void IsubIndex::Build(const std::vector<CachedQuery>& cached) {
   });
 }
 
-std::vector<size_t> IsubIndex::FindSupergraphsOf(
-    const Graph& query, const PathFeatureCounts& query_features,
-    size_t* probe_tests) const {
-  std::vector<size_t> result;
-  if (cached_ == nullptr || cached_->empty()) return result;
+void IsubIndex::FindSupergraphsOf(const Graph& query,
+                                  const PathFeatureCounts& query_features,
+                                  std::vector<size_t>* result,
+                                  size_t* probe_tests) const {
+  result->clear();
+  if (cached_ == nullptr || cached_->empty()) return;
 
   // Counting filter: candidate G must contain every query feature at least
-  // as often as the query does (same filter the host methods use).
-  std::vector<GraphId> candidates;
+  // as often as the query does (same filter the host methods use). The
+  // per-feature eligible lists are sorted by construction (postings are
+  // appended in ascending graph id), so the running candidate set narrows
+  // through the galloping intersect kernel — all buffers come from this
+  // thread's scratch and are reused across probes.
+  IdSetScratch& scratch = IdSetScratch::ThreadLocal();
+  std::vector<GraphId>& candidates = scratch.ids_a();
+  std::vector<GraphId>& eligible = scratch.ids_b();
+  std::vector<GraphId>& merged = scratch.ids_c();
+  // The scratch holds the previous probe's ids; a featureless query (empty
+  // graph) skips the loop entirely and must see an empty candidate set,
+  // exactly as the pre-scratch code did.
+  candidates.clear();
   bool first = true;
   for (const auto& [key, query_count] : query_features) {
     const std::vector<PathPosting>* postings = trie_.Find(key);
-    if (postings == nullptr) return result;
-    std::vector<GraphId> eligible;
+    if (postings == nullptr) return;
+    eligible.clear();
     for (const PathPosting& posting : *postings) {
       if (posting.count >= query_count) eligible.push_back(posting.graph_id);
     }
     if (first) {
-      candidates = std::move(eligible);
+      std::swap(candidates, eligible);  // O(1): both are scratch buffers
       first = false;
     } else {
-      std::vector<GraphId> merged;
-      std::set_intersection(candidates.begin(), candidates.end(),
-                            eligible.begin(), eligible.end(),
-                            std::back_inserter(merged));
-      candidates = std::move(merged);
+      IntersectSorted(candidates, eligible, &merged);
+      std::swap(candidates, merged);
     }
-    if (candidates.empty()) return result;
+    if (candidates.empty()) return;
   }
 
   // The query is the pattern for every surviving candidate: compile its
@@ -66,10 +73,9 @@ std::vector<size_t> IsubIndex::FindSupergraphsOf(
   for (GraphId candidate : candidates) {
     if (probe_tests != nullptr) ++(*probe_tests);
     if (PlanContains(plan, cached_views_.view(candidate), ctx)) {
-      result.push_back(candidate);
+      result->push_back(candidate);
     }
   }
-  return result;
 }
 
 size_t IsubIndex::MemoryBytes() const {

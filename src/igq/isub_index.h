@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/id_set.h"
 #include "features/feature_set.h"
 #include "features/path_enumerator.h"
 #include "graph/csr_view.h"
@@ -38,10 +39,21 @@ class IsubIndex {
   /// Positions (into the Build() vector) of cached queries G with
   /// query ⊆ G, verified by VF2. `query_features` must use the same
   /// enumerator options. `probe_tests` (optional) accumulates the number of
-  /// verification tests run against cached graphs.
+  /// verification tests run against cached graphs. The out-parameter
+  /// overload appends to `result` (cleared first, capacity reused) and —
+  /// with all intermediates in the calling thread's IdSetScratch — performs
+  /// zero heap allocations in steady state (`bench_micro_core --smoke`).
+  void FindSupergraphsOf(const Graph& query,
+                         const PathFeatureCounts& query_features,
+                         std::vector<size_t>* result,
+                         size_t* probe_tests = nullptr) const;
   std::vector<size_t> FindSupergraphsOf(const Graph& query,
                                         const PathFeatureCounts& query_features,
-                                        size_t* probe_tests = nullptr) const;
+                                        size_t* probe_tests = nullptr) const {
+    std::vector<size_t> result;
+    FindSupergraphsOf(query, query_features, &result, probe_tests);
+    return result;
+  }
 
   size_t MemoryBytes() const;
 

@@ -1,5 +1,6 @@
 #include "igq/isuper_index.h"
 
+#include "common/id_set.h"
 #include "isomorphism/match_core.h"
 
 namespace igq {
@@ -19,14 +20,18 @@ void IsuperIndex::Build(const std::vector<CachedQuery>& cached) {
   }
 }
 
-std::vector<size_t> IsuperIndex::FindSubgraphsOf(
-    const Graph& query, const PathFeatureCounts& query_features,
-    size_t* probe_tests) const {
-  std::vector<size_t> result;
-  if (cached_ == nullptr || cached_->empty()) return result;
-  const std::vector<GraphId> candidates =
-      index_.FindPotentialSubgraphsOf(query_features);
-  if (candidates.empty()) return result;
+void IsuperIndex::FindSubgraphsOf(const Graph& query,
+                                  const PathFeatureCounts& query_features,
+                                  std::vector<size_t>* result,
+                                  size_t* probe_tests) const {
+  result->clear();
+  if (cached_ == nullptr || cached_->empty()) return;
+  // Candidate generation through this thread's scratch (the tally-based
+  // Algorithm 2 — see FeatureCountIndex::FindPotentialSubgraphsOf).
+  IdSetScratch& scratch = IdSetScratch::ThreadLocal();
+  std::vector<GraphId>& candidates = scratch.ids_a();
+  index_.FindPotentialSubgraphsOf(query_features, &candidates);
+  if (candidates.empty()) return;
   // The query is the target for every candidate: build its CSR view once
   // into this thread's scratch and probe it with the prebuilt cached-graph
   // plans (thread-local scratch — probes run concurrently).
@@ -36,10 +41,9 @@ std::vector<size_t> IsuperIndex::FindSubgraphsOf(
   for (GraphId candidate : candidates) {
     if (probe_tests != nullptr) ++(*probe_tests);
     if (PlanContains(cached_plans_[candidate], query_view, ctx)) {
-      result.push_back(candidate);
+      result->push_back(candidate);
     }
   }
-  return result;
 }
 
 }  // namespace igq

@@ -32,10 +32,22 @@ class IsuperIndex {
   /// (Re)builds the index over `cached`.
   void Build(const std::vector<CachedQuery>& cached);
 
-  /// Positions of cached queries G with G ⊆ query, verified by VF2.
+  /// Positions of cached queries G with G ⊆ query, verified by VF2. The
+  /// out-parameter overload appends to `result` (cleared first, capacity
+  /// reused) and — with the counting filter running through the calling
+  /// thread's IdSetScratch — performs zero heap allocations in steady state
+  /// (`bench_micro_core --smoke`).
+  void FindSubgraphsOf(const Graph& query,
+                       const PathFeatureCounts& query_features,
+                       std::vector<size_t>* result,
+                       size_t* probe_tests = nullptr) const;
   std::vector<size_t> FindSubgraphsOf(const Graph& query,
                                       const PathFeatureCounts& query_features,
-                                      size_t* probe_tests = nullptr) const;
+                                      size_t* probe_tests = nullptr) const {
+    std::vector<size_t> result;
+    FindSubgraphsOf(query, query_features, &result, probe_tests);
+    return result;
+  }
 
   size_t MemoryBytes() const {
     size_t bytes = index_.MemoryBytes();

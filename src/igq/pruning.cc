@@ -6,63 +6,72 @@
 #include "isomorphism/cost_model.h"
 
 namespace igq {
-namespace {
 
-// True iff `id` is in the sorted answer vector.
-bool AnswerContains(const std::vector<GraphId>& answer, GraphId id) {
-  return std::binary_search(answer.begin(), answer.end(), id);
+PruneScratch& PruneScratch::ThreadLocal() {
+  static thread_local PruneScratch scratch;
+  return scratch;
 }
 
-}  // namespace
-
-PruneOutcome PruneCandidates(
-    std::vector<GraphId> candidates,
+const PruneOutcome& PruneCandidates(
+    std::span<const GraphId> candidates,
     std::span<const CachedQuery* const> guarantee,
     std::span<const CachedQuery* const> intersect,
     FunctionRef<void(PruneSide side, size_t index,
-                     const std::vector<GraphId>& removed)>
-        credit) {
-  PruneOutcome out;
+                     std::span<const GraphId> removed)>
+        credit,
+    PruneScratch& scratch) {
+  // Fast path: candidates arrive sorted-unique (the Method::Filter
+  // contract; one O(c) pass to confirm). An out-of-tree method that breaks
+  // the contract gets its candidates normalized here rather than silently
+  // wrong answers — the set kernels below require the order.
+  bool sorted_unique = true;
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    if (candidates[i] <= candidates[i - 1]) {
+      sorted_unique = false;
+      break;
+    }
+  }
+  if (!sorted_unique) {
+    scratch.normalized.assign(candidates.begin(), candidates.end());
+    std::sort(scratch.normalized.begin(), scratch.normalized.end());
+    scratch.normalized.erase(
+        std::unique(scratch.normalized.begin(), scratch.normalized.end()),
+        scratch.normalized.end());
+    candidates = scratch.normalized;
+  }
+  PruneOutcome& out = scratch.outcome;
+  out.guaranteed.Clear();
+  out.remaining.clear();
+  out.empty_answer_shortcut = false;
 
   // Guaranteed-answer pruning: candidates in the answer set of any cached
-  // query on the guarantee side need no verification.
+  // query on the guarantee side need no verification. One membership
+  // Partition per entry (feeding that entry's credit), one running union,
+  // then one difference against the union — no per-candidate membership
+  // loops.
   if (!guarantee.empty()) {
+    scratch.unioned.clear();
     for (size_t i = 0; i < guarantee.size(); ++i) {
-      const std::vector<GraphId>& answer = guarantee[i]->answer;
-      std::vector<GraphId> removed_here;
-      for (GraphId id : candidates) {
-        if (AnswerContains(answer, id)) removed_here.push_back(id);
-      }
-      credit(PruneSide::kGuarantee, i, removed_here);
-      for (GraphId id : removed_here) out.guaranteed.push_back(id);
+      guarantee[i]->answer.Partition(candidates, &scratch.removed, nullptr);
+      credit(PruneSide::kGuarantee, i, scratch.removed);
+      UnionSorted(scratch.unioned, scratch.removed, &scratch.kept);
+      std::swap(scratch.unioned, scratch.kept);
     }
-    std::sort(out.guaranteed.begin(), out.guaranteed.end());
-    out.guaranteed.erase(
-        std::unique(out.guaranteed.begin(), out.guaranteed.end()),
-        out.guaranteed.end());
-    for (GraphId id : candidates) {
-      if (!AnswerContains(out.guaranteed, id)) out.remaining.push_back(id);
-    }
+    out.guaranteed.AssignSortedUnique(scratch.unioned,
+                                      guarantee[0]->answer.universe());
+    out.guaranteed.Partition(candidates, nullptr, &out.remaining);
   } else {
-    out.remaining = std::move(candidates);
+    out.remaining.assign(candidates.begin(), candidates.end());
   }
 
   // Intersection pruning: only candidates in the answer set of every cached
   // query on the intersection side can still be answers; an empty cached
   // answer proves the final answer empty (§4.3 case 2).
   for (size_t i = 0; i < intersect.size(); ++i) {
-    const std::vector<GraphId>& answer = intersect[i]->answer;
-    std::vector<GraphId> kept;
-    std::vector<GraphId> removed_here;
-    for (GraphId id : out.remaining) {
-      if (AnswerContains(answer, id)) {
-        kept.push_back(id);
-      } else {
-        removed_here.push_back(id);
-      }
-    }
-    credit(PruneSide::kIntersect, i, removed_here);
-    out.remaining = std::move(kept);
+    const IdSet& answer = intersect[i]->answer;
+    answer.Partition(out.remaining, &scratch.kept, &scratch.removed);
+    credit(PruneSide::kIntersect, i, scratch.removed);
+    std::swap(out.remaining, scratch.kept);
     if (answer.empty()) {
       out.empty_answer_shortcut = true;
       assert(out.guaranteed.empty());
@@ -73,9 +82,22 @@ PruneOutcome PruneCandidates(
   return out;
 }
 
+void AssembleAnswer(const PruneOutcome& outcome,
+                    std::span<const GraphId> verified, PruneScratch& scratch,
+                    std::vector<GraphId>* answer) {
+  std::span<const GraphId> guaranteed_ids;
+  if (outcome.guaranteed.repr() == IdSet::Repr::kArray) {
+    guaranteed_ids = outcome.guaranteed.array();
+  } else {
+    outcome.guaranteed.Materialize(&scratch.kept);
+    guaranteed_ids = scratch.kept;
+  }
+  UnionSorted(verified, guaranteed_ids, answer);
+}
+
 LogValue SumIsomorphismCosts(const GraphDatabase& db, QueryDirection direction,
                              size_t query_nodes,
-                             const std::vector<GraphId>& ids) {
+                             std::span<const GraphId> ids) {
   // Subgraph queries test the query against stored graphs; supergraph
   // queries test stored graphs against the query (§4.4) — the cost model's
   // pattern/target arguments swap accordingly.

@@ -5,6 +5,15 @@
 // implementation serves both engines so the sequential and the concurrent
 // query paths cannot drift apart — the answer-equivalence guarantee of
 // docs/CONCURRENCY.md rests on it.
+//
+// Since the IdSet rewrite the whole split is set algebra over sorted-unique
+// id spans and the cached entries' adaptive answer sets: the guarantee side
+// is one per-entry membership Partition feeding the credit callback, one
+// union, and one difference; the intersect side is an in-place chain of
+// Partitions. All intermediates live in a PruneScratch, so a steady-state
+// prune performs zero heap allocations (gated by `bench_micro_core
+// --smoke`); tests/idset_test.cc locks the outcome and the credit sequence
+// to a frozen copy of the pre-IdSet scalar implementation.
 #ifndef IGQ_IGQ_PRUNING_H_
 #define IGQ_IGQ_PRUNING_H_
 
@@ -13,6 +22,7 @@
 #include <vector>
 
 #include "common/function_ref.h"
+#include "common/id_set.h"
 #include "common/log_space.h"
 #include "graph/graph.h"
 #include "igq/query_record.h"
@@ -27,38 +37,71 @@ enum class PruneSide { kGuarantee, kIntersect };
 
 /// What PruneCandidates decided.
 struct PruneOutcome {
-  /// Candidates proven answers by a guarantee-side entry (formulas (3)–(4));
-  /// sorted ascending, deduplicated. They skip verification entirely.
-  std::vector<GraphId> guaranteed;
-  /// Candidates still needing verification (CS_igq(g), formula (5)), in the
-  /// host method's candidate order.
+  /// Candidates proven answers by a guarantee-side entry (formulas (3)–(4)).
+  /// They skip verification entirely.
+  IdSet guaranteed;
+  /// Candidates still needing verification (CS_igq(g), formula (5)),
+  /// sorted ascending — the order the host methods emit candidates in.
   std::vector<GraphId> remaining;
   /// §4.3 case 2: an intersect-side entry with an empty answer proved the
   /// final answer empty; `remaining` is cleared.
   bool empty_answer_shortcut = false;
 };
 
+/// Reusable buffers for PruneCandidates. The returned outcome lives inside
+/// the scratch, so it stays valid until the same scratch prunes again —
+/// one query at a time per thread, which is exactly how the engines call
+/// it (ThreadLocal(), mirroring MatchContext / IdSetScratch).
+class PruneScratch {
+ public:
+  PruneOutcome outcome;
+  std::vector<GraphId> removed;
+  std::vector<GraphId> unioned;
+  std::vector<GraphId> kept;
+  std::vector<GraphId> normalized;  // unsorted-candidates fallback only
+
+  static PruneScratch& ThreadLocal();
+};
+
 /// Runs the guarantee-side subtraction then the intersect-side filtering
-/// over `candidates`. `credit` is invoked once per cached entry consulted —
-/// identified by its side and index into the corresponding span — with the
-/// candidate ids that entry pruned (possibly none); the caller translates
-/// that into CreditHit/CreditPrune on its cache. Entries after an
-/// empty-answer shortcut are not consulted and earn no credit, exactly as
-/// in the sequential engine. `credit` is a non-owning FunctionRef: a lambda
-/// bound at the call site is fine, it is only invoked during this call.
-PruneOutcome PruneCandidates(
-    std::vector<GraphId> candidates,
+/// over `candidates`, which should be sorted ascending and duplicate-free —
+/// every host method emits candidates that way (the Method::Filter
+/// contract), and the fast path assumes it. Unsorted input from an
+/// out-of-tree method is detected in one pass and normalized into scratch
+/// first, so answers stay correct either way. `credit`
+/// is invoked once per cached entry consulted — identified by its side and
+/// index into the corresponding span — with the candidate ids that entry
+/// pruned (possibly none, always ascending); the span points into scratch
+/// storage and is only valid during the callback. The caller translates it
+/// into CreditHit/CreditPrune on its cache. Entries after an empty-answer
+/// shortcut are not consulted and earn no credit, exactly as before the
+/// IdSet rewrite. `credit` is a non-owning FunctionRef: a lambda bound at
+/// the call site is fine, it is only invoked during this call.
+///
+/// The returned reference points into `scratch` and is invalidated by the
+/// next PruneCandidates call on the same scratch.
+const PruneOutcome& PruneCandidates(
+    std::span<const GraphId> candidates,
     std::span<const CachedQuery* const> guarantee,
     std::span<const CachedQuery* const> intersect,
     FunctionRef<void(PruneSide side, size_t index,
-                     const std::vector<GraphId>& removed)>
-        credit);
+                     std::span<const GraphId> removed)>
+        credit,
+    PruneScratch& scratch);
+
+/// Formula (4) answer assembly: answer = verified ∪ outcome.guaranteed,
+/// both sorted (verified inherits `remaining`'s order) and disjoint by
+/// construction. Shared by both engines for the same reason PruneCandidates
+/// is — the sequential and concurrent answer paths must not drift.
+/// `scratch` must be the one the outcome lives in; `answer` is cleared.
+void AssembleAnswer(const PruneOutcome& outcome,
+                    std::span<const GraphId> verified, PruneScratch& scratch,
+                    std::vector<GraphId>* answer);
 
 /// Sum of §5.1 analytic costs of the verification tests `ids` would
 /// require; pattern and target roles follow the query direction (§4.4).
 LogValue SumIsomorphismCosts(const GraphDatabase& db, QueryDirection direction,
-                             size_t query_nodes,
-                             const std::vector<GraphId>& ids);
+                             size_t query_nodes, std::span<const GraphId> ids);
 
 }  // namespace igq
 

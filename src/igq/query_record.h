@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/id_set.h"
 #include "common/log_space.h"
 #include "graph/graph.h"
 #include "methods/method.h"
@@ -37,10 +38,15 @@ struct QueryGraphMetadata {
 
 /// One entry of Igraphs: the query graph, its answer set (ids into the
 /// dataset; semantics depend on the engine's query type), and metadata.
+/// The answer is an adaptive IdSet (sorted array when sparse, bitmap when
+/// dense) over the dataset universe — the pruning core probes it with set
+/// kernels instead of per-candidate binary searches. On disk it is always
+/// a sorted id array (docs/FORMATS.md); the representation is chosen at
+/// insert/load time via IdSet::FromIds / FromSortedUnique.
 struct CachedQuery {
   uint64_t id = 0;
   Graph graph;
-  std::vector<GraphId> answer;  // sorted ascending
+  IdSet answer;
   QueryGraphMetadata meta;
 };
 

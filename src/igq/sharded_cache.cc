@@ -33,8 +33,9 @@ uint64_t GraphShardHash(const Graph& graph) {
   return hash;
 }
 
-ShardedQueryCache::ShardedQueryCache(const IgqOptions& options)
-    : options_(options) {
+ShardedQueryCache::ShardedQueryCache(const IgqOptions& options,
+                                     size_t universe)
+    : options_(options), universe_(universe) {
   enumerator_options_.max_edges = options_.path_max_edges;
   enumerator_options_.include_single_vertices = true;
   const size_t shards = std::max<size_t>(1, options_.cache_shards);
@@ -94,15 +95,21 @@ ShardedQueryCache::ProbeSession ShardedQueryCache::Probe(
   for (const auto& shard : shards_) {
     session.locks_.emplace_back(shard->mutex);
   }
+  // Per-shard probe results land in a thread-local buffer reused across
+  // shards and queries (a probe runs entirely on one serving thread), so
+  // the per-shard result vectors cost no allocations in steady state.
+  static thread_local std::vector<size_t> positions;
   for (size_t s = 0; s < shards_.size(); ++s) {
     const Shard& shard = *shards_[s];
     if (shard.entries->empty()) continue;
-    for (size_t position : shard.isub.FindSupergraphsOf(
-             query, query_features, &session.probe_iso_tests_)) {
+    shard.isub.FindSupergraphsOf(query, query_features, &positions,
+                                 &session.probe_iso_tests_);
+    for (size_t position : positions) {
       session.supergraph_hits_.push_back(Hit{s, position});
     }
-    for (size_t position : shard.isuper.FindSubgraphsOf(
-             query, query_features, &session.probe_iso_tests_)) {
+    shard.isuper.FindSubgraphsOf(query, query_features, &positions,
+                                 &session.probe_iso_tests_);
+    for (size_t position : positions) {
       session.subgraph_hits_.push_back(Hit{s, position});
     }
   }
@@ -161,8 +168,9 @@ void ShardedQueryCache::Insert(const Graph& query,
     CachedQuery record;
     record.id = next_id_.fetch_add(1, std::memory_order_relaxed);
     record.graph = query;
-    record.answer = std::move(answer);
-    std::sort(record.answer.begin(), record.answer.end());
+    // Shared normalization with QueryCache::Insert: sortedness detected in
+    // one pass (answers arrive sorted), representation picked adaptively.
+    record.answer = IdSet::FromIds(std::move(answer), universe_);
     record.meta.inserted_at =
         queries_processed_.load(std::memory_order_relaxed);
     shard.window.push_back(std::move(record));
@@ -309,7 +317,7 @@ size_t ShardedQueryCache::MemoryBytes() const {
              shard->isuper.MemoryBytes();
     for (const CachedQuery& record : *shard->entries) {
       bytes += record.graph.MemoryBytes();
-      bytes += record.answer.capacity() * sizeof(GraphId);
+      bytes += record.answer.MemoryBytes();
       bytes += sizeof(CachedQuery);
     }
   }

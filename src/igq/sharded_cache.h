@@ -108,7 +108,9 @@ class ShardedQueryCache {
     size_t probe_iso_tests_ = 0;
   };
 
-  explicit ShardedQueryCache(const IgqOptions& options);
+  /// `universe` is the dataset size the cached answers index (see
+  /// QueryCache); it drives the answers' adaptive IdSet representation.
+  explicit ShardedQueryCache(const IgqOptions& options, size_t universe = 0);
   ~ShardedQueryCache();
 
   ShardedQueryCache(const ShardedQueryCache&) = delete;
@@ -208,6 +210,7 @@ class ShardedQueryCache {
   void MaintainShard(size_t shard_index, bool force, bool wait);
 
   IgqOptions options_;
+  size_t universe_ = 0;  // dataset size the answers index
   PathEnumeratorOptions enumerator_options_;
   size_t shard_capacity_ = 1;
   size_t shard_window_ = 1;

@@ -1,29 +1,9 @@
 #include "isomorphism/vf2.h"
 
 namespace igq {
-namespace {
-
-// Backing store for the deprecated LastSearchStates() shim only; all real
-// metrics flow through the explicit MatchStats out-parameters.
-thread_local uint64_t g_last_states = 0;
-
-// Runs `stats` through the search (so the shim always has a number to
-// read), then accumulates into the caller's stats if any.
-struct ShimStats {
-  explicit ShimStats(MatchStats* out) : out_(out) {}
-  ~ShimStats() {
-    g_last_states = local.states;
-    if (out_ != nullptr) *out_ += local;
-  }
-  MatchStats local;
-  MatchStats* out_;
-};
-
-}  // namespace
 
 bool Vf2Matcher::Contains(const Graph& pattern, const Graph& target,
                           MatchStats* stats) const {
-  ShimStats shim(stats);
   if (pattern.NumVertices() == 0) return true;
   if (pattern.NumVertices() > target.NumVertices() ||
       pattern.NumEdges() > target.NumEdges()) {
@@ -32,9 +12,9 @@ bool Vf2Matcher::Contains(const Graph& pattern, const Graph& target,
   MatchContext& ctx = MatchContext::ThreadLocal();
   MatchPlan& plan = ctx.scratch_plan();
   plan.Compile(pattern);
-  ++shim.local.plan_compiles;
+  if (stats != nullptr) ++stats->plan_compiles;
   // Boolean path: no embedding is materialized, so nothing allocates.
-  return PlanContains(plan, GraphRef(target), ctx, &shim.local);
+  return PlanContains(plan, GraphRef(target), ctx, stats);
 }
 
 std::optional<std::vector<VertexId>> Vf2Matcher::FindEmbedding(
@@ -45,7 +25,6 @@ std::optional<std::vector<VertexId>> Vf2Matcher::FindEmbedding(
 std::optional<std::vector<VertexId>> Vf2Matcher::FindEmbeddingRestricted(
     const Graph& pattern, const Graph& target,
     const std::vector<bool>* allowed, MatchStats* stats) {
-  ShimStats shim(stats);
   if (pattern.NumVertices() == 0) return std::vector<VertexId>{};
   if (pattern.NumVertices() > target.NumVertices() ||
       pattern.NumEdges() > target.NumEdges()) {
@@ -54,7 +33,7 @@ std::optional<std::vector<VertexId>> Vf2Matcher::FindEmbeddingRestricted(
   MatchContext& ctx = MatchContext::ThreadLocal();
   MatchPlan& plan = ctx.scratch_plan();
   plan.Compile(pattern);
-  ++shim.local.plan_compiles;
+  if (stats != nullptr) ++stats->plan_compiles;
   // One-shot pair: search the Graph directly (GraphRef) — a CSR build
   // would cost more than the typical first-match search it serves.
   const GraphRef ref(target);
@@ -63,14 +42,13 @@ std::optional<std::vector<VertexId>> Vf2Matcher::FindEmbeddingRestricted(
     for (VertexId v = 0; v < target.NumVertices(); ++v) {
       if ((*allowed)[v]) restriction.Allow(v);
     }
-    return PlanFindEmbedding(plan, ref, ctx, &shim.local);
+    return PlanFindEmbedding(plan, ref, ctx, stats);
   }
-  return PlanFindEmbedding(plan, ref, ctx, &shim.local);
+  return PlanFindEmbedding(plan, ref, ctx, stats);
 }
 
 uint64_t Vf2Matcher::CountEmbeddings(const Graph& pattern, const Graph& target,
                                      uint64_t limit, MatchStats* stats) {
-  ShimStats shim(stats);
   if (pattern.NumVertices() == 0) return 1;
   if (pattern.NumVertices() > target.NumVertices() ||
       pattern.NumEdges() > target.NumEdges()) {
@@ -79,11 +57,8 @@ uint64_t Vf2Matcher::CountEmbeddings(const Graph& pattern, const Graph& target,
   MatchContext& ctx = MatchContext::ThreadLocal();
   MatchPlan& plan = ctx.scratch_plan();
   plan.Compile(pattern);
-  ++shim.local.plan_compiles;
-  return PlanCountEmbeddings(plan, GraphRef(target), ctx, limit,
-                             &shim.local);
+  if (stats != nullptr) ++stats->plan_compiles;
+  return PlanCountEmbeddings(plan, GraphRef(target), ctx, limit, stats);
 }
-
-uint64_t Vf2Matcher::LastSearchStates() { return g_last_states; }
 
 }  // namespace igq

@@ -37,15 +37,12 @@ class Vf2Matcher : public SubgraphMatcher {
       const std::vector<bool>* allowed, MatchStats* stats = nullptr);
 
   /// Counts embeddings, stopping at `limit` (0 = count all). Used by tests.
+  /// Search metrics flow exclusively through the MatchStats out-parameters
+  /// (accumulated, never reset — one MatchStats can span a batch); the old
+  /// LastSearchStates() thread-local side-channel is gone.
   static uint64_t CountEmbeddings(const Graph& pattern, const Graph& target,
                                   uint64_t limit = 0,
                                   MatchStats* stats = nullptr);
-
-  /// DEPRECATED shim: search states of the last Vf2Matcher call on this
-  /// thread. Misattributes states when pool workers interleave queries on
-  /// one thread — pass a MatchStats out-parameter instead. Kept only until
-  /// the remaining callers migrate.
-  static uint64_t LastSearchStates();
 };
 
 }  // namespace igq

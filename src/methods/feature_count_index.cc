@@ -22,10 +22,11 @@ void FeatureCountIndex::AddGraph(GraphId id, const Graph& graph) {
   for (const auto& [key, count] : features) {
     trie_.Add(key, id, count);
   }
+  if (nf_.size() <= id) nf_.resize(static_cast<size_t>(id) + 1, kNotIndexed);
+  // NF 0 (a zero-vertex graph) is meaningful: the tally scan below surfaces
+  // it as a candidate of every query, which is the vacuous-containment rule.
   nf_[id] = static_cast<uint32_t>(features.size());
-  // A graph with no features (zero vertices) is vacuously a subgraph of any
-  // query; track it explicitly since the trie will never surface it.
-  if (features.empty()) empty_graphs_.push_back(id);
+  ++num_indexed_;
 }
 
 std::vector<GraphId> FeatureCountIndex::FindPotentialSubgraphsOf(
@@ -35,49 +36,58 @@ std::vector<GraphId> FeatureCountIndex::FindPotentialSubgraphsOf(
 
 std::vector<GraphId> FeatureCountIndex::FindPotentialSubgraphsOf(
     const PathFeatureCounts& query_features) const {
+  std::vector<GraphId> candidates;
+  FindPotentialSubgraphsOf(query_features, &candidates);
+  return candidates;
+}
+
+void FeatureCountIndex::FindPotentialSubgraphsOf(
+    const PathFeatureCounts& query_features, std::vector<GraphId>* out) const {
   // Algorithm 2: count, per indexed graph gi, how many of the query's
   // features f satisfy occurrences(f, gi) <= occurrences(f, query); gi is a
   // candidate iff that tally equals NF[gi] (all of gi's features are covered
-  // by the query with sufficient multiplicity).
-  std::unordered_map<GraphId, uint32_t> matched;
+  // by the query with sufficient multiplicity). The tally is a dense
+  // scratch array indexed by graph id — one zero-fill plus one posting
+  // pass, no hashing — and the final scan walks ids ascending, so the
+  // candidate list needs no sort. kNotIndexed can never equal a tally.
+  out->clear();
+  if (nf_.empty()) return;
+  std::vector<uint32_t>& tally = IdSetScratch::ThreadLocal().Tally(nf_.size());
   for (const auto& [key, query_count] : query_features) {
     const std::vector<PathPosting>* postings = trie_.Find(key);
     if (postings == nullptr) continue;
     for (const PathPosting& posting : *postings) {
-      if (posting.count <= query_count) ++matched[posting.graph_id];
+      if (posting.count <= query_count) ++tally[posting.graph_id];
     }
   }
-  std::vector<GraphId> candidates = empty_graphs_;
-  for (const auto& [id, count] : matched) {
-    // find() rather than at(): a posting id missing from the NF table
-    // (possible only in an externally produced index payload) must mean
-    // "not a candidate", never a crash.
-    const auto it = nf_.find(id);
-    if (it != nf_.end() && count == it->second) candidates.push_back(id);
+  for (size_t id = 0; id < nf_.size(); ++id) {
+    if (tally[id] == nf_[id]) out->push_back(static_cast<GraphId>(id));
   }
-  std::sort(candidates.begin(), candidates.end());
-  return candidates;
 }
 
 size_t FeatureCountIndex::MemoryBytes() const {
-  return trie_.MemoryBytes() +
-         nf_.size() * (sizeof(GraphId) + sizeof(uint32_t) + 16);
+  return trie_.MemoryBytes() + nf_.capacity() * sizeof(uint32_t);
 }
 
 void FeatureCountIndex::Save(snapshot::BinaryWriter& writer) const {
   writer.WriteU32(static_cast<uint32_t>(options_.max_edges));
   writer.WriteU8(options_.include_single_vertices ? 1 : 0);
   trie_.Save(writer);
-  // NF table in ascending graph-id order for a deterministic encoding.
-  std::vector<std::pair<GraphId, uint32_t>> nf(nf_.begin(), nf_.end());
-  std::sort(nf.begin(), nf.end());
-  writer.WriteU64(nf.size());
-  for (const auto& [id, count] : nf) {
-    writer.WriteU32(id);
-    writer.WriteU32(count);
+  // NF table in ascending graph-id order (the dense table already is), then
+  // the zero-feature list — both byte-identical to the pre-IdSet encoding,
+  // which stored the empty-graph list explicitly (docs/FORMATS.md).
+  writer.WriteU64(num_indexed_);
+  for (size_t id = 0; id < nf_.size(); ++id) {
+    if (nf_[id] == kNotIndexed) continue;
+    writer.WriteU32(static_cast<uint32_t>(id));
+    writer.WriteU32(nf_[id]);
   }
-  writer.WriteU64(empty_graphs_.size());
-  for (GraphId id : empty_graphs_) writer.WriteU32(id);
+  uint64_t empty_count = 0;
+  for (uint32_t count : nf_) empty_count += count == 0 ? 1 : 0;
+  writer.WriteU64(empty_count);
+  for (size_t id = 0; id < nf_.size(); ++id) {
+    if (nf_[id] == 0) writer.WriteU32(static_cast<uint32_t>(id));
+  }
 }
 
 bool FeatureCountIndex::Load(snapshot::BinaryReader& reader,
@@ -96,29 +106,36 @@ bool FeatureCountIndex::Load(snapshot::BinaryReader& reader,
   if (trie.store_locations()) return false;  // this index never stores them
   uint64_t nf_count = 0;
   if (!reader.ReadU64(&nf_count) || nf_count > num_graphs) return false;
-  std::unordered_map<GraphId, uint32_t> nf;
-  nf.reserve(static_cast<size_t>(nf_count));
+  std::vector<uint32_t> nf(num_graphs, kNotIndexed);
+  uint64_t zero_feature_graphs = 0;
   for (uint64_t i = 0; i < nf_count; ++i) {
     uint32_t id = 0, count = 0;
     if (!reader.ReadU32(&id) || !reader.ReadU32(&count)) return false;
-    if (id >= num_graphs || !nf.emplace(id, count).second) return false;
+    if (id >= num_graphs || count == kNotIndexed) return false;
+    if (nf[id] != kNotIndexed) return false;  // duplicate NF entry
+    nf[id] = count;
+    zero_feature_graphs += count == 0 ? 1 : 0;
   }
+  // The zero-feature list is redundant next to the NF table (it is exactly
+  // the NF == 0 ids); it stays in the format for compatibility and must be
+  // consistent — a payload where the two disagree is malformed.
   uint64_t empty_count = 0;
-  if (!reader.ReadU64(&empty_count) || empty_count > num_graphs) return false;
-  std::vector<GraphId> empty_graphs;
-  empty_graphs.reserve(static_cast<size_t>(empty_count));
+  if (!reader.ReadU64(&empty_count) || empty_count != zero_feature_graphs) {
+    return false;
+  }
+  uint32_t previous_empty = 0;
   for (uint64_t i = 0; i < empty_count; ++i) {
     uint32_t id = 0;
     if (!reader.ReadU32(&id)) return false;
-    if (id >= num_graphs) return false;
-    if (i > 0 && id <= empty_graphs.back()) {
+    if (id >= num_graphs || nf[id] != 0) return false;
+    if (i > 0 && id <= previous_empty) {
       return false;  // strictly ascending: no duplicate candidates
     }
-    empty_graphs.push_back(id);
+    previous_empty = id;
   }
   trie_ = std::move(trie);
   nf_ = std::move(nf);
-  empty_graphs_ = std::move(empty_graphs);
+  num_indexed_ = static_cast<size_t>(nf_count);
   return true;
 }
 

@@ -10,9 +10,9 @@
 #ifndef IGQ_METHODS_FEATURE_COUNT_INDEX_H_
 #define IGQ_METHODS_FEATURE_COUNT_INDEX_H_
 
-#include <unordered_map>
 #include <vector>
 
+#include "common/id_set.h"
 #include "features/feature_set.h"
 #include "features/path_enumerator.h"
 #include "methods/method.h"
@@ -37,7 +37,8 @@ class FeatureCountIndex {
 
   /// Algorithm 2: ids of indexed graphs that may be subgraphs of `query`
   /// (every indexed feature of the graph occurs in the query with at least
-  /// the graph's multiplicity). No false negatives.
+  /// the graph's multiplicity). No false negatives. Candidates come back
+  /// sorted ascending.
   std::vector<GraphId> FindPotentialSubgraphsOf(const Graph& query) const;
 
   /// Same, reusing precomputed query features (must come from the same
@@ -45,7 +46,14 @@ class FeatureCountIndex {
   std::vector<GraphId> FindPotentialSubgraphsOf(
       const PathFeatureCounts& query_features) const;
 
-  size_t NumGraphs() const { return nf_.size(); }
+  /// Out-parameter form: fills `out` (cleared first, capacity reused). The
+  /// per-graph cover tally runs in the calling thread's IdSetScratch, so a
+  /// steady-state probe performs zero heap allocations — this is the form
+  /// the Isuper probe index calls (`bench_micro_core --smoke` gates it).
+  void FindPotentialSubgraphsOf(const PathFeatureCounts& query_features,
+                                std::vector<GraphId>* out) const;
+
+  size_t NumGraphs() const { return num_indexed_; }
   size_t MemoryBytes() const;
   const PathEnumeratorOptions& options() const { return options_; }
 
@@ -59,10 +67,18 @@ class FeatureCountIndex {
   bool Load(snapshot::BinaryReader& reader, uint32_t num_graphs);
 
  private:
+  /// Sentinel for ids inside the universe that were never indexed (only
+  /// reachable through externally produced payloads): never a candidate.
+  static constexpr uint32_t kNotIndexed = 0xffffffffu;
+
   PathEnumeratorOptions options_;
   PathTrie trie_{/*store_locations=*/false};
-  std::unordered_map<GraphId, uint32_t> nf_;  // NF[g]: distinct features
-  std::vector<GraphId> empty_graphs_;         // zero-feature graphs (v = 0)
+  /// NF[g], dense by graph id (the tally scan walks it in id order — that
+  /// is what makes the candidate list come out sorted with no extra sort).
+  /// A graph with NF 0 (zero vertices) is vacuously a subgraph of any
+  /// query and surfaces from the scan directly.
+  std::vector<uint32_t> nf_;
+  size_t num_indexed_ = 0;
 };
 
 /// Baseline M_super: FeatureCountIndex over the dataset + VF2 verification.

@@ -114,6 +114,10 @@ class Method {
 
   /// Filtering stage: ids of all graphs that may stand in this method's
   /// Direction() relation with the query. Guaranteed no false negatives.
+  /// Candidates MUST come back sorted ascending and duplicate-free — the
+  /// engines' set-algebra pruning core (igq/pruning.h) and the final
+  /// verified∪guaranteed merge both build on that order, and every
+  /// in-tree method produces it naturally (id-order scans).
   virtual std::vector<GraphId> Filter(const PreparedQuery& prepared) const = 0;
 
   /// Verification stage for one candidate: true iff query ⊆ graphs[id]

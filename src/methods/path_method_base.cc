@@ -5,6 +5,7 @@
 #include <mutex>
 #include <thread>
 
+#include "common/id_set.h"
 #include "snapshot/serializer.h"
 
 namespace igq {
@@ -143,9 +144,11 @@ std::vector<GraphId> PathMethodBase::Filter(
 
   // Counting intersection: each feature contributes at most one tally per
   // graph, so a graph is a candidate iff its tally equals the number of
-  // distinct query features. One pass over the postings, no allocations
-  // beyond the tally array.
-  std::vector<uint32_t> matched(db_->graphs.size(), 0);
+  // distinct query features. One pass over the postings; the tally array
+  // is this thread's reusable scratch (Filter runs concurrently across
+  // serving streams, so the scratch must be thread-local, never a member).
+  std::vector<uint32_t>& matched =
+      IdSetScratch::ThreadLocal().Tally(db_->graphs.size());
   for (const auto& [key, query_count] : features) {
     const std::vector<PathPosting>* postings = trie_.Find(key);
     if (postings == nullptr) return {};  // feature absent from every graph

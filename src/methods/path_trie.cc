@@ -7,9 +7,10 @@
 namespace igq {
 
 uint32_t PathTrie::DescendOrCreate(PathKey key) {
-  const std::vector<Label> labels = UnpackPathKey(key);
+  const size_t length = PathKeyLength(key);
   uint32_t node = 0;
-  for (Label label : labels) {
+  for (size_t i = 0; i < length; ++i) {
+    const Label label = PathKeyLabelAt(key, i);
     auto& children = nodes_[node].children;
     auto it = std::lower_bound(
         children.begin(), children.end(), label,
@@ -27,10 +28,14 @@ uint32_t PathTrie::DescendOrCreate(PathKey key) {
   return node;
 }
 
+// Walks the packed key directly (PathKeyLabelAt) — Find() sits on every
+// filter and probe hot path, and unpacking into a vector here used to be
+// the one allocation a steady-state trie lookup performed.
 int64_t PathTrie::DescendConst(PathKey key) const {
-  const std::vector<Label> labels = UnpackPathKey(key);
+  const size_t length = PathKeyLength(key);
   uint32_t node = 0;
-  for (Label label : labels) {
+  for (size_t i = 0; i < length; ++i) {
+    const Label label = PathKeyLabelAt(key, i);
     const auto& children = nodes_[node].children;
     auto it = std::lower_bound(
         children.begin(), children.end(), label,

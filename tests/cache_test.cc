@@ -173,7 +173,7 @@ TEST(QueryCacheTest, AnswersStoredSorted) {
   QueryCache cache(SmallOptions(4, 1));
   cache.Insert(PathGraph({1, 2}), {9, 3, 7});
   const std::vector<GraphId> expected{3, 7, 9};
-  EXPECT_EQ(cache.entries()[0].answer, expected);
+  EXPECT_EQ(cache.entries()[0].answer.ToVector(), expected);
 }
 
 }  // namespace

@@ -114,7 +114,8 @@ TEST(ShardedCacheTest, ProbeSeesFlushedEntriesOnly) {
   {
     auto session = cache.Probe(g, cache.ExtractFeatures(g));
     ASSERT_TRUE(session.has_exact());
-    EXPECT_EQ(session.entry(session.exact()).answer, std::vector<GraphId>{0});
+    EXPECT_EQ(session.entry(session.exact()).answer.ToVector(),
+              std::vector<GraphId>{0});
   }
 }
 

@@ -141,12 +141,6 @@ TEST(Vf2Test, RestrictedEmbeddingHonorsMask) {
       Vf2Matcher::FindEmbeddingRestricted(pattern, target, &allowed).has_value());
 }
 
-TEST(Vf2Test, SearchStatesExposed) {
-  // Deprecated thread_local shim; new callers pass MatchStats instead.
-  Vf2Matcher::FindEmbedding(Triangle(), Triangle());
-  EXPECT_GT(Vf2Matcher::LastSearchStates(), 0u);
-}
-
 TEST(Vf2Test, MatchStatsAccumulate) {
   MatchStats stats;
   EXPECT_TRUE(Vf2Matcher::FindEmbedding(Triangle(), Triangle(), &stats)

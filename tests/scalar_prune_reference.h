@@ -1,0 +1,98 @@
+// The FROZEN scalar candidate-pruning reference: a verbatim copy of the
+// pre-IdSet PruneCandidates (igq/pruning.cc as of the zero-allocation-core
+// PR) operating on plain sorted answer vectors with per-candidate binary
+// searches. The IdSet pipeline must be indistinguishable from it — in
+// outcome and in the exact credit sequence. Shared by the idset_test
+// oracle suite and the `bench_micro_core --smoke` equivalence gate so the
+// two cannot drift apart; do NOT "improve" this code.
+#ifndef IGQ_TESTS_SCALAR_PRUNE_REFERENCE_H_
+#define IGQ_TESTS_SCALAR_PRUNE_REFERENCE_H_
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "igq/pruning.h"
+
+namespace igq {
+namespace scalar_reference {
+
+/// Random sorted-unique id set over [0, universe) with about `target_size`
+/// members — the shared fixture generator for randomized pruning states.
+inline std::vector<GraphId> RandomSortedUniqueIds(Rng& rng, size_t universe,
+                                                  size_t target_size) {
+  std::set<GraphId> set;
+  for (size_t i = 0; i < target_size; ++i) {
+    set.insert(static_cast<GraphId>(rng.Below(universe)));
+  }
+  return {set.begin(), set.end()};
+}
+
+struct ScalarOutcome {
+  std::vector<GraphId> guaranteed;
+  std::vector<GraphId> remaining;
+  bool empty_answer_shortcut = false;
+};
+
+struct ScalarCreditEvent {
+  PruneSide side;
+  size_t index;
+  std::vector<GraphId> removed;
+  bool operator==(const ScalarCreditEvent&) const = default;
+};
+
+inline ScalarOutcome ScalarPruneReference(
+    std::vector<GraphId> candidates,
+    const std::vector<const std::vector<GraphId>*>& guarantee,
+    const std::vector<const std::vector<GraphId>*>& intersect,
+    std::vector<ScalarCreditEvent>* credits = nullptr) {
+  auto contains = [](const std::vector<GraphId>& answer, GraphId id) {
+    return std::binary_search(answer.begin(), answer.end(), id);
+  };
+  ScalarOutcome out;
+  if (!guarantee.empty()) {
+    for (size_t i = 0; i < guarantee.size(); ++i) {
+      const std::vector<GraphId>& answer = *guarantee[i];
+      std::vector<GraphId> removed_here;
+      for (GraphId id : candidates) {
+        if (contains(answer, id)) removed_here.push_back(id);
+      }
+      if (credits != nullptr) {
+        credits->push_back({PruneSide::kGuarantee, i, removed_here});
+      }
+      for (GraphId id : removed_here) out.guaranteed.push_back(id);
+    }
+    std::sort(out.guaranteed.begin(), out.guaranteed.end());
+    out.guaranteed.erase(
+        std::unique(out.guaranteed.begin(), out.guaranteed.end()),
+        out.guaranteed.end());
+    for (GraphId id : candidates) {
+      if (!contains(out.guaranteed, id)) out.remaining.push_back(id);
+    }
+  } else {
+    out.remaining = std::move(candidates);
+  }
+  for (size_t i = 0; i < intersect.size(); ++i) {
+    const std::vector<GraphId>& answer = *intersect[i];
+    std::vector<GraphId> kept, removed_here;
+    for (GraphId id : out.remaining) {
+      (contains(answer, id) ? kept : removed_here).push_back(id);
+    }
+    if (credits != nullptr) {
+      credits->push_back({PruneSide::kIntersect, i, removed_here});
+    }
+    out.remaining = std::move(kept);
+    if (answer.empty()) {
+      out.empty_answer_shortcut = true;
+      out.remaining.clear();
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace scalar_reference
+}  // namespace igq
+
+#endif  // IGQ_TESTS_SCALAR_PRUNE_REFERENCE_H_
