@@ -156,6 +156,12 @@ class CsrViewStore {
     views_.resize(count);
     for (size_t i = 0; i < count; ++i) views_[i].Assign(graph_at(i));
   }
+  /// Appends one view at the next index — the incremental-maintenance hook
+  /// (Method::OnAddGraph): ids only ever grow, so an added graph extends
+  /// the store in place instead of forcing a full rebuild. Requires
+  /// exclusive access, like Build.
+  void Append(const Graph& graph) { views_.emplace_back().Assign(graph); }
+
   void Clear() { views_.clear(); }
   bool empty() const { return views_.empty(); }
   size_t size() const { return views_.size(); }

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/timer.h"
+#include "isomorphism/match_core.h"
 #include "snapshot/serializer.h"
 
 namespace igq {
@@ -203,6 +204,67 @@ void QueryCache::Flush() {
   isuper_ = std::move(fresh_isuper);
 
   maintenance_micros_ += timer.ElapsedMicros();
+}
+
+void QueryCache::ApplyGraphAdded(const Graph& graph, GraphId id,
+                                 QueryDirection direction) {
+  universe_ = static_cast<size_t>(id) + 1;
+  // The probe indexes already verify containment with PlanContains, so
+  // their results are exact relationships, not candidates.
+  std::vector<size_t> affected;
+  if (!entries_.empty()) {
+    const PathFeatureCounts features = ExtractFeatures(graph);
+    size_t probe_tests = 0;
+    if (direction == QueryDirection::kSubgraph) {
+      isuper_.FindSubgraphsOf(graph, features, &affected, &probe_tests);
+    } else {
+      isub_.FindSupergraphsOf(graph, features, &affected, &probe_tests);
+    }
+  }
+  std::vector<uint8_t> gains(entries_.size(), 0);
+  for (size_t position : affected) gains[position] = 1;
+
+  // `id` is larger than every existing member, so appending keeps the
+  // materialized answer sorted; re-deriving over the grown universe keeps
+  // the adaptive representation canonical for ALL entries (a bitmap's
+  // density threshold moved with the universe).
+  auto repatch = [this, id](CachedQuery& entry, bool gains_id) {
+    std::vector<GraphId> ids = entry.answer.ToVector();
+    if (gains_id) ids.push_back(id);
+    entry.answer = IdSet::FromSortedUnique(std::move(ids), universe_);
+  };
+  for (size_t i = 0; i < entries_.size(); ++i) repatch(entries_[i], gains[i]);
+
+  // Window entries are invisible to the probe indexes until the next flush;
+  // test them directly (both compiled halves live in this thread's match
+  // scratch, as in the probe indexes).
+  MatchContext& ctx = MatchContext::ThreadLocal();
+  MatchPlan& plan = ctx.scratch_plan();
+  CsrGraphView& view = ctx.scratch_target();
+  for (CachedQuery& queued : window_) {
+    bool gains_id;
+    if (direction == QueryDirection::kSubgraph) {
+      plan.Compile(queued.graph);
+      view.Assign(graph);
+      gains_id = PlanContains(plan, view, ctx);  // q ⊆ new graph
+    } else {
+      plan.Compile(graph);
+      view.Assign(queued.graph);
+      gains_id = PlanContains(plan, view, ctx);  // new graph ⊆ q
+    }
+    repatch(queued, gains_id);
+  }
+}
+
+void QueryCache::ApplyGraphRemoved(GraphId id) {
+  auto drop = [this, id](CachedQuery& entry) {
+    if (!entry.answer.contains(id)) return;
+    std::vector<GraphId> ids = entry.answer.ToVector();
+    ids.erase(std::lower_bound(ids.begin(), ids.end(), id));
+    entry.answer = IdSet::FromSortedUnique(std::move(ids), universe_);
+  };
+  for (CachedQuery& entry : entries_) drop(entry);
+  for (CachedQuery& queued : window_) drop(queued);
 }
 
 void QueryCache::Save(snapshot::BinaryWriter& writer, uint64_t num_graphs,

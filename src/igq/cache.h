@@ -86,6 +86,28 @@ class QueryCache {
   /// instances swapped in) and clears Itemp.
   void Flush();
 
+  /// Dataset-mutation patching: instead of flushing the cache when the
+  /// dataset changes, every cached answer is patched in place so hit rate
+  /// and §5.1 metadata survive the mutation.
+  ///
+  /// ApplyGraphAdded: `graph` was appended to the dataset under `id`
+  /// (== old dataset size). The cache's own probe indexes find the cached
+  /// queries whose answers gain the new graph — in the subgraph direction
+  /// answer(q) = {G : q ⊆ G}, so `id` joins every answer whose query is a
+  /// subgraph of `graph` (Isuper probe); in the supergraph direction
+  /// answer(q) = {G : G ⊆ q}, so `id` joins where `graph` ⊆ q (Isub probe).
+  /// Window (Itemp) entries are not in the probe indexes and are tested
+  /// directly. Every answer is re-derived over the grown universe, so the
+  /// adaptive representation stays canonical.
+  void ApplyGraphAdded(const Graph& graph, GraphId id,
+                       QueryDirection direction);
+
+  /// ApplyGraphRemoved: dataset graph `id` was tombstoned; it is dropped
+  /// eagerly from every cached and windowed answer that contains it. The
+  /// probe indexes are untouched (they index the cached QUERY graphs, which
+  /// did not change).
+  void ApplyGraphRemoved(GraphId id);
+
   const std::vector<CachedQuery>& entries() const { return entries_; }
   size_t size() const { return entries_.size(); }
   size_t window_fill() const { return window_.size(); }

@@ -7,6 +7,7 @@
 
 #include "common/timer.h"
 #include "igq/pruning.h"
+#include "snapshot/mutation_state.h"
 #include "snapshot/serializer.h"
 #include "snapshot/snapshot.h"
 
@@ -55,6 +56,10 @@ std::vector<GraphId> ConcurrentQueryEngine::RunVerification(
 
 std::vector<GraphId> ConcurrentQueryEngine::Process(const Graph& query,
                                                     QueryStats* stats) {
+  // Mutation gate, shared side: held for the query's whole lifetime so the
+  // database, method index, and cache never shift underneath it. Queries
+  // never block each other here — only an in-flight ApplyMutation does.
+  std::shared_lock<std::shared_mutex> mutation_gate(mutation_mutex_);
   // Same null-stats contract as QueryEngine::Process: a null `stats` skips
   // all collection (no clock reads, no counter writes).
   if (stats != nullptr) *stats = QueryStats{};
@@ -238,6 +243,16 @@ bool ConcurrentQueryEngine::SaveSnapshot(std::ostream& out,
                            std::move(index_payload).str());
   }
 
+  // Mutation state rides along once the dataset has ever mutated (see
+  // QueryEngine::SaveSnapshot).
+  if (db_->mutation_epoch != 0) {
+    std::ostringstream mutation_payload;
+    snapshot::BinaryWriter writer(mutation_payload);
+    snapshot::WriteMutationState(writer, *db_);
+    snapshot::WriteSection(out, snapshot::kSectionMutationState,
+                           std::move(mutation_payload).str());
+  }
+
   snapshot::WriteSnapshotEnd(out);
   if (!out.good()) {
     SetError(error, "stream failure while writing snapshot");
@@ -253,8 +268,8 @@ bool ConcurrentQueryEngine::LoadSnapshot(std::istream& in, std::string* error,
 
   // Decode and checksum-verify every section before touching engine state,
   // so a file corrupted anywhere is rejected without side effects.
-  std::string cache_payload, index_payload;
-  bool have_cache = false, have_index = false;
+  std::string cache_payload, index_payload, mutation_payload;
+  bool have_cache = false, have_index = false, have_mutation = false;
   for (;;) {
     snapshot::Section section;
     if (!snapshot::ReadSection(in, &section, error)) return false;
@@ -265,6 +280,9 @@ bool ConcurrentQueryEngine::LoadSnapshot(std::istream& in, std::string* error,
     } else if (section.id == snapshot::kSectionMethodIndex) {
       index_payload = std::move(section.payload);
       have_index = true;
+    } else if (section.id == snapshot::kSectionMutationState) {
+      mutation_payload = std::move(section.payload);
+      have_mutation = true;
     }
     // Unknown section ids — including kSectionCache, a *sequential* cache
     // snapshot whose geometry cannot match a sharded cache — are skipped:
@@ -276,6 +294,32 @@ bool ConcurrentQueryEngine::LoadSnapshot(std::istream& in, std::string* error,
   }
   if (!have_cache) {
     SetError(error, "snapshot has no sharded-cache section");
+    return false;
+  }
+
+  // Mutation-state validation (validate-don't-apply, see
+  // QueryEngine::LoadSnapshot): the section must match the database's
+  // current tombstones and epoch; its absence requires a never-mutated
+  // database.
+  uint64_t mutation_epoch = 0;
+  size_t num_tombstones = 0;
+  if (have_mutation) {
+    std::istringstream mutation_stream(std::move(mutation_payload));
+    snapshot::BinaryReader mutation_reader(mutation_stream);
+    if (!snapshot::ValidateMutationState(mutation_reader, *db_,
+                                         &mutation_epoch, &num_tombstones,
+                                         error)) {
+      return false;
+    }
+    if (mutation_stream.peek() != std::char_traits<char>::eof()) {
+      SetError(error,
+               "corrupt snapshot: unread bytes in the mutation-state section");
+      return false;
+    }
+  } else if (db_->mutation_epoch != 0) {
+    SetError(error,
+             "snapshot carries no mutation state but the database has "
+             "mutated since construction");
     return false;
   }
 
@@ -332,9 +376,45 @@ bool ConcurrentQueryEngine::LoadSnapshot(std::istream& in, std::string* error,
     if (info != nullptr) info->method_index_restored = true;
   }
 
+  // Snapshots carry compacted answers (no entry references a tombstoned
+  // dataset graph), so the restored cache's dead set restarts from the
+  // database's tombstones — future removals extend it from there.
+  fresh_cache->SeedDeadIds(db_->tombstones, db_->graphs.size());
   cache_ = std::move(fresh_cache);
-  if (info != nullptr) info->cached_queries = cache_->size();
+  if (info != nullptr) {
+    info->cached_queries = cache_->size();
+    info->mutation_epoch = mutation_epoch;
+    info->tombstones = num_tombstones;
+  }
   return true;
+}
+
+MutationResult ConcurrentQueryEngine::ApplyMutation(
+    GraphDatabase& db, const GraphMutation& mutation) {
+  MutationResult result;
+  if (&db != db_) return result;  // not the database this engine serves
+  // Writer side of the mutation gate: waits for in-flight queries to drain
+  // and blocks new ones for the duration of the mutation, which is what
+  // makes the db.graphs reallocation (and the method's index surgery)
+  // safe — see the header and docs/CONCURRENCY.md.
+  std::unique_lock<std::shared_mutex> mutation_gate(mutation_mutex_);
+  if (mutation.kind == MutationKind::kAddGraph) {
+    result.id = db.AddGraph(mutation.graph);
+    result.applied = true;
+    result.incremental = method_->OnAddGraph(db, result.id);
+    if (!result.incremental) method_->Build(db);
+    cache_->ApplyGraphAdded(db.graphs[result.id], result.id,
+                            method_->Direction());
+  } else {
+    result.id = mutation.id;
+    if (!db.RemoveGraph(mutation.id)) return result;  // no-op: nothing moved
+    result.applied = true;
+    result.incremental = method_->OnRemoveGraph(db, mutation.id);
+    if (!result.incremental) method_->Build(db);
+    cache_->ApplyGraphRemoved(mutation.id);
+  }
+  result.epoch = db.mutation_epoch;
+  return result;
 }
 
 }  // namespace igq

@@ -28,6 +28,7 @@
 #include <iosfwd>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -85,6 +86,20 @@ class ConcurrentQueryEngine {
   bool LoadSnapshot(std::istream& in, std::string* error = nullptr,
                     SnapshotLoadInfo* info = nullptr);
 
+  /// Applies one dataset mutation while queries keep flowing: safe to call
+  /// concurrently with Process from other threads. The engine-level
+  /// writer gate (mutation_mutex_: every Process holds it shared for the
+  /// query's whole lifetime, ApplyMutation holds it exclusive) is what
+  /// makes mutating `db.graphs` — a vector whose growth reallocates —
+  /// safe under concurrent readers. Behind the gate: database first, then
+  /// the method (incremental hooks, full Build fallback), then the sharded
+  /// cache, patched rather than flushed — removed graphs mark affected
+  /// entries dark for the deferred maintenance pass, added graphs join the
+  /// cached answers they belong to. See QueryEngine::ApplyMutation and
+  /// docs/CONCURRENCY.md.
+  MutationResult ApplyMutation(GraphDatabase& db,
+                               const GraphMutation& mutation);
+
   QueryDirection direction() const { return method_->Direction(); }
   const ShardedQueryCache& cache() const { return *cache_; }
   ShardedQueryCache& mutable_cache() { return *cache_; }
@@ -102,6 +117,11 @@ class ConcurrentQueryEngine {
   std::unique_ptr<ShardedQueryCache> cache_;
   std::unique_ptr<VerifyPool> pool_;  // null when verify_threads == 1
   std::mutex pool_mutex_;             // arbitrates pool borrowing
+  /// The mutation writer gate: shared by every Process for the query's
+  /// whole lifetime, exclusive in ApplyMutation. Queries therefore never
+  /// observe a half-applied mutation, and the database/method/cache reads
+  /// all over the query path need no per-access synchronization.
+  std::shared_mutex mutation_mutex_;
 };
 
 }  // namespace igq

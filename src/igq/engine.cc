@@ -6,6 +6,7 @@
 
 #include "common/timer.h"
 #include "igq/pruning.h"
+#include "snapshot/mutation_state.h"
 #include "snapshot/serializer.h"
 #include "snapshot/snapshot.h"
 
@@ -220,6 +221,16 @@ bool QueryEngine::SaveSnapshot(std::ostream& out, std::string* error) const {
                            std::move(index_payload).str());
   }
 
+  // Mutation state rides along once the dataset has ever mutated; a
+  // never-mutated snapshot stays byte-identical to the pre-mutation format.
+  if (db_->mutation_epoch != 0) {
+    std::ostringstream mutation_payload;
+    snapshot::BinaryWriter writer(mutation_payload);
+    snapshot::WriteMutationState(writer, *db_);
+    snapshot::WriteSection(out, snapshot::kSectionMutationState,
+                           std::move(mutation_payload).str());
+  }
+
   snapshot::WriteSnapshotEnd(out);
   if (!out.good()) {
     SetError(error, "stream failure while writing snapshot");
@@ -235,8 +246,8 @@ bool QueryEngine::LoadSnapshot(std::istream& in, std::string* error,
 
   // Decode and checksum-verify every section before touching engine state,
   // so a file corrupted anywhere is rejected without side effects.
-  std::string cache_payload, index_payload;
-  bool have_cache = false, have_index = false;
+  std::string cache_payload, index_payload, mutation_payload;
+  bool have_cache = false, have_index = false, have_mutation = false;
   for (;;) {
     snapshot::Section section;
     if (!snapshot::ReadSection(in, &section, error)) return false;
@@ -247,6 +258,9 @@ bool QueryEngine::LoadSnapshot(std::istream& in, std::string* error,
     } else if (section.id == snapshot::kSectionMethodIndex) {
       index_payload = std::move(section.payload);
       have_index = true;
+    } else if (section.id == snapshot::kSectionMutationState) {
+      mutation_payload = std::move(section.payload);
+      have_mutation = true;
     }
     // Unknown section ids are skipped: they are checksum-verified data from
     // a newer writer, not corruption.
@@ -259,6 +273,32 @@ bool QueryEngine::LoadSnapshot(std::istream& in, std::string* error,
   }
   if (!have_cache) {
     SetError(error, "snapshot has no cache section");
+    return false;
+  }
+
+  // Mutation-state validation (validate-don't-apply: the engine holds the
+  // database const, so the section must MATCH the database rather than
+  // change it). A snapshot without the section can only be restored over a
+  // never-mutated database.
+  uint64_t mutation_epoch = 0;
+  size_t num_tombstones = 0;
+  if (have_mutation) {
+    std::istringstream mutation_stream(std::move(mutation_payload));
+    snapshot::BinaryReader mutation_reader(mutation_stream);
+    if (!snapshot::ValidateMutationState(mutation_reader, *db_,
+                                         &mutation_epoch, &num_tombstones,
+                                         error)) {
+      return false;
+    }
+    if (mutation_stream.peek() != std::char_traits<char>::eof()) {
+      SetError(error,
+               "corrupt snapshot: unread bytes in the mutation-state section");
+      return false;
+    }
+  } else if (db_->mutation_epoch != 0) {
+    SetError(error,
+             "snapshot carries no mutation state but the database has "
+             "mutated since construction");
     return false;
   }
 
@@ -323,8 +363,35 @@ bool QueryEngine::LoadSnapshot(std::istream& in, std::string* error,
   }
 
   cache_ = std::move(fresh_cache);
-  if (info != nullptr) info->cached_queries = cache_->size();
+  if (info != nullptr) {
+    info->cached_queries = cache_->size();
+    info->mutation_epoch = mutation_epoch;
+    info->tombstones = num_tombstones;
+  }
   return true;
+}
+
+MutationResult QueryEngine::ApplyMutation(GraphDatabase& db,
+                                          const GraphMutation& mutation) {
+  MutationResult result;
+  if (&db != db_) return result;  // not the database this engine serves
+  if (mutation.kind == MutationKind::kAddGraph) {
+    result.id = db.AddGraph(mutation.graph);
+    result.applied = true;
+    result.incremental = method_->OnAddGraph(db, result.id);
+    if (!result.incremental) method_->Build(db);
+    cache_->ApplyGraphAdded(db.graphs[result.id], result.id,
+                            method_->Direction());
+  } else {
+    result.id = mutation.id;
+    if (!db.RemoveGraph(mutation.id)) return result;  // no-op: nothing moved
+    result.applied = true;
+    result.incremental = method_->OnRemoveGraph(db, mutation.id);
+    if (!result.incremental) method_->Build(db);
+    cache_->ApplyGraphRemoved(mutation.id);
+  }
+  result.epoch = db.mutation_epoch;
+  return result;
 }
 
 std::vector<BatchResult> QueryEngine::ProcessBatch(

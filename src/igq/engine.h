@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "igq/cache.h"
+#include "igq/mutation.h"
 #include "igq/options.h"
 #include "igq/verify_pool.h"
 #include "methods/method.h"
@@ -72,6 +73,12 @@ struct SnapshotLoadInfo {
   bool method_index_restored = false;
   /// Cached queries (Igraphs) restored, excluding pending window entries.
   size_t cached_queries = 0;
+  /// Mutation state the snapshot was validated against: the database's
+  /// mutation epoch and tombstone count at save time (both 0 for a
+  /// snapshot of a never-mutated dataset, which carries no mutation
+  /// section).
+  uint64_t mutation_epoch = 0;
+  size_t tombstones = 0;
 };
 
 /// iGQ on top of any host Method, subgraph or supergraph.
@@ -127,6 +134,20 @@ class QueryEngine {
   /// left exactly as it was.
   bool LoadSnapshot(std::istream& in, std::string* error = nullptr,
                     SnapshotLoadInfo* info = nullptr);
+
+  /// Applies one dataset mutation end-to-end: the database first
+  /// (AddGraph/RemoveGraph), then the method — through its incremental
+  /// hooks when it has them, with a full Build() fallback otherwise — then
+  /// the cache, whose answers are PATCHED in place (an added graph joins
+  /// the cached answers it belongs to, a removed graph is dropped from
+  /// them) so hit rate and §5.1 metadata survive the mutation; nothing is
+  /// flushed. `db` must be the database this engine was constructed over —
+  /// the engine holds it const, so the caller, who owns the mutable
+  /// database, passes it back in explicitly. Not thread-safe against
+  /// concurrent Process/ProcessBatch (single-stream contract; the
+  /// concurrent variant lives on ConcurrentQueryEngine).
+  MutationResult ApplyMutation(GraphDatabase& db,
+                               const GraphMutation& mutation);
 
   QueryDirection direction() const { return method_->Direction(); }
   const QueryCache& cache() const { return *cache_; }

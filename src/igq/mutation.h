@@ -1,0 +1,60 @@
+// Online dataset mutations (add/remove a graph) as values the engines
+// apply: the database changes first (GraphDatabase::AddGraph/RemoveGraph —
+// stable ids, tombstoned removals), then the method's incremental hooks run
+// (full Build fallback when a hook declines), then the cache answers are
+// patched in place instead of flushed. tests/mutation_equivalence_test.cc
+// holds the incremental path to bit-identity with a rebuild-from-scratch
+// oracle.
+#ifndef IGQ_IGQ_MUTATION_H_
+#define IGQ_IGQ_MUTATION_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "graph/graph.h"
+
+namespace igq {
+
+enum class MutationKind : uint8_t {
+  kAddGraph,    // append `graph` under the next free id
+  kRemoveGraph  // tombstone dataset graph `id`
+};
+
+/// One dataset mutation. `graph` is the kAddGraph payload; `id` is the
+/// kRemoveGraph target (ignored for adds — the database assigns the id).
+struct GraphMutation {
+  MutationKind kind = MutationKind::kAddGraph;
+  Graph graph;
+  GraphId id = 0;
+
+  static GraphMutation Add(Graph graph) {
+    GraphMutation mutation;
+    mutation.kind = MutationKind::kAddGraph;
+    mutation.graph = std::move(graph);
+    return mutation;
+  }
+  static GraphMutation Remove(GraphId id) {
+    GraphMutation mutation;
+    mutation.kind = MutationKind::kRemoveGraph;
+    mutation.id = id;
+    return mutation;
+  }
+};
+
+/// What ApplyMutation did.
+struct MutationResult {
+  /// False when the mutation was a no-op (removing an id that is out of
+  /// range or already tombstoned) — no state changed anywhere.
+  bool applied = false;
+  /// The id added (assigned by the database) or removed.
+  GraphId id = 0;
+  /// True when the method's incremental hooks absorbed the change; false
+  /// means the engine fell back to a full Method::Build.
+  bool incremental = false;
+  /// The database's mutation epoch after the call.
+  uint64_t epoch = 0;
+};
+
+}  // namespace igq
+
+#endif  // IGQ_IGQ_MUTATION_H_

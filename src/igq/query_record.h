@@ -48,6 +48,14 @@ struct CachedQuery {
   Graph graph;
   IdSet answer;
   QueryGraphMetadata meta;
+  /// Lazy-removal marker (sharded cache only): set when a dataset graph in
+  /// `answer` is removed. A tombstoned entry is dark — skipped by probes
+  /// AND by the Isub/Isuper probe-index rebuilds — until the next gated
+  /// maintenance pass compacts its answer (answer \ dead set) and clears
+  /// the flag. Never serialized: snapshots write compacted answers instead
+  /// (docs/FORMATS.md). The single-stream QueryCache patches eagerly and
+  /// never sets it.
+  bool tombstoned = false;
 };
 
 }  // namespace igq

@@ -5,6 +5,7 @@
 
 #include "common/timer.h"
 #include "igq/cache.h"
+#include "isomorphism/match_core.h"
 #include "snapshot/serializer.h"
 
 namespace igq {
@@ -102,14 +103,19 @@ ShardedQueryCache::ProbeSession ShardedQueryCache::Probe(
   for (size_t s = 0; s < shards_.size(); ++s) {
     const Shard& shard = *shards_[s];
     if (shard.entries->empty()) continue;
+    // Entries marked dark since the last shadow rebuild still have postings
+    // in the current indexes; drop them here (a dark entry's answer may
+    // hold a removed graph until compaction).
     shard.isub.FindSupergraphsOf(query, query_features, &positions,
                                  &session.probe_iso_tests_);
     for (size_t position : positions) {
+      if ((*shard.entries)[position].tombstoned) continue;
       session.supergraph_hits_.push_back(Hit{s, position});
     }
     shard.isuper.FindSubgraphsOf(query, query_features, &positions,
                                  &session.probe_iso_tests_);
     for (size_t position : positions) {
+      if ((*shard.entries)[position].tombstoned) continue;
       session.subgraph_hits_.push_back(Hit{s, position});
     }
   }
@@ -156,6 +162,16 @@ void ShardedQueryCache::Insert(const Graph& query,
     for (size_t i = 0; i < shard.entry_hashes.size(); ++i) {
       if (shard.entry_hashes[i] == query_hash &&
           (*shard.entries)[i].graph == query) {
+        // A dark duplicate is revived in place: the incoming answer is the
+        // engine's fresh result for this exact graph, so it replaces the
+        // stale one and the entry rejoins the probe path at the next shadow
+        // rebuild (metadata — and with it the §5.1 utility — survives).
+        // Without this, compaction would later surface a second copy.
+        CachedQuery& existing = (*shard.entries)[i];
+        if (existing.tombstoned) {
+          existing.answer = IdSet::FromIds(std::move(answer), universe_);
+          existing.tombstoned = false;
+        }
         return;
       }
     }
@@ -249,6 +265,23 @@ void ShardedQueryCache::MaintainShard(size_t shard_index, bool force,
       }
     }
 
+    // Deferred tombstone compaction, off-lock on the staged copies: dark
+    // survivors get their answers rewritten (answer \ dead set) and their
+    // flag cleared, so the fresh indexes below re-admit them — this is the
+    // point where a removal's lazy bookkeeping fully settles. Entries
+    // patched by ApplyGraphAdded while dark are already add-current, so
+    // the subtraction alone makes them fresh.
+    if (!dead_ids_.empty()) {
+      std::vector<GraphId> member_ids, live_ids;
+      for (CachedQuery& record : *staged) {
+        if (!record.tombstoned) continue;
+        record.answer.Materialize(&member_ids);
+        DifferenceSorted(member_ids, dead_ids_, &live_ids);
+        record.answer = IdSet::FromSortedUnique(live_ids, universe_);
+        record.tombstoned = false;
+      }
+    }
+
     // Shadow rebuild (§5.2) with no structure lock held: probes keep
     // running against the old entries/indexes while the fresh ones build.
     IsubIndex fresh_isub(enumerator_options_);
@@ -283,6 +316,101 @@ void ShardedQueryCache::MaintainShard(size_t shard_index, bool force,
                                   std::memory_order_relaxed);
     if (!more) return;
   }
+}
+
+void ShardedQueryCache::ApplyGraphAdded(const Graph& graph, GraphId id,
+                                        QueryDirection direction) {
+  universe_ = static_cast<size_t>(id) + 1;
+  if (!dead_ids_.empty()) {
+    dead_set_.AssignSortedUnique(dead_ids_, universe_);
+  }
+  // Direct containment tests instead of the probe indexes: entries marked
+  // or revived since the last shadow rebuild are invisible to the indexes,
+  // and a missed patch here would become a stale answer later. The quick
+  // size comparison rejects most non-relationships before any isomorphism
+  // work; both compiled halves live in this thread's match scratch.
+  MatchContext& ctx = MatchContext::ThreadLocal();
+  MatchPlan& plan = ctx.scratch_plan();
+  CsrGraphView& view = ctx.scratch_target();
+  const bool subgraph = direction == QueryDirection::kSubgraph;
+  if (subgraph) {
+    view.Assign(graph);  // answer(q) = {G : q ⊆ G}: the new graph is target
+  } else {
+    plan.Compile(graph);  // answer(q) = {G : G ⊆ q}: the new graph is pattern
+  }
+  auto gains_id = [&](const Graph& cached) {
+    if (subgraph) {
+      if (cached.NumVertices() > graph.NumVertices() ||
+          cached.NumEdges() > graph.NumEdges()) {
+        return false;
+      }
+      plan.Compile(cached);
+      return PlanContains(plan, view, ctx);
+    }
+    if (graph.NumVertices() > cached.NumVertices() ||
+        graph.NumEdges() > cached.NumEdges()) {
+      return false;
+    }
+    view.Assign(cached);
+    return PlanContains(plan, view, ctx);
+  };
+  // Every answer is re-derived over the grown universe (the bitmap density
+  // threshold moved with it); `id` is larger than every member, so a gained
+  // id appends without disturbing sortedness.
+  auto repatch = [this, id, &gains_id](CachedQuery& record) {
+    std::vector<GraphId> ids = record.answer.ToVector();
+    if (gains_id(record.graph)) ids.push_back(id);
+    record.answer = IdSet::FromSortedUnique(std::move(ids), universe_);
+  };
+  for (const auto& shard : shards_) {
+    std::unique_lock<std::shared_mutex> lock(shard->mutex);
+    for (CachedQuery& record : *shard->entries) repatch(record);
+    for (CachedQuery& record : shard->window) repatch(record);
+  }
+}
+
+void ShardedQueryCache::ApplyGraphRemoved(GraphId id) {
+  const auto it = std::lower_bound(dead_ids_.begin(), dead_ids_.end(), id);
+  if (it == dead_ids_.end() || *it != id) dead_ids_.insert(it, id);
+  dead_set_.AssignSortedUnique(dead_ids_, universe_);
+  std::vector<GraphId> member_ids, live_ids;
+  for (const auto& shard : shards_) {
+    std::unique_lock<std::shared_mutex> lock(shard->mutex);
+    // Flushed entries go dark (lazy): compaction rides the next gated
+    // maintenance pass. Window entries are patched eagerly — they have no
+    // postings to desynchronize from.
+    for (CachedQuery& record : *shard->entries) {
+      if (record.answer.contains(id)) record.tombstoned = true;
+    }
+    for (CachedQuery& record : shard->window) {
+      if (!record.answer.contains(id)) continue;
+      record.answer.Materialize(&member_ids);
+      live_ids.clear();
+      live_ids.reserve(member_ids.size());
+      for (GraphId member : member_ids) {
+        if (member != id) live_ids.push_back(member);
+      }
+      record.answer = IdSet::FromSortedUnique(live_ids, universe_);
+    }
+  }
+}
+
+void ShardedQueryCache::SeedDeadIds(std::span<const GraphId> dead,
+                                    size_t universe) {
+  dead_ids_.assign(dead.begin(), dead.end());
+  universe_ = universe;
+  dead_set_.AssignSortedUnique(dead_ids_, universe_);
+}
+
+size_t ShardedQueryCache::tombstoned_entries() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mutex);
+    for (const CachedQuery& record : *shard->entries) {
+      total += record.tombstoned ? 1 : 0;
+    }
+  }
+  return total;
 }
 
 void ShardedQueryCache::FlushAll() {
@@ -357,11 +485,26 @@ void ShardedQueryCache::Save(snapshot::BinaryWriter& writer,
   writer.WriteU32(dataset_crc);
   writer.WriteU64(queries_processed_.load());
   writer.WriteU64(next_id_.load());
+  std::vector<GraphId> member_ids, live_ids;
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> credits(shard->credit_mutex);
     writer.WriteU64(shard->entries->size());
     for (const CachedQuery& record : *shard->entries) {
-      SaveCachedQuery(writer, record);
+      if (!record.tombstoned) {
+        SaveCachedQuery(writer, record);
+        continue;
+      }
+      // Dark entries are written compacted (answer \ dead set): the flag
+      // never reaches disk and the record format stays at version 1 —
+      // a load sees exactly what the next maintenance pass would produce.
+      CachedQuery compacted;
+      compacted.id = record.id;
+      compacted.graph = record.graph;
+      compacted.meta = record.meta;
+      record.answer.Materialize(&member_ids);
+      DifferenceSorted(member_ids, dead_ids_, &live_ids);
+      compacted.answer = IdSet::FromSortedUnique(live_ids, universe_);
+      SaveCachedQuery(writer, compacted);
     }
     writer.WriteU64(shard->window.size());
     for (const CachedQuery& record : shard->window) {

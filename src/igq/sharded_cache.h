@@ -33,6 +33,7 @@
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <span>
 #include <vector>
 
 #include "features/feature_set.h"
@@ -142,6 +143,40 @@ class ShardedQueryCache {
   /// in-flight flush of each shard completes.
   void FlushAll();
 
+  /// Dataset-mutation patching (same answer semantics as QueryCache, but
+  /// removal is LAZY): instead of flushing when the dataset changes, cached
+  /// answers are patched/marked so hit rate and §5.1 metadata survive.
+  ///
+  /// Both calls require external write exclusion against the whole cache —
+  /// ConcurrentQueryEngine::ApplyMutation's exclusive mutation lock provides
+  /// it (no probe/insert runs concurrently); per-shard exclusive locks are
+  /// still taken so any straggler reading shard state stays correct.
+  ///
+  /// ApplyGraphAdded: `graph` joined the dataset under `id` (== old dataset
+  /// size). Every cached entry — including dark ones, which must stay
+  /// add-current so compaction alone makes them fresh — and every window
+  /// entry is containment-tested directly against the new graph and its
+  /// answer re-derived over the grown universe (`id` appended on a match).
+  /// Direct tests, not the probe indexes: entries revived or marked since
+  /// the last shadow rebuild are invisible to the indexes.
+  void ApplyGraphAdded(const Graph& graph, GraphId id,
+                       QueryDirection direction);
+
+  /// ApplyGraphRemoved: dataset graph `id` was tombstoned. Flushed entries
+  /// whose answer contains it go dark (tombstoned = true: skipped by probes
+  /// and by the next shadow rebuilds) until MaintainShard's gated staging
+  /// compacts them (answer \ dead set, flag cleared). Window entries are
+  /// patched eagerly — they are invisible to the probe indexes anyway.
+  void ApplyGraphRemoved(GraphId id);
+
+  /// Resets the dead-id set (sorted unique) and universe, e.g. after a
+  /// snapshot Load: snapshots carry compacted answers, so the set restarts
+  /// from the database's tombstones. Requires external quiescence, as Load.
+  void SeedDeadIds(std::span<const GraphId> dead, size_t universe);
+
+  /// Entries currently dark (marked, not yet compacted), across all shards.
+  size_t tombstoned_entries() const;
+
   size_t num_shards() const { return shards_.size(); }
   /// Per-shard slice of cache_capacity / window_size (ceiling share).
   size_t shard_capacity() const { return shard_capacity_; }
@@ -211,6 +246,12 @@ class ShardedQueryCache {
 
   IgqOptions options_;
   size_t universe_ = 0;  // dataset size the answers index
+  /// Removed dataset ids (sorted ascending, unique) and their IdSet form —
+  /// what MaintainShard's compaction and Save's answer rewriting subtract.
+  /// Written only under the engine's exclusive mutation lock; read by the
+  /// gated maintenance path and Save.
+  std::vector<GraphId> dead_ids_;
+  IdSet dead_set_;
   PathEnumeratorOptions enumerator_options_;
   size_t shard_capacity_ = 1;
   size_t shard_window_ = 1;

@@ -48,8 +48,12 @@ void CtIndexMethod::Build(const GraphDatabase& db) {
   db_ = &db;
   fingerprints_.clear();
   fingerprints_.reserve(db.graphs.size());
-  for (const Graph& graph : db.graphs) {
-    fingerprints_.push_back(FingerprintOf(graph));
+  for (GraphId id = 0; id < db.graphs.size(); ++id) {
+    // Tombstoned graphs get an all-zero fingerprint instead of an
+    // enumeration pass; Filter() subtracts the tombstone set anyway (an
+    // all-zero fingerprint would still cover an all-zero query).
+    fingerprints_.push_back(db.IsLive(id) ? FingerprintOf(db.graphs[id])
+                                          : Fingerprint(options_.fingerprint_bits));
   }
   // CSR views of every dataset graph, built once and shared by all
   // Verify() calls (cheap next to tree/cycle enumeration).
@@ -70,7 +74,16 @@ std::vector<GraphId> CtIndexMethod::Filter(
       candidates.push_back(id);
     }
   }
-  return candidates;
+  if (db_ == nullptr || db_->tombstones.empty() || candidates.empty()) {
+    return candidates;
+  }
+  // No incremental hooks here (mutation falls back to a full Build), but a
+  // snapshot-restored or freshly built index over a mutated database still
+  // must never surface a removed graph.
+  std::vector<GraphId> live;
+  live.reserve(candidates.size());
+  db_->tombstone_set.Partition(candidates, /*kept=*/nullptr, &live);
+  return live;
 }
 
 bool CtIndexMethod::Verify(const PreparedQuery& prepared, GraphId id) const {

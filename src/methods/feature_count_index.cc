@@ -141,13 +141,40 @@ bool FeatureCountIndex::Load(snapshot::BinaryReader& reader,
 
 void FeatureCountSupergraphMethod::Build(const GraphDatabase& db) {
   db_ = &db;
+  // Build may run again over a mutated database (the engines' rebuild
+  // fallback); start from an empty index, never accumulate.
+  index_ = FeatureCountIndex(index_.options());
+  pattern_plans_.clear();
+  // Tombstoned graphs are skipped outright: their NF rows stay kNotIndexed
+  // (a tally can never reach that value, so they can never filter through)
+  // and their pattern plans stay default-constructed (never probed — a
+  // non-candidate is never verified). The incremental path reaches the same
+  // candidate sets by subtracting the tombstone set in Filter() instead.
   for (GraphId id = 0; id < db.graphs.size(); ++id) {
+    if (!db.IsLive(id)) continue;
     index_.AddGraph(id, db.graphs[id]);
   }
   pattern_plans_.resize(db.graphs.size());
   for (GraphId id = 0; id < db.graphs.size(); ++id) {
+    if (!db.IsLive(id)) continue;
     pattern_plans_[id].Compile(db.graphs[id]);
   }
+}
+
+std::vector<GraphId> FeatureCountSupergraphMethod::Filter(
+    const PreparedQuery& prepared) const {
+  const auto& pq = static_cast<const PathPreparedQuery&>(prepared);
+  std::vector<GraphId> candidates =
+      index_.FindPotentialSubgraphsOf(pq.features());
+  if (db_ == nullptr || db_->tombstones.empty() || candidates.empty()) {
+    return candidates;
+  }
+  // Removed graphs keep their NF rows until the next full Build; compose
+  // with the database's tombstone IdSet so they never surface.
+  std::vector<GraphId> live;
+  live.reserve(candidates.size());
+  db_->tombstone_set.Partition(candidates, /*kept=*/nullptr, &live);
+  return live;
 }
 
 bool FeatureCountSupergraphMethod::Verify(const PreparedQuery& prepared,
@@ -165,6 +192,27 @@ bool FeatureCountSupergraphMethod::SaveIndex(std::ostream& out) const {
   writer.WriteU32(kFeatureCountIndexVersion);
   index_.Save(writer);
   return writer.ok();
+}
+
+bool FeatureCountSupergraphMethod::OnAddGraph(const GraphDatabase& db,
+                                              GraphId id) {
+  if (db_ != &db) return false;  // built over a different database
+  if (static_cast<size_t>(id) + 1 != db.graphs.size() ||
+      pattern_plans_.size() != static_cast<size_t>(id)) {
+    return false;  // ids must extend the index contiguously
+  }
+  // `id` is the maximum id ever indexed, so FeatureCountIndex's
+  // increasing-id contract holds by construction.
+  index_.AddGraph(id, db.graphs[id]);
+  pattern_plans_.emplace_back().Compile(db.graphs[id]);
+  return true;
+}
+
+bool FeatureCountSupergraphMethod::OnRemoveGraph(const GraphDatabase& db,
+                                                 GraphId) {
+  // Nothing to unindex: the dead graph's NF row stays behind and Filter()
+  // subtracts the database's tombstone set.
+  return db_ == &db;
 }
 
 bool FeatureCountSupergraphMethod::LoadIndex(const GraphDatabase& db,

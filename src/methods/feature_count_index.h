@@ -103,10 +103,10 @@ class FeatureCountSupergraphMethod : public Method {
         query, CountPathFeatures(query, index_.options()));
   }
 
-  std::vector<GraphId> Filter(const PreparedQuery& prepared) const override {
-    const auto& pq = static_cast<const PathPreparedQuery&>(prepared);
-    return index_.FindPotentialSubgraphsOf(pq.features());
-  }
+  /// Algorithm 2 over the feature trie, minus the database's tombstone set
+  /// (removed graphs may still hold postings/NF rows between a mutation and
+  /// the next full Build).
+  std::vector<GraphId> Filter(const PreparedQuery& prepared) const override;
 
   /// True iff graphs[id] ⊆ query.
   bool Verify(const PreparedQuery& prepared, GraphId id) const override;
@@ -117,6 +117,14 @@ class FeatureCountSupergraphMethod : public Method {
   /// and NF table directly instead of re-enumerating the dataset.
   bool SaveIndex(std::ostream& out) const override;
   bool LoadIndex(const GraphDatabase& db, std::istream& in) override;
+
+  /// Incremental maintenance (see Method). OnAddGraph extends the trie, NF
+  /// table and pattern-plan vector by the one new graph (ids only grow, so
+  /// the index's increasing-id contract holds); OnRemoveGraph leaves the
+  /// index untouched — the dead graph's NF row survives, and Filter()
+  /// subtracts the database's tombstone set instead.
+  bool OnAddGraph(const GraphDatabase& db, GraphId id) override;
+  bool OnRemoveGraph(const GraphDatabase& db, GraphId id) override;
 
  private:
   FeatureCountIndex index_;

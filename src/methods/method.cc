@@ -1,5 +1,7 @@
 #include "methods/method.h"
 
+#include <algorithm>
+
 namespace igq {
 
 const char* QueryDirectionName(QueryDirection direction) {
@@ -10,8 +12,14 @@ bool Method::SaveIndex(std::ostream&) const { return false; }
 
 bool Method::LoadIndex(const GraphDatabase&, std::istream&) { return false; }
 
+bool Method::OnAddGraph(const GraphDatabase&, GraphId) { return false; }
+
+bool Method::OnRemoveGraph(const GraphDatabase&, GraphId) { return false; }
+
 void GraphDatabase::RefreshLabelCount() {
   num_labels = 0;
+  label_seen.clear();
+  label_seen_primed = true;
   if (graphs.empty()) return;
   size_t bound = 0;
   for (const Graph& g : graphs) {
@@ -19,17 +27,51 @@ void GraphDatabase::RefreshLabelCount() {
     if (b > bound) bound = b;
   }
   if (bound == 0) return;  // only empty graphs stored
-  std::vector<bool> seen(bound, false);
+  label_seen.assign(bound, 0);
   size_t distinct = 0;
   for (const Graph& g : graphs) {
     for (VertexId v = 0; v < g.NumVertices(); ++v) {
-      if (!seen[g.label(v)]) {
-        seen[g.label(v)] = true;
+      if (!label_seen[g.label(v)]) {
+        label_seen[g.label(v)] = 1;
         ++distinct;
       }
     }
   }
   num_labels = distinct;
+}
+
+GraphId GraphDatabase::AddGraph(Graph graph) {
+  const GraphId id = static_cast<GraphId>(graphs.size());
+  graphs.push_back(std::move(graph));
+  if (label_seen_primed) {
+    // O(new graph) label-domain update through the seen cache; removal never
+    // shrinks the domain, so the cache only ever grows.
+    const Graph& added = graphs.back();
+    const size_t bound = added.LabelUpperBound();
+    if (label_seen.size() < bound) label_seen.resize(bound, 0);
+    for (VertexId v = 0; v < added.NumVertices(); ++v) {
+      if (!label_seen[added.label(v)]) {
+        label_seen[added.label(v)] = 1;
+        ++num_labels;
+      }
+    }
+  } else {
+    RefreshLabelCount();
+  }
+  // The universe grew; re-derive the adaptive form over the new size.
+  tombstone_set.AssignSortedUnique(tombstones, graphs.size());
+  ++mutation_epoch;
+  return id;
+}
+
+bool GraphDatabase::RemoveGraph(GraphId id) {
+  if (id >= graphs.size()) return false;
+  const auto it = std::lower_bound(tombstones.begin(), tombstones.end(), id);
+  if (it != tombstones.end() && *it == id) return false;  // already removed
+  tombstones.insert(it, id);
+  tombstone_set.AssignSortedUnique(tombstones, graphs.size());
+  ++mutation_epoch;
+  return true;
 }
 
 }  // namespace igq

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/id_set.h"
 #include "graph/csr_view.h"
 #include "graph/graph.h"
 #include "isomorphism/match_core.h"
@@ -40,14 +41,54 @@ const char* QueryDirectionName(QueryDirection direction);
 
 /// A graph dataset D = {G1..Gn} plus global label-domain information
 /// (L, needed by the §5.1 cost model).
+///
+/// Online mutation model: graph ids are STABLE. AddGraph appends and returns
+/// the new id; RemoveGraph never erases or renumbers — the removed graph's
+/// payload stays in `graphs` (cached answers, snapshots, and the §5.1 cost
+/// model may still dereference the id) and the id joins `tombstones`. Every
+/// filtering layer composes its candidates with the tombstone set, so a
+/// removed graph can never appear in an answer, while an id, once handed
+/// out, means the same graph forever.
 struct GraphDatabase {
   std::vector<Graph> graphs;
-  /// Number of distinct vertex labels across the dataset.
+  /// Number of distinct vertex labels across the dataset. Monotone under
+  /// mutation: removal never shrinks the label domain (the §5.1 cost model
+  /// stays comparable across a mutation sequence).
   size_t num_labels = 0;
+  /// Ids of removed graphs, sorted ascending, duplicate-free.
+  std::vector<GraphId> tombstones;
+  /// `tombstones` as an adaptive IdSet over the current `graphs.size()`
+  /// universe — the form the filter paths subtract with. Kept in lockstep
+  /// by AddGraph/RemoveGraph.
+  IdSet tombstone_set;
+  /// Incremented by every AddGraph/RemoveGraph. Snapshots stamp it so a
+  /// cache/index built at one mutation state is never restored over
+  /// another.
+  uint64_t mutation_epoch = 0;
+
+  /// Appends `graph` under the next free id (== old graphs.size()) and
+  /// returns that id. Extends the label domain if the graph carries labels
+  /// not seen before.
+  GraphId AddGraph(Graph graph);
+
+  /// Tombstones `id`. Returns false (no state change) when `id` is out of
+  /// range or already removed. The Graph object itself is retained.
+  bool RemoveGraph(GraphId id);
+
+  bool IsLive(GraphId id) const {
+    return id < graphs.size() && !tombstone_set.contains(id);
+  }
+  size_t NumLive() const { return graphs.size() - tombstones.size(); }
 
   /// Recomputes num_labels from the graphs. Safe on an empty database
   /// (num_labels becomes 0 and no buffers are touched).
   void RefreshLabelCount();
+
+  /// Seen-label cache behind the O(new graph) label-domain update in
+  /// AddGraph. Primed by RefreshLabelCount; an unprimed database falls back
+  /// to a full recount on its first AddGraph.
+  std::vector<uint8_t> label_seen;
+  bool label_seen_primed = false;
 };
 
 /// Per-query state computed once by Prepare() and shared by Filter() and all
@@ -140,6 +181,17 @@ class Method {
   /// of Build()).
   virtual bool SaveIndex(std::ostream& out) const;
   virtual bool LoadIndex(const GraphDatabase& db, std::istream& in);
+
+  /// Optional incremental index maintenance for online datasets. Called by
+  /// the engines' ApplyMutation AFTER the database mutation: `db` is the
+  /// same database the method was built on, already holding the new graph
+  /// (OnAddGraph) or the fresh tombstone (OnRemoveGraph). Returning true
+  /// means the index now answers Filter/Verify exactly as a fresh Build(db)
+  /// would; returning false — the default — tells the caller to fall back
+  /// to a full Build. Implementations must commit state only when they
+  /// return true.
+  virtual bool OnAddGraph(const GraphDatabase& db, GraphId id);
+  virtual bool OnRemoveGraph(const GraphDatabase& db, GraphId id);
 };
 
 }  // namespace igq

@@ -38,6 +38,9 @@ GraphFeatureMap AggregateGraph(const Graph& graph,
 
 void PathMethodBase::Build(const GraphDatabase& db) {
   db_ = &db;
+  // Build may run again over a mutated database (the engines' rebuild
+  // fallback); start from an empty trie, never accumulate.
+  trie_ = PathTrie(options_.store_locations);
   const size_t num_graphs = db.graphs.size();
   const size_t threads =
       std::min(options_.build_threads == 0 ? size_t{1} : options_.build_threads,
@@ -47,9 +50,14 @@ void PathMethodBase::Build(const GraphDatabase& db) {
   // maps are merged into the shared trie under a lock, in ascending graph-id
   // order so postings lists stay sorted (this mirrors Grapes' per-thread
   // trie construction followed by a merge step).
+  // Tombstoned graphs are skipped outright — their per-graph maps stay
+  // empty, so they get no postings and can never filter through. The
+  // incremental path (OnRemoveGraph) reaches the same candidate sets by
+  // subtracting the tombstone set in Filter() instead.
   std::vector<GraphFeatureMap> per_graph(num_graphs);
   if (threads <= 1) {
     for (size_t i = 0; i < num_graphs; ++i) {
+      if (!db.IsLive(static_cast<GraphId>(i))) continue;
       per_graph[i] = AggregateGraph(db.graphs[i], EnumeratorOptions(),
                                     options_.store_locations);
     }
@@ -66,6 +74,7 @@ void PathMethodBase::Build(const GraphDatabase& db) {
             if (next >= num_graphs) return;
             index = next++;
           }
+          if (!db.IsLive(static_cast<GraphId>(index))) continue;
           per_graph[index] = AggregateGraph(db.graphs[index],
                                             EnumeratorOptions(),
                                             options_.store_locations);
@@ -130,16 +139,34 @@ std::unique_ptr<PreparedQuery> PathMethodBase::Prepare(
       query, CountPathFeatures(query, EnumeratorOptions()));
 }
 
+namespace {
+
+/// candidates \ db.tombstones, preserving order. The tombstone set is the
+/// database's adaptive IdSet, so this is the sorted-span form of
+/// IdSet::Difference (one membership Partition; bitmap probes or a
+/// merge-walk depending on the set's representation).
+std::vector<GraphId> DropTombstoned(const GraphDatabase& db,
+                                    std::vector<GraphId> candidates) {
+  if (db.tombstones.empty() || candidates.empty()) return candidates;
+  std::vector<GraphId> live;
+  live.reserve(candidates.size());
+  db.tombstone_set.Partition(candidates, /*kept=*/nullptr, &live);
+  return live;
+}
+
+}  // namespace
+
 std::vector<GraphId> PathMethodBase::Filter(
     const PreparedQuery& prepared) const {
   const auto& pq = static_cast<const PathPreparedQuery&>(prepared);
   const PathFeatureCounts& features = pq.features();
   if (db_ == nullptr) return {};
   if (features.empty()) {
-    // A query with no features (empty graph) is contained everywhere.
+    // A query with no features (empty graph) is contained everywhere —
+    // everywhere still alive.
     std::vector<GraphId> all(db_->graphs.size());
     for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<GraphId>(i);
-    return all;
+    return DropTombstoned(*db_, std::move(all));
   }
 
   // Counting intersection: each feature contributes at most one tally per
@@ -161,7 +188,34 @@ std::vector<GraphId> PathMethodBase::Filter(
   for (GraphId id = 0; id < matched.size(); ++id) {
     if (matched[id] == required) candidates.push_back(id);
   }
-  return candidates;
+  // Removed graphs may still hold postings (OnRemoveGraph leaves the trie
+  // untouched); subtract them here so the incremental index answers exactly
+  // as a fresh Build would.
+  return DropTombstoned(*db_, std::move(candidates));
+}
+
+bool PathMethodBase::OnAddGraph(const GraphDatabase& db, GraphId id) {
+  if (db_ != &db) return false;  // built over a different database
+  if (static_cast<size_t>(id) + 1 != db.graphs.size() ||
+      target_views_.size() != static_cast<size_t>(id)) {
+    return false;  // ids must extend the index contiguously
+  }
+  const GraphFeatureMap features = AggregateGraph(
+      db.graphs[id], EnumeratorOptions(), options_.store_locations);
+  // `id` is the maximum id the trie has ever seen, so appending keeps every
+  // postings list sorted — the invariant PathTrie::Add asserts.
+  for (const auto& [key, agg] : features) {
+    trie_.Add(key, id, agg.count,
+              options_.store_locations ? &agg.locations : nullptr);
+  }
+  target_views_.Append(db.graphs[id]);
+  return true;
+}
+
+bool PathMethodBase::OnRemoveGraph(const GraphDatabase& db, GraphId) {
+  // Nothing to unindex: the dead graph's postings stay behind and Filter()
+  // subtracts the database's tombstone set (see DropTombstoned above).
+  return db_ == &db;
 }
 
 }  // namespace igq

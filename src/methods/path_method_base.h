@@ -65,6 +65,16 @@ class PathMethodBase : public Method {
   bool SaveIndex(std::ostream& out) const override;
   bool LoadIndex(const GraphDatabase& db, std::istream& in) override;
 
+  /// Incremental maintenance (see Method). OnAddGraph enumerates only the
+  /// new graph's paths into the trie — the new id is the maximum, so the
+  /// postings' nondecreasing-id invariant holds by construction — and
+  /// appends its CSR view. OnRemoveGraph leaves the trie untouched: the
+  /// dead graph's postings stay behind as garbage that Filter() subtracts
+  /// through the database's tombstone IdSet, the same candidates a fresh
+  /// Build (which skips tombstoned graphs outright) would produce.
+  bool OnAddGraph(const GraphDatabase& db, GraphId id) override;
+  bool OnRemoveGraph(const GraphDatabase& db, GraphId id) override;
+
   const PathTrie& trie() const { return trie_; }
 
  protected:

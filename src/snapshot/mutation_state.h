@@ -1,0 +1,41 @@
+// The kSectionMutationState payload (docs/FORMATS.md): the database's
+// mutation epoch and tombstone list at save time. Engines hold the database
+// const, so a load VALIDATES the section against the caller's database
+// instead of applying it — a snapshot taken at one mutation state is never
+// restored over another (the cached answers and, for warm starts, the
+// method index would silently disagree with the dataset).
+#ifndef IGQ_SNAPSHOT_MUTATION_STATE_H_
+#define IGQ_SNAPSHOT_MUTATION_STATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "methods/method.h"
+
+namespace igq {
+namespace snapshot {
+
+class BinaryReader;
+class BinaryWriter;
+
+/// Serializes `db`'s mutation state: u32 payload version, u64 epoch,
+/// u64 tombstone count, then the tombstone ids (u32 each, strictly
+/// ascending). Only written when the database has ever mutated
+/// (mutation_epoch != 0) — never-mutated snapshots stay byte-identical to
+/// the pre-mutation format.
+void WriteMutationState(BinaryWriter& writer, const GraphDatabase& db);
+
+/// Parses a WriteMutationState payload and validates it against `db`.
+/// Returns false — filling `error` when non-null — on malformed bytes, an
+/// unknown payload version, tombstone ids that are out of range
+/// (>= db.graphs.size()), unsorted, or duplicated, or a tombstone
+/// list/epoch that differs from the database's current state. On success
+/// fills `epoch` and `num_tombstones` (either may be null).
+bool ValidateMutationState(BinaryReader& reader, const GraphDatabase& db,
+                           uint64_t* epoch, size_t* num_tombstones,
+                           std::string* error);
+
+}  // namespace snapshot
+}  // namespace igq
+
+#endif  // IGQ_SNAPSHOT_MUTATION_STATE_H_

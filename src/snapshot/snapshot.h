@@ -27,9 +27,10 @@ inline constexpr uint32_t kSnapshotVersion = 1;
 /// Known section ids. kSectionEnd terminates the file and has no payload.
 enum SectionId : uint32_t {
   kSectionEnd = 0,
-  kSectionCache = 1,         // QueryCache::Save() payload
-  kSectionMethodIndex = 2,   // method name + Method::SaveIndex() payload
-  kSectionShardedCache = 3,  // ShardedQueryCache::Save() payload
+  kSectionCache = 1,          // QueryCache::Save() payload
+  kSectionMethodIndex = 2,    // method name + Method::SaveIndex() payload
+  kSectionShardedCache = 3,   // ShardedQueryCache::Save() payload
+  kSectionMutationState = 4,  // mutation epoch + dataset tombstones
 };
 
 /// Hard ceiling on a single section payload (guards against allocating

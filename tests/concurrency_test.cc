@@ -7,11 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <span>
 #include <sstream>
+#include <thread>
 
 #include "igq/concurrent_engine.h"
 #include "igq/engine.h"
+#include "igq/mutation.h"
 #include "igq/sharded_cache.h"
 #include "methods/registry.h"
 #include "tests/test_util.h"
@@ -343,6 +346,220 @@ TEST(ConcurrentEngineTest, ShardedSnapshotRoundTrips) {
   ConcurrentQueryEngine wrong_kind(db, restored_method.get(), options);
   EXPECT_FALSE(wrong_kind.LoadSnapshot(seq_snapshot, &error));
   EXPECT_NE(error.find("no sharded-cache section"), std::string::npos);
+}
+
+// ---- Online mutation: lazy tombstoning, patching, and churn stress. ----
+
+TEST(ShardedCacheTest, RemovalMarksEntriesDarkUntilFlushCompacts) {
+  IgqOptions options;
+  options.cache_capacity = 16;
+  options.window_size = 2;  // two inserts trigger a flush
+  options.cache_shards = 1;
+  ShardedQueryCache cache(ValidatedIgqOptions(options));
+
+  Rng rng(19);
+  const Graph a = RandomConnectedGraph(rng, 8, 4, 3);
+  const Graph b = RandomConnectedGraph(rng, 9, 4, 3);
+  cache.Insert(a, {0, 2, 5});
+  cache.Insert(b, {1, 2});
+  ASSERT_EQ(cache.size(), 2u);
+
+  // Removing dataset graph 2 marks both entries dark (lazy removal): they
+  // vanish from probes instead of being rewritten on the mutation path.
+  cache.ApplyGraphRemoved(2);
+  EXPECT_EQ(cache.tombstoned_entries(), 2u);
+  {
+    auto session = cache.Probe(a, cache.ExtractFeatures(a));
+    EXPECT_FALSE(session.has_exact());
+  }
+
+  // The next window flush rides the existing maintenance gate and compacts
+  // the dark answers (answer \ dead set), clearing the flags.
+  cache.Insert(RandomConnectedGraph(rng, 8, 4, 3), {4});
+  cache.Insert(RandomConnectedGraph(rng, 9, 4, 3), {});
+  EXPECT_EQ(cache.tombstoned_entries(), 0u);
+  {
+    auto session = cache.Probe(a, cache.ExtractFeatures(a));
+    ASSERT_TRUE(session.has_exact());
+    EXPECT_EQ(session.entry(session.exact()).answer.ToVector(),
+              (std::vector<GraphId>{0, 5}));
+  }
+}
+
+TEST(ShardedCacheTest, AddedGraphJoinsFlushedAndWindowedAnswers) {
+  IgqOptions options;
+  options.cache_capacity = 16;
+  options.window_size = 2;
+  options.cache_shards = 1;
+  ShardedQueryCache cache(ValidatedIgqOptions(options));
+
+  Rng rng(23);
+  const Graph q = RandomConnectedGraph(rng, 8, 4, 3);
+  cache.Insert(q, {0});
+  cache.Insert(RandomConnectedGraph(rng, 9, 4, 3), {1});  // flush
+  ASSERT_EQ(cache.size(), 2u);
+
+  // Subgraph direction: q ⊆ q, so adding q itself under id 7 must extend
+  // the flushed answer of the cached query q.
+  cache.ApplyGraphAdded(q, 7, QueryDirection::kSubgraph);
+  {
+    auto session = cache.Probe(q, cache.ExtractFeatures(q));
+    ASSERT_TRUE(session.has_exact());
+    EXPECT_EQ(session.entry(session.exact()).answer.ToVector(),
+              (std::vector<GraphId>{0, 7}));
+  }
+
+  // Window (Itemp) records are patched too: insert s, patch while it is
+  // still pending, then flush and observe the patched answer.
+  const Graph s = RandomConnectedGraph(rng, 8, 4, 3);
+  cache.Insert(s, {3});
+  cache.ApplyGraphAdded(s, 9, QueryDirection::kSubgraph);
+  cache.Insert(RandomConnectedGraph(rng, 9, 4, 3), {});  // flush
+  {
+    auto session = cache.Probe(s, cache.ExtractFeatures(s));
+    ASSERT_TRUE(session.has_exact());
+    const std::vector<GraphId> answer =
+        session.entry(session.exact()).answer.ToVector();
+    EXPECT_TRUE(std::find(answer.begin(), answer.end(), 9) != answer.end())
+        << "window record missed the added graph";
+  }
+}
+
+TEST(ShardedCacheTest, SupergraphDirectionPatchesContainedGraphs) {
+  IgqOptions options;
+  options.cache_capacity = 8;
+  options.window_size = 1;  // every insert flushes
+  options.cache_shards = 1;
+  ShardedQueryCache cache(ValidatedIgqOptions(options));
+
+  // Supergraph answers hold the dataset graphs CONTAINED in the cached
+  // query: adding a small path inside q must join; a labeled star that is
+  // not a subgraph of q must not.
+  const Graph q = testing::PathGraph({0, 1, 2, 3});
+  cache.Insert(q, {0});
+  cache.ApplyGraphAdded(testing::PathGraph({1, 2}), 5,
+                        QueryDirection::kSupergraph);
+  cache.ApplyGraphAdded(testing::StarGraph(7, {7, 7, 7}), 6,
+                        QueryDirection::kSupergraph);
+  auto session = cache.Probe(q, cache.ExtractFeatures(q));
+  ASSERT_TRUE(session.has_exact());
+  EXPECT_EQ(session.entry(session.exact()).answer.ToVector(),
+            (std::vector<GraphId>{0, 5}));
+}
+
+TEST(ConcurrentEngineTest, ChurnStressStaysExactUnderConcurrentMutation) {
+  // Reader streams hammer the shared cache while one writer thread churns
+  // the dataset through the engine's mutation gate. Mid-churn answers race
+  // with the writer, so exactness is asserted at quiescence; the TSan CI
+  // job is what turns this into a lock-discipline proof.
+  auto db = std::make_unique<GraphDatabase>(MakeDb(43, 32));
+  auto method = MethodRegistry::Create(QueryDirection::kSubgraph, "grapes");
+  method->Build(*db);
+  IgqOptions options;
+  options.cache_capacity = 64;
+  options.window_size = 8;
+  options.cache_shards = 4;
+  ConcurrentQueryEngine engine(*db, method.get(), options);
+
+  const std::vector<Graph> queries = MakeWorkload(*db, 44, 160);
+
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    Rng rng(45);
+    std::vector<GraphId> removable;
+    for (GraphId i = 0; i < 32; ++i) removable.push_back(i);
+    for (size_t op = 0; op < 120; ++op) {
+      if (rng.Chance(0.5) || removable.size() <= 12) {
+        const MutationResult result = engine.ApplyMutation(
+            *db, GraphMutation::Add(
+                     RandomConnectedGraph(rng, 10 + rng.Below(8), 4, 3)));
+        EXPECT_TRUE(result.applied);
+        EXPECT_TRUE(result.incremental);  // grapes absorbs adds in place
+        removable.push_back(result.id);
+      } else {
+        const size_t slot = rng.Below(removable.size());
+        EXPECT_TRUE(
+            engine
+                .ApplyMutation(*db, GraphMutation::Remove(removable[slot]))
+                .applied);
+        removable.erase(removable.begin() + static_cast<ptrdiff_t>(slot));
+      }
+      std::this_thread::yield();
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  // Keep the streams running for the whole churn (bounded rounds so a slow
+  // sanitizer build still terminates promptly).
+  size_t rounds = 0;
+  do {
+    const auto results = engine.ProcessConcurrent(queries, /*streams=*/4);
+    ASSERT_EQ(results.size(), queries.size());
+    ++rounds;
+  } while (!done.load(std::memory_order_acquire) && rounds < 12);
+  writer.join();
+
+  // Quiescent exactness: every answer equals brute force over the LIVE
+  // graphs — removed graphs gone, added graphs present.
+  const auto results = engine.ProcessConcurrent(queries, /*streams=*/4);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    std::vector<GraphId> expected;
+    for (GraphId id : BruteForceSubgraphAnswer(db->graphs, queries[i])) {
+      if (db->IsLive(id)) expected.push_back(id);
+    }
+    EXPECT_EQ(results[i].answer, expected) << "query " << i;
+  }
+}
+
+TEST(ConcurrentEngineTest, MutatedShardedSnapshotRoundTrips) {
+  auto db = std::make_unique<GraphDatabase>(MakeDb(47, 24));
+  auto method = MethodRegistry::Create(QueryDirection::kSubgraph, "grapes");
+  method->Build(*db);
+  IgqOptions options;
+  options.cache_capacity = 48;
+  options.window_size = 8;
+  options.cache_shards = 4;
+  ConcurrentQueryEngine engine(*db, method.get(), options);
+
+  const std::vector<Graph> warm = MakeWorkload(*db, 48, 60);
+  const std::vector<Graph> probe = MakeWorkload(*db, 49, 30);
+  engine.ProcessConcurrent(warm, 4);
+  Rng rng(50);
+  ASSERT_TRUE(engine.ApplyMutation(*db, GraphMutation::Remove(5)).applied);
+  ASSERT_TRUE(
+      engine
+          .ApplyMutation(
+              *db, GraphMutation::Add(RandomConnectedGraph(rng, 14, 6, 3)))
+          .applied);
+
+  std::stringstream snapshot;
+  std::string error;
+  ASSERT_TRUE(engine.SaveSnapshot(snapshot, &error)) << error;
+
+  // Restores only at the exact mutation state: the snapshot stamps the
+  // epoch + tombstones, and the sharded load re-seeds the dead-id set.
+  auto restored_method =
+      MethodRegistry::Create(QueryDirection::kSubgraph, "grapes");
+  ConcurrentQueryEngine restored(*db, restored_method.get(), options);
+  SnapshotLoadInfo info;
+  ASSERT_TRUE(restored.LoadSnapshot(snapshot, &error, &info)) << error;
+  EXPECT_EQ(info.mutation_epoch, db->mutation_epoch);
+  EXPECT_EQ(info.tombstones, 1u);
+  for (const Graph& query : probe) {
+    EXPECT_EQ(restored.Process(query), engine.Process(query));
+  }
+
+  // A further mutation invalidates the snapshot for this database.
+  ASSERT_TRUE(engine.ApplyMutation(*db, GraphMutation::Remove(7)).applied);
+  auto stale_method =
+      MethodRegistry::Create(QueryDirection::kSubgraph, "grapes");
+  stale_method->Build(*db);
+  ConcurrentQueryEngine stale(*db, stale_method.get(), options);
+  std::stringstream replay(snapshot.str());
+  EXPECT_FALSE(stale.LoadSnapshot(replay, &error));
+  EXPECT_NE(error.find("different mutation state"), std::string::npos)
+      << error;
+  EXPECT_EQ(stale.cache().size(), 0u);
 }
 
 }  // namespace

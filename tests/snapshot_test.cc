@@ -12,11 +12,13 @@
 #include <vector>
 
 #include "igq/engine.h"
+#include "igq/mutation.h"
 #include "methods/feature_count_index.h"
 #include "methods/ggsx.h"
 #include "methods/grapes.h"
 #include "methods/path_trie.h"
 #include "methods/registry.h"
+#include "snapshot/mutation_state.h"
 #include "snapshot/serializer.h"
 #include "snapshot/snapshot.h"
 #include "tests/test_util.h"
@@ -566,6 +568,253 @@ TEST(SnapshotRejectionTest, SectionIdCorruptionRejected) {
   ExpectRejectedButUsable(db, premature_end, "id flipped to end marker");
   // Garbage after a valid end marker is likewise corruption, not slack.
   ExpectRejectedButUsable(db, bytes + "tail", "trailing bytes");
+}
+
+// ---------------------------------------------------------------------------
+// The mutation-state section (kSectionMutationState): codec round trip,
+// rejection of malformed payloads (out-of-range / unsorted tombstone ids,
+// truncation, unknown version), and the engine-level contract that a
+// snapshot is only restored at the exact mutation state it was taken at.
+
+/// Brute-force subgraph answer over the LIVE graphs only.
+std::vector<GraphId> LiveSubgraphAnswer(const GraphDatabase& db,
+                                        const Graph& query) {
+  std::vector<GraphId> answer;
+  for (GraphId id : BruteForceSubgraphAnswer(db.graphs, query)) {
+    if (db.IsLive(id)) answer.push_back(id);
+  }
+  return answer;
+}
+
+TEST(MutationStateSectionTest, RoundTripValidates) {
+  GraphDatabase db = MakeDb(51, 10);
+  Rng rng(5);
+  db.AddGraph(RandomConnectedGraph(rng, 8, 3, 3));
+  ASSERT_TRUE(db.RemoveGraph(2));
+  ASSERT_TRUE(db.RemoveGraph(7));
+
+  std::stringstream buffer;
+  snapshot::BinaryWriter writer(buffer);
+  snapshot::WriteMutationState(writer, db);
+
+  snapshot::BinaryReader reader(buffer);
+  uint64_t epoch = 0;
+  size_t count = 0;
+  std::string error;
+  EXPECT_TRUE(
+      snapshot::ValidateMutationState(reader, db, &epoch, &count, &error))
+      << error;
+  EXPECT_EQ(epoch, db.mutation_epoch);
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(MutationStateSectionTest, DivergedDatabaseRejected) {
+  GraphDatabase db = MakeDb(51, 10);
+  ASSERT_TRUE(db.RemoveGraph(2));
+  std::stringstream buffer;
+  snapshot::BinaryWriter writer(buffer);
+  snapshot::WriteMutationState(writer, db);
+
+  ASSERT_TRUE(db.RemoveGraph(5));  // the database moves on past the payload
+  snapshot::BinaryReader reader(buffer);
+  std::string error;
+  EXPECT_FALSE(
+      snapshot::ValidateMutationState(reader, db, nullptr, nullptr, &error));
+  EXPECT_NE(error.find("different mutation state"), std::string::npos)
+      << error;
+}
+
+TEST(MutationStateSectionTest, MalformedPayloadsRejected) {
+  GraphDatabase db = MakeDb(51, 10);
+  ASSERT_TRUE(db.RemoveGraph(3));
+
+  const auto expect_rejected = [&db](const std::string& bytes,
+                                     const char* expect_substring) {
+    std::stringstream stream(bytes);
+    snapshot::BinaryReader reader(stream);
+    std::string error;
+    EXPECT_FALSE(snapshot::ValidateMutationState(reader, db, nullptr, nullptr,
+                                                 &error))
+        << expect_substring;
+    EXPECT_NE(error.find(expect_substring), std::string::npos)
+        << "got: " << error;
+  };
+  const auto craft = [](uint32_t version, uint64_t epoch,
+                        uint64_t count, const std::vector<uint32_t>& ids) {
+    std::stringstream buffer;
+    snapshot::BinaryWriter writer(buffer);
+    writer.WriteU32(version);
+    writer.WriteU64(epoch);
+    writer.WriteU64(count);
+    for (uint32_t id : ids) writer.WriteU32(id);
+    return buffer.str();
+  };
+
+  expect_rejected(craft(99, 1, 1, {3}), "unknown payload version");
+  expect_rejected(craft(1, 1, 1, {999}), "out of range");
+  expect_rejected(craft(1, 2, 2, {3, 3}), "not strictly ascending");
+  expect_rejected(craft(1, 2, 2, {3}), "truncated");  // count says two ids
+  expect_rejected(craft(1, 1, 11, {}), "more tombstones than graphs");
+  expect_rejected(craft(1, 1, 1, {4}), "tombstones differ");
+  expect_rejected(craft(1, 7, 1, {3}), "epoch or tombstone count differs");
+}
+
+TEST(EngineSnapshotTest, MutatedEngineRoundTripsAndReplaysIdentically) {
+  // The database must outlive both engines at a stable address.
+  auto db = std::make_unique<GraphDatabase>(MakeDb(61, 14));
+  auto method = MethodRegistry::Create(QueryDirection::kSubgraph, "grapes");
+  method->Build(*db);
+  IgqOptions options;
+  options.cache_capacity = 8;
+  options.window_size = 3;
+  QueryEngine producer(*db, method.get(), options);
+
+  const std::vector<Graph> workload = MakeWorkload(*db, 55, 40);
+  for (size_t i = 0; i < 12; ++i) producer.Process(workload[i]);
+
+  // Interleave mutations with the stream, then snapshot mid-window.
+  Rng rng(61);
+  ASSERT_TRUE(
+      producer.ApplyMutation(*db, GraphMutation::Remove(4)).applied);
+  ASSERT_TRUE(producer
+                  .ApplyMutation(*db, GraphMutation::Add(RandomConnectedGraph(
+                                          rng, 12, 5, 3)))
+                  .applied);
+  for (size_t i = 12; i < 20; ++i) producer.Process(workload[i]);
+  ASSERT_TRUE(
+      producer.ApplyMutation(*db, GraphMutation::Remove(9)).applied);
+
+  std::stringstream buffer;
+  std::string error;
+  ASSERT_TRUE(producer.SaveSnapshot(buffer, &error)) << error;
+
+  auto consumer_method =
+      MethodRegistry::Create(QueryDirection::kSubgraph, "grapes");
+  QueryEngine consumer(*db, consumer_method.get(), options);
+  SnapshotLoadInfo info;
+  ASSERT_TRUE(consumer.LoadSnapshot(buffer, &error, &info)) << error;
+  EXPECT_TRUE(info.method_index_restored);
+  EXPECT_EQ(info.mutation_epoch, db->mutation_epoch);
+  EXPECT_EQ(info.tombstones, db->tombstones.size());
+
+  for (size_t i = 20; i < workload.size(); ++i) {
+    const QueryTrace expected = TraceQuery(producer, workload[i]);
+    const QueryTrace actual = TraceQuery(consumer, workload[i]);
+    EXPECT_EQ(actual, expected) << "divergence at query " << i;
+    EXPECT_EQ(expected.answer, LiveSubgraphAnswer(*db, workload[i]))
+        << "query " << i;
+  }
+}
+
+TEST(SnapshotRejectionTest, PreMutationSnapshotRejectedByMutatedDatabase) {
+  auto db = std::make_unique<GraphDatabase>(MakeDb(63, 12));
+  auto method = MethodRegistry::Create(QueryDirection::kSubgraph, "grapes");
+  method->Build(*db);
+  IgqOptions options;
+  options.cache_capacity = 8;
+  options.window_size = 3;
+  QueryEngine producer(*db, method.get(), options);
+  const std::vector<Graph> workload = MakeWorkload(*db, 5, 10);
+  for (const Graph& query : workload) producer.Process(query);
+
+  std::stringstream buffer;
+  std::string error;
+  ASSERT_TRUE(producer.SaveSnapshot(buffer, &error)) << error;  // epoch 0
+
+  // The dataset mutates after the save: the snapshot (which carries no
+  // mutation section) no longer describes this database.
+  ASSERT_TRUE(
+      producer.ApplyMutation(*db, GraphMutation::Remove(1)).applied);
+
+  auto consumer_method =
+      MethodRegistry::Create(QueryDirection::kSubgraph, "grapes");
+  consumer_method->Build(*db);
+  QueryEngine consumer(*db, consumer_method.get(), options);
+  EXPECT_FALSE(consumer.LoadSnapshot(buffer, &error));
+  EXPECT_NE(error.find("no mutation state"), std::string::npos) << error;
+  EXPECT_EQ(consumer.cache().size(), 0u);
+}
+
+TEST(SnapshotRejectionTest, StaleMutationStateRejected) {
+  auto db = std::make_unique<GraphDatabase>(MakeDb(65, 12));
+  auto method = MethodRegistry::Create(QueryDirection::kSubgraph, "grapes");
+  method->Build(*db);
+  IgqOptions options;
+  options.cache_capacity = 8;
+  options.window_size = 3;
+  QueryEngine producer(*db, method.get(), options);
+  for (const Graph& query : MakeWorkload(*db, 5, 8)) producer.Process(query);
+  ASSERT_TRUE(
+      producer.ApplyMutation(*db, GraphMutation::Remove(2)).applied);
+
+  std::stringstream buffer;
+  std::string error;
+  ASSERT_TRUE(producer.SaveSnapshot(buffer, &error)) << error;
+
+  // One more mutation after the save: the stamped epoch/tombstones are
+  // stale and the load must refuse.
+  ASSERT_TRUE(
+      producer.ApplyMutation(*db, GraphMutation::Remove(6)).applied);
+
+  auto consumer_method =
+      MethodRegistry::Create(QueryDirection::kSubgraph, "grapes");
+  consumer_method->Build(*db);
+  QueryEngine consumer(*db, consumer_method.get(), options);
+  EXPECT_FALSE(consumer.LoadSnapshot(buffer, &error));
+  EXPECT_NE(error.find("different mutation state"), std::string::npos)
+      << error;
+  EXPECT_EQ(consumer.cache().size(), 0u);
+}
+
+TEST(SnapshotRejectionTest, MutationSectionCorruptionSwept) {
+  // The byte-flip / truncation sweep over a snapshot that CARRIES a
+  // mutation-state section: every corruption is rejected and the engine
+  // stays empty and usable, exactly as for the pre-mutation sections.
+  auto db = std::make_unique<GraphDatabase>(MakeDb(67, 12));
+  auto method = MethodRegistry::Create(QueryDirection::kSubgraph, "grapes");
+  method->Build(*db);
+  IgqOptions options;
+  options.cache_capacity = 8;
+  options.window_size = 3;
+  QueryEngine producer(*db, method.get(), options);
+  for (const Graph& query : MakeWorkload(*db, 5, 10)) producer.Process(query);
+  ASSERT_TRUE(
+      producer.ApplyMutation(*db, GraphMutation::Remove(3)).applied);
+  std::stringstream buffer;
+  std::string error;
+  ASSERT_TRUE(producer.SaveSnapshot(buffer, &error)) << error;
+  const std::string bytes = buffer.str();
+
+  auto consumer_method =
+      MethodRegistry::Create(QueryDirection::kSubgraph, "grapes");
+  consumer_method->Build(*db);
+  QueryEngine consumer(*db, consumer_method.get(), options);
+  // Truncation sweep (prime stride), then byte flips across the tail of
+  // the file, where the mutation section lives (it is written last).
+  for (size_t len = 0; len < bytes.size(); len += 37) {
+    std::stringstream stream(bytes.substr(0, len));
+    ASSERT_FALSE(consumer.LoadSnapshot(stream, &error)) << "prefix " << len;
+    ASSERT_EQ(consumer.cache().size(), 0u) << "prefix " << len;
+  }
+  const size_t tail = bytes.size() > 120 ? bytes.size() - 120 : 0;
+  for (size_t pos = tail; pos < bytes.size(); pos += 7) {
+    std::string corrupted = bytes;
+    corrupted[pos] ^= 0x40;
+    std::stringstream stream(corrupted);
+    ASSERT_FALSE(consumer.LoadSnapshot(stream, &error)) << "flip " << pos;
+    ASSERT_EQ(consumer.cache().size(), 0u) << "flip " << pos;
+  }
+  // Still usable, and the intact snapshot still loads.
+  Rng rng(3);
+  const Graph probe = RandomSubgraphOf(rng, db->graphs[0], 5);
+  EXPECT_EQ(consumer.Process(probe), LiveSubgraphAnswer(*db, probe));
+  // A processed query leaves cache state behind; a fresh consumer proves
+  // the intact bytes round-trip.
+  auto clean_method =
+      MethodRegistry::Create(QueryDirection::kSubgraph, "grapes");
+  QueryEngine clean(*db, clean_method.get(), options);
+  std::stringstream stream(bytes);
+  EXPECT_TRUE(clean.LoadSnapshot(stream, &error)) << error;
 }
 
 }  // namespace
