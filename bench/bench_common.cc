@@ -54,6 +54,10 @@ RunResult RunWorkload(QueryEngine& engine,
     engine.Process(workload[i].graph, &stats);
     if (i < warmup) continue;
     ++result.queries;
+    if (stats.shortcut == ShortcutKind::kExactHit) {
+      ++result.exact_hits;
+      result.exact_hit_micros += stats.total_micros;
+    }
     result.iso_tests += stats.iso_tests;
     result.probe_iso_tests += stats.probe_iso_tests;
     result.baseline_tests += stats.candidates_initial;

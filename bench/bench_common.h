@@ -41,6 +41,12 @@ struct RunResult {
   uint64_t baseline_tests = 0;      // Σ |CS(q)| before iGQ pruning
   uint64_t candidates = 0;          // Σ |CS_igq(q)| actually verified
   uint64_t answers = 0;
+  /// Queries resolved by the canonical-key exact-hit fast path (an
+  /// isomorphic earlier query's answer returned with zero isomorphism
+  /// tests), and their total end-to-end latency — the measured hit cost
+  /// reported next to the fig09/fig15 speedups.
+  uint64_t exact_hits = 0;
+  int64_t exact_hit_micros = 0;
   int64_t total_micros = 0;
   int64_t filter_micros = 0;
   int64_t probe_micros = 0;

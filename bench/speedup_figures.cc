@@ -17,7 +17,20 @@ namespace {
 struct CellResult {
   double baseline = 0;
   double igq = 0;
+  // Exact-hit fast-path usage in the iGQ run: how many post-warm-up
+  // queries were answered by canonical-key lookup, and their mean
+  // end-to-end latency in microseconds.
+  uint64_t exact_hits = 0;
+  double exact_hit_mean_micros = 0;
 };
+
+void FillExactHitStats(const RunResult& run, CellResult* cell) {
+  cell->exact_hits = run.exact_hits;
+  cell->exact_hit_mean_micros =
+      run.exact_hits == 0 ? 0.0
+                          : static_cast<double>(run.exact_hit_micros) /
+                                static_cast<double>(run.exact_hits);
+}
 
 CellResult RunCell(const GraphDatabase& db, Method* method,
                    size_t verify_threads,
@@ -33,6 +46,7 @@ CellResult RunCell(const GraphDatabase& db, Method* method,
     const RunResult run = RunWorkload(engine, workload, warmup);
     cell.baseline = static_cast<double>(run.baseline_tests);
     cell.igq = static_cast<double>(run.iso_tests);
+    FillExactHitStats(run, &cell);
     return cell;
   }
   IgqOptions baseline_options = igq_options;
@@ -46,6 +60,7 @@ CellResult RunCell(const GraphDatabase& db, Method* method,
     QueryEngine engine(db, method, igq_options);
     const RunResult run = RunWorkload(engine, workload, warmup);
     cell.igq = static_cast<double>(run.total_micros);
+    FillExactHitStats(run, &cell);
   }
   return cell;
 }
@@ -137,6 +152,7 @@ void RunZipfSweepFigure(const std::string& figure_name, Metric metric,
 
   TablePrinter table;
   table.SetHeader({"workload", "α=1.1", "α=1.4", "α=2.0"});
+  BenchJson json(flags, figure_name);
   for (const std::string& workload_name :
        {"uni-zipf", "zipf-uni", "zipf-zipf"}) {
     std::vector<std::string> row{workload_name};
@@ -148,6 +164,24 @@ void RunZipfSweepFigure(const std::string& figure_name, Metric metric,
                                       igq_base.window_size, metric, igq_base);
       row.push_back(TablePrinter::Num(Speedup(cell.baseline, cell.igq), 2) +
                     "x");
+      std::printf(
+          "[cell] %s/α=%.1f: baseline=%.0f igq=%.0f exact_hits=%llu "
+          "(mean %.1fus)\n",
+          workload_name.c_str(), alpha, cell.baseline, cell.igq,
+          static_cast<unsigned long long>(cell.exact_hits),
+          cell.exact_hit_mean_micros);
+      json.AddRow(
+          {{"dataset", "pdbs"},
+           {"workload", workload_name},
+           {"method", "grapes6"},
+           {"alpha", TablePrinter::Num(alpha, 1)},
+           {"metric", metric == Metric::kIsoTests ? "iso_tests" : "micros"},
+           {"baseline", TablePrinter::Num(cell.baseline, 0)},
+           {"igq", TablePrinter::Num(cell.igq, 0)},
+           {"speedup", TablePrinter::Num(Speedup(cell.baseline, cell.igq), 4)},
+           {"exact_hits", std::to_string(cell.exact_hits)},
+           {"exact_hit_mean_micros",
+            TablePrinter::Num(cell.exact_hit_mean_micros, 2)}});
     }
     table.AddRow(std::move(row));
   }

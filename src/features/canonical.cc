@@ -1,6 +1,8 @@
 #include "features/canonical.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <utility>
 
 namespace igq {
 namespace {
@@ -59,6 +61,156 @@ std::string TreeCanonicalForm(const Graph& tree) {
     if (best.empty() || enc < best) best = std::move(enc);
   }
   return best;
+}
+
+namespace {
+
+// Individualization-refinement search state for GraphCanonicalCode. Colors
+// are dense ranks 0..k-1; the ordering of color classes is canonical (it is
+// derived from sorted invariants only), so "first smallest non-singleton
+// cell" is an isomorphism-invariant branching target.
+class CanonicalSearch {
+ public:
+  explicit CanonicalSearch(const Graph& graph) : graph_(graph) {}
+
+  std::string Run() {
+    const size_t n = graph_.NumVertices();
+    std::vector<uint32_t> colors(n);
+    for (VertexId v = 0; v < n; ++v) colors[v] = graph_.label(v);
+    RankDense(&colors);
+    Search(std::move(colors));
+    return std::move(best_);
+  }
+
+ private:
+  // Replaces arbitrary color values with their dense ranks, preserving
+  // order: equal values share a rank, smaller values get smaller ranks.
+  static void RankDense(std::vector<uint32_t>* colors) {
+    std::vector<uint32_t> sorted(*colors);
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    for (uint32_t& color : *colors) {
+      color = static_cast<uint32_t>(
+          std::lower_bound(sorted.begin(), sorted.end(), color) -
+          sorted.begin());
+    }
+  }
+
+  // Exact refinement to a stable partition: each round re-ranks vertices by
+  // (current color, sorted multiset of neighbor colors) until the number of
+  // classes stops growing. No hashing — signatures are compared directly,
+  // so distinct signatures can never collapse into one class.
+  void Refine(std::vector<uint32_t>* colors) const {
+    const size_t n = colors->size();
+    using Signature = std::pair<uint32_t, std::vector<uint32_t>>;
+    std::vector<Signature> signatures(n);
+    std::vector<uint32_t> order(n);
+    size_t num_classes = 0;
+    for (;;) {
+      for (VertexId v = 0; v < n; ++v) {
+        Signature& sig = signatures[v];
+        sig.first = (*colors)[v];
+        sig.second.clear();
+        for (VertexId w : graph_.Neighbors(v)) {
+          sig.second.push_back((*colors)[w]);
+        }
+        std::sort(sig.second.begin(), sig.second.end());
+      }
+      for (VertexId v = 0; v < n; ++v) order[v] = v;
+      std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+        return signatures[a] < signatures[b];
+      });
+      size_t fresh_classes = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (i > 0 && signatures[order[i]] != signatures[order[i - 1]]) {
+          ++fresh_classes;
+        }
+        (*colors)[order[i]] = static_cast<uint32_t>(fresh_classes);
+      }
+      if (n > 0) ++fresh_classes;  // classes = last rank + 1
+      if (fresh_classes == num_classes) return;  // stable partition
+      num_classes = fresh_classes;
+    }
+  }
+
+  void Search(std::vector<uint32_t> colors) {
+    Refine(&colors);
+    const size_t n = colors.size();
+
+    // Smallest non-singleton cell (ties: smallest color). SIZE_MAX when the
+    // partition is discrete.
+    std::vector<uint32_t> class_size(n, 0);
+    for (uint32_t color : colors) ++class_size[color];
+    uint32_t target_color = 0;
+    size_t target_size = SIZE_MAX;
+    for (uint32_t c = 0; c < n; ++c) {
+      if (class_size[c] > 1 && class_size[c] < target_size) {
+        target_color = c;
+        target_size = class_size[c];
+      }
+    }
+    if (target_size == SIZE_MAX) {
+      std::string code = EncodeDiscrete(colors);
+      if (best_.empty() || code < best_) best_ = std::move(code);
+      return;
+    }
+
+    // Individualize each member of the target cell in turn: the chosen
+    // vertex gets a rank just below its classmates, then refinement runs
+    // again. Doubling preserves the relative order of every other class.
+    for (VertexId v = 0; v < n; ++v) {
+      if (colors[v] != target_color) continue;
+      std::vector<uint32_t> child(colors);
+      for (VertexId u = 0; u < n; ++u) {
+        child[u] = child[u] * 2 + (u == v ? 0 : 1);
+      }
+      RankDense(&child);
+      Search(std::move(child));
+    }
+  }
+
+  // With a discrete coloring, color[v] IS the canonical position of v.
+  std::string EncodeDiscrete(const std::vector<uint32_t>& colors) const {
+    const size_t n = colors.size();
+    std::vector<VertexId> at_position(n);  // canonical position -> vertex
+    for (VertexId v = 0; v < n; ++v) at_position[colors[v]] = v;
+    std::string code;
+    code.reserve(4 * (2 + n + 2 * graph_.NumEdges()));
+    auto put_u32 = [&code](uint32_t value) {
+      code.push_back(static_cast<char>(value & 0xff));
+      code.push_back(static_cast<char>((value >> 8) & 0xff));
+      code.push_back(static_cast<char>((value >> 16) & 0xff));
+      code.push_back(static_cast<char>((value >> 24) & 0xff));
+    };
+    put_u32(static_cast<uint32_t>(n));
+    put_u32(static_cast<uint32_t>(graph_.NumEdges()));
+    for (size_t p = 0; p < n; ++p) put_u32(graph_.label(at_position[p]));
+    std::vector<std::pair<uint32_t, uint32_t>> edges;
+    edges.reserve(graph_.NumEdges());
+    for (VertexId v = 0; v < n; ++v) {
+      for (VertexId w : graph_.Neighbors(v)) {
+        if (v < w) {
+          edges.emplace_back(std::min(colors[v], colors[w]),
+                             std::max(colors[v], colors[w]));
+        }
+      }
+    }
+    std::sort(edges.begin(), edges.end());
+    for (const auto& [a, b] : edges) {
+      put_u32(a);
+      put_u32(b);
+    }
+    return code;
+  }
+
+  const Graph& graph_;
+  std::string best_;
+};
+
+}  // namespace
+
+std::string GraphCanonicalCode(const Graph& graph) {
+  return CanonicalSearch(graph).Run();
 }
 
 std::string CycleCanonicalForm(const std::vector<Label>& cycle_labels) {

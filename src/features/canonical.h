@@ -23,6 +23,23 @@ std::string TreeCanonicalForm(const Graph& tree);
 /// cycle: the lexicographically smallest rotation over both directions.
 std::string CycleCanonicalForm(const std::vector<Label>& cycle_labels);
 
+/// Canonical code of an arbitrary labeled graph: two graphs produce the same
+/// byte string iff they are isomorphic, so the code is a hashable exact-match
+/// key (the query caches key their exact-hit fast path on it).
+///
+/// Algorithm: iterative exact color refinement (signature = old color +
+/// sorted neighbor-color multiset, re-ranked densely each round) followed by
+/// individualization-refinement backtracking over the smallest non-singleton
+/// cell — the cell with the fewest branches — taking the lexicographically
+/// minimal leaf code. No automorphism pruning: worst cases are exponential,
+/// which is fine for query-scale graphs (tens of vertices) but makes this
+/// unsuitable as-is for large dataset graphs.
+///
+/// Code layout (little-endian u32s): |V|, |E|, the labels in canonical
+/// vertex order, then the canonical edge list sorted ascending as
+/// (min, max) pairs. docs/FORMATS.md specifies the exact bytes.
+std::string GraphCanonicalCode(const Graph& graph);
+
 }  // namespace igq
 
 #endif  // IGQ_FEATURES_CANONICAL_H_

@@ -4,14 +4,18 @@
 #include <numeric>
 
 #include "common/timer.h"
+#include "features/canonical.h"
 #include "isomorphism/match_core.h"
 #include "snapshot/serializer.h"
 
 namespace igq {
 namespace {
 
-/// Payload version of the serialized cache state.
-constexpr uint32_t kCacheStateVersion = 1;
+/// Payload version of the serialized cache state. Version 2 added the
+/// canonical key to every record; version-1 payloads are still accepted,
+/// recomputing the keys from the stored graphs (docs/FORMATS.md).
+constexpr uint32_t kCacheStateVersion = 2;
+constexpr uint32_t kCacheStateVersionNoCanonical = 1;
 
 }  // namespace
 
@@ -19,6 +23,7 @@ void SaveCachedQuery(snapshot::BinaryWriter& writer,
                      const CachedQuery& record) {
   writer.WriteU64(record.id);
   snapshot::WriteGraph(writer, record.graph);
+  writer.WriteString(record.canonical);
   // Answers are written as sorted id arrays regardless of their in-memory
   // representation (docs/FORMATS.md): the encoding predates the adaptive
   // IdSet and stays byte-identical.
@@ -32,9 +37,16 @@ void SaveCachedQuery(snapshot::BinaryWriter& writer,
 }
 
 bool LoadCachedQuery(snapshot::BinaryReader& reader, CachedQuery* record,
-                     uint64_t num_graphs) {
+                     uint64_t num_graphs, bool with_canonical) {
   if (!reader.ReadU64(&record->id)) return false;
   if (!snapshot::ReadGraph(reader, &record->graph)) return false;
+  if (with_canonical) {
+    if (!reader.ReadString(&record->canonical)) return false;
+  } else {
+    // Version-1 record: the key did not exist yet; derive it so older
+    // snapshots restore into a fully keyed cache.
+    record->canonical = GraphCanonicalCode(record->graph);
+  }
   uint64_t answer_size = 0;
   if (!reader.ReadU64(&answer_size)) return false;
   std::vector<GraphId> answer_ids;
@@ -137,13 +149,33 @@ void QueryCache::CreditPrune(size_t position, uint64_t removed,
   meta.cost_saved += cost;
 }
 
+void QueryCache::CreditExactHit(size_t position, uint64_t removed,
+                                LogValue cost) {
+  QueryGraphMetadata& meta = entries_[position].meta;
+  ++meta.hits;
+  meta.last_hit_at = queries_processed_;
+  meta.removed_candidates += removed;
+  meta.cost_saved += cost;
+}
+
+size_t QueryCache::FindExactByKey(const std::string& canonical) const {
+  const auto it = canonical_index_.find(canonical);
+  return it == canonical_index_.end() ? SIZE_MAX : it->second;
+}
+
 void QueryCache::Insert(const Graph& query, std::vector<GraphId> answer) {
+  Insert(query, std::move(answer), GraphCanonicalCode(query));
+}
+
+void QueryCache::Insert(const Graph& query, std::vector<GraphId> answer,
+                        std::string canonical) {
   for (const CachedQuery& queued : window_) {
     if (queued.graph == query) return;  // window-level duplicate
   }
   CachedQuery record;
   record.id = next_id_++;
   record.graph = query;
+  record.canonical = std::move(canonical);
   // FromIds is the one shared normalization path (also used by the sharded
   // cache): it detects the already-sorted answers the engines produce in
   // one pass instead of unconditionally re-sorting, and picks the adaptive
@@ -202,8 +234,17 @@ void QueryCache::Flush() {
   fresh_isuper.Build(entries_);
   isub_ = std::move(fresh_isub);
   isuper_ = std::move(fresh_isuper);
+  RebuildCanonicalIndex();
 
   maintenance_micros_ += timer.ElapsedMicros();
+}
+
+void QueryCache::RebuildCanonicalIndex() {
+  canonical_index_.clear();
+  canonical_index_.reserve(entries_.size());
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    canonical_index_.try_emplace(entries_[i].canonical, i);
+  }
 }
 
 void QueryCache::ApplyGraphAdded(const Graph& graph, GraphId id,
@@ -287,7 +328,12 @@ void QueryCache::Save(snapshot::BinaryWriter& writer, uint64_t num_graphs,
 bool QueryCache::Load(snapshot::BinaryReader& reader, uint64_t num_graphs,
                       uint32_t dataset_crc) {
   uint32_t version = 0, path_max_edges = 0;
-  if (!reader.ReadU32(&version) || version != kCacheStateVersion) return false;
+  if (!reader.ReadU32(&version)) return false;
+  if (version != kCacheStateVersion &&
+      version != kCacheStateVersionNoCanonical) {
+    return false;
+  }
+  const bool with_canonical = version == kCacheStateVersion;
   if (!reader.ReadU32(&path_max_edges) ||
       path_max_edges != options_.path_max_edges) {
     return false;
@@ -327,7 +373,9 @@ bool QueryCache::Load(snapshot::BinaryReader& reader, uint64_t num_graphs,
   entries.reserve(static_cast<size_t>(std::min<uint64_t>(num_entries, 1024)));
   for (uint64_t i = 0; i < num_entries; ++i) {
     CachedQuery record;
-    if (!LoadCachedQuery(reader, &record, num_graphs)) return false;
+    if (!LoadCachedQuery(reader, &record, num_graphs, with_canonical)) {
+      return false;
+    }
     entries.push_back(std::move(record));
   }
   uint64_t num_window = 0;
@@ -336,7 +384,9 @@ bool QueryCache::Load(snapshot::BinaryReader& reader, uint64_t num_graphs,
   window.reserve(static_cast<size_t>(std::min<uint64_t>(num_window, 1024)));
   for (uint64_t i = 0; i < num_window; ++i) {
     CachedQuery record;
-    if (!LoadCachedQuery(reader, &record, num_graphs)) return false;
+    if (!LoadCachedQuery(reader, &record, num_graphs, with_canonical)) {
+      return false;
+    }
     window.push_back(std::move(record));
   }
 
@@ -354,6 +404,7 @@ bool QueryCache::Load(snapshot::BinaryReader& reader, uint64_t num_graphs,
   fresh_isuper.Build(entries_);
   isub_ = std::move(fresh_isub);
   isuper_ = std::move(fresh_isuper);
+  RebuildCanonicalIndex();
   maintenance_micros_ += timer.ElapsedMicros();
   return true;
 }
@@ -363,8 +414,12 @@ size_t QueryCache::MemoryBytes() const {
   for (const CachedQuery& record : entries_) {
     bytes += record.graph.MemoryBytes();
     bytes += record.answer.MemoryBytes();
+    bytes += record.canonical.capacity();
     bytes += sizeof(CachedQuery);
   }
+  // The exact-hit map: one bucket + stored key per flushed entry.
+  bytes += canonical_index_.size() *
+           (sizeof(std::pair<std::string, size_t>) + sizeof(void*));
   return bytes;
 }
 

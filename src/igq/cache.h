@@ -6,6 +6,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "features/feature_set.h"
@@ -66,6 +68,15 @@ class QueryCache {
   CacheProbe Probe(const Graph& query,
                    const PathFeatureCounts& query_features) const;
 
+  /// Exact-hit fast path: position of the flushed entry whose canonical code
+  /// equals `canonical` (an isomorphic cached query), or SIZE_MAX. One hash
+  /// lookup — no feature extraction, no probe, no isomorphism test. Sees
+  /// exactly the entries Probe sees (flushed only, window excluded), and the
+  /// exact-match shortcut (§4.3) makes canonical-key equality equivalent to
+  /// the probe's containment + size test, so the hit sequence is identical
+  /// to the pre-key isomorphism path.
+  size_t FindExactByKey(const std::string& canonical) const;
+
   /// Advances the global query counter (the denominator clock for M(g)).
   void RecordQueryProcessed() { ++queries_processed_; }
 
@@ -76,10 +87,20 @@ class QueryCache {
   /// cached graph, with total analytic cost `cost` (C += cost, R += removed).
   void CreditPrune(size_t position, uint64_t removed, LogValue cost);
 
+  /// The one §5.1 crediting site for an exact hit: H += 1, R += removed,
+  /// C += cost in a single call. Engines must use this — not CreditHit +
+  /// CreditPrune at the call site — so the fast path and the probe fallback
+  /// cannot double-count a hit (tests/cache_test.cc pins single-counting).
+  void CreditExactHit(size_t position, uint64_t removed, LogValue cost);
+
   /// Queues the executed query and its answer into Itemp; when the window
   /// fills, triggers Flush(). Duplicates (structurally equal graphs) already
-  /// queued in the window are dropped.
+  /// queued in the window are dropped. The two-argument form computes the
+  /// canonical key itself; engines pass the key they already computed for
+  /// the fast-path lookup.
   void Insert(const Graph& query, std::vector<GraphId> answer);
+  void Insert(const Graph& query, std::vector<GraphId> answer,
+              std::string canonical);
 
   /// Forces window integration: evicts the lowest-utility graphs to respect
   /// the capacity, appends the window, rebuilds Isub/Isuper ("shadow"
@@ -143,6 +164,11 @@ class QueryCache {
             uint32_t dataset_crc);
 
  private:
+  /// Rebuilds canonical_index_ over the flushed entries (first — lowest —
+  /// position wins, matching the probe's ascending exact scan when two
+  /// isomorphic copies slipped through the same window).
+  void RebuildCanonicalIndex();
+
   IgqOptions options_;
   size_t universe_ = 0;  // dataset size the answers index
   PathEnumeratorOptions enumerator_options_;
@@ -150,6 +176,9 @@ class QueryCache {
   std::vector<CachedQuery> window_;  // Itemp
   IsubIndex isub_;
   IsuperIndex isuper_;
+  /// canonical code -> position in entries_, rebuilt on Flush/Load next to
+  /// the probe indexes (it is derived data too). Flushed entries only.
+  std::unordered_map<std::string, size_t> canonical_index_;
   uint64_t queries_processed_ = 0;
   uint64_t next_id_ = 0;
   int64_t maintenance_micros_ = 0;
@@ -162,15 +191,19 @@ class QueryCache {
 double EvictionScore(ReplacementPolicy policy, const CachedQuery& entry,
                      uint64_t now);
 
-/// Serializes one cached-query record (graph, sorted answer, §5.1 metadata)
-/// in the snapshot record format shared by QueryCache and ShardedQueryCache
-/// (docs/FORMATS.md).
+/// Serializes one cached-query record (graph, canonical key, sorted answer,
+/// §5.1 metadata) in the snapshot record format shared by QueryCache and
+/// ShardedQueryCache (docs/FORMATS.md, record version 2).
 void SaveCachedQuery(snapshot::BinaryWriter& writer, const CachedQuery& record);
 
-/// Restores a record written by SaveCachedQuery. Returns false on malformed
-/// bytes, an answer id outside [0, num_graphs), or an unsorted answer.
+/// Restores a record written by SaveCachedQuery. `with_canonical` selects
+/// the record version: true reads the stored canonical key (version 2 —
+/// trusted, the section CRC already vouches for it), false recomputes it
+/// from the graph (version-1 records from pre-key snapshots). Returns false
+/// on malformed bytes, an answer id outside [0, num_graphs), or an unsorted
+/// answer.
 bool LoadCachedQuery(snapshot::BinaryReader& reader, CachedQuery* record,
-                     uint64_t num_graphs);
+                     uint64_t num_graphs, bool with_canonical);
 
 }  // namespace igq
 

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/timer.h"
+#include "features/canonical.h"
 #include "igq/pruning.h"
 #include "snapshot/mutation_state.h"
 #include "snapshot/serializer.h"
@@ -70,6 +71,115 @@ std::vector<GraphId> ConcurrentQueryEngine::Process(const Graph& query,
       stats != nullptr ? &stats->verify_micros : nullptr;
   ScopedTimer total_timer(stats != nullptr ? &stats->total_micros : nullptr);
 
+  if (!options_.enabled) {
+    std::unique_ptr<PreparedQuery> prepared = method_->Prepare(query);
+    std::vector<GraphId> candidates;
+    {
+      ScopedTimer filter_timer(filter_sink);
+      candidates = method_->Filter(*prepared);
+    }
+    std::vector<GraphId> answer;
+    {
+      ScopedTimer verify_timer(verify_sink);
+      answer = RunVerification(candidates, *prepared);
+    }
+    if (stats != nullptr) {
+      stats->candidates_initial = candidates.size();
+      stats->iso_tests = candidates.size();
+      stats->candidates_final = candidates.size();
+      stats->answer_size = answer.size();
+    }
+    return answer;
+  }
+
+  cache_->RecordQueryProcessed();
+  const size_t query_nodes = query.NumVertices();
+
+  // Exact-hit fast path, BEFORE the host method's filter: an isomorphic
+  // cached query is found by one canonicalization plus one hash lookup, so
+  // a hit pays neither Prepare/Filter nor a single isomorphism test. The
+  // §5.1 credit diverges from the sequential engine here by design — R/C
+  // accrue over the cached answer rather than a filtered candidate set the
+  // fast path never computes (docs/CONCURRENCY.md, "what may differ").
+  std::string canonical;
+  {
+    ScopedTimer probe_timer(probe_sink);
+    canonical = GraphCanonicalCode(query);
+    auto cost_of = [this, query_nodes](std::span<const GraphId> ids) {
+      return SumIsomorphismCosts(*db_, method_->Direction(), query_nodes, ids);
+    };
+    std::vector<GraphId> hit_answer;
+    if (cache_->TryExactHit(canonical, cost_of, &hit_answer)) {
+      if (stats != nullptr) {
+        stats->shortcut = ShortcutKind::kExactHit;
+        stats->answer_size = hit_answer.size();
+      }
+      return hit_answer;
+    }
+  }
+
+  // Singleflight: concurrent streams missing on the same canonical key
+  // coalesce onto one in-flight record. The first stream to register
+  // (the leader) runs the pipeline; the rest park on the record and share
+  // the published answer. A parked stream whose leader unwound without
+  // publishing falls through and runs the pipeline itself, unregistered —
+  // correctness over coalescing.
+  std::shared_ptr<InFlightQuery> inflight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    auto [it, inserted] = inflight_.try_emplace(canonical);
+    if (inserted) it->second = std::make_shared<InFlightQuery>();
+    leader = inserted;
+    inflight = it->second;
+  }
+  if (!leader) {
+    std::unique_lock<std::mutex> wait_lock(inflight->mutex);
+    inflight->cv.wait(wait_lock, [&] { return inflight->done; });
+    if (!inflight->failed) {
+      coalesced_hits_.fetch_add(1, std::memory_order_relaxed);
+      if (stats != nullptr) {
+        stats->shortcut = ShortcutKind::kCoalescedHit;
+        stats->answer_size = inflight->answer.size();
+      }
+      return inflight->answer;
+    }
+  }
+
+  // Leader-side publish guard: on every exit — normal or unwinding — wake
+  // the parked followers (with the answer, or failed), then unregister the
+  // key. Unregistration comes last and AFTER Insert has registered the key
+  // in the cache's canonical map, so a stream arriving in any interleaving
+  // either coalesces, or fast-path-hits; it never re-runs the pipeline.
+  struct PublishGuard {
+    ConcurrentQueryEngine* engine;
+    const std::string* key;   // null: not a leader, guard is a no-op
+    InFlightQuery* record;
+    bool published = false;
+    std::vector<GraphId> answer;
+
+    void Publish(const std::vector<GraphId>& result) {
+      if (key == nullptr) return;
+      answer = result;
+      published = true;
+    }
+    ~PublishGuard() {
+      if (key == nullptr) return;
+      {
+        std::lock_guard<std::mutex> lock(record->mutex);
+        record->failed = !published;
+        if (published) record->answer = std::move(answer);
+        record->done = true;
+      }
+      record->cv.notify_all();
+      std::lock_guard<std::mutex> lock(engine->inflight_mutex_);
+      engine->inflight_.erase(*key);
+    }
+  };
+  PublishGuard publish{this, leader ? &canonical : nullptr, inflight.get()};
+
+  pipeline_executions_.fetch_add(1, std::memory_order_relaxed);
+
   std::unique_ptr<PreparedQuery> prepared = method_->Prepare(query);
 
   // Host-method filtering. Stream-level parallelism replaces the Fig. 6
@@ -82,23 +192,6 @@ std::vector<GraphId> ConcurrentQueryEngine::Process(const Graph& query,
     candidates = method_->Filter(*prepared);
   }
   if (stats != nullptr) stats->candidates_initial = candidates.size();
-
-  if (!options_.enabled) {
-    std::vector<GraphId> answer;
-    {
-      ScopedTimer verify_timer(verify_sink);
-      answer = RunVerification(candidates, *prepared);
-    }
-    if (stats != nullptr) {
-      stats->iso_tests = candidates.size();
-      stats->candidates_final = candidates.size();
-      stats->answer_size = answer.size();
-    }
-    return answer;
-  }
-
-  cache_->RecordQueryProcessed();
-  const size_t query_nodes = query.NumVertices();
 
   // This thread's prune scratch; the outcome inside stays valid through
   // verification and answer assembly (each stream thread has its own).
@@ -116,18 +209,22 @@ std::vector<GraphId> ConcurrentQueryEngine::Process(const Graph& query,
     }
 
     // §4.3 case 1: identical previous query — return its answer outright.
+    // Normally unreachable since the canonical fast path already checked,
+    // but a stale canonical ref (a flush raced the lookup) can miss there
+    // and land here. One crediting site, as on the fast path.
     if (session.has_exact()) {
       const CachedQuery& entry = session.entry(session.exact());
-      session.CreditHit(session.exact());
-      session.CreditPrune(session.exact(), candidates.size(),
-                          SumIsomorphismCosts(*db_, method_->Direction(),
-                                              query_nodes, candidates));
+      session.CreditExactHit(session.exact(), candidates.size(),
+                             SumIsomorphismCosts(*db_, method_->Direction(),
+                                                 query_nodes, candidates));
+      std::vector<GraphId> cached_answer = entry.answer.ToVector();
       if (stats != nullptr) {
         stats->shortcut = ShortcutKind::kExactHit;
         stats->candidates_final = 0;
-        stats->answer_size = entry.answer.size();
+        stats->answer_size = cached_answer.size();
       }
-      return entry.answer.ToVector();
+      publish.Publish(cached_answer);
+      return cached_answer;
     }
 
     // The §4.4 role inversion, as in the sequential engine: the guarantee
@@ -183,7 +280,10 @@ std::vector<GraphId> ConcurrentQueryEngine::Process(const Graph& query,
 
   if (stats != nullptr) stats->answer_size = answer.size();
 
-  cache_->Insert(query, answer);
+  // Insert (which registers the canonical key in the cache) strictly before
+  // the publish guard unregisters the in-flight record — see PublishGuard.
+  cache_->Insert(query, answer, canonical);
+  publish.Publish(answer);
   return answer;
 }
 

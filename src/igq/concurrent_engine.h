@@ -15,6 +15,10 @@
 //     candidate set is large enough to split tries to borrow the pool; if
 //     another stream holds it, verification simply runs inline — streams
 //     never block each other on the pool.
+//   * Exact hits take a canonical-key fast path (one canonicalization +
+//     one hash lookup, no filter, no isomorphism test), and concurrent
+//     misses on the same key coalesce: one leader runs the pipeline, the
+//     other streams park and share its published answer (singleflight).
 //   * Snapshot calls require quiescence (no in-flight queries).
 //
 // Equivalence: answers are identical to the sequential engine's, query for
@@ -25,12 +29,16 @@
 #ifndef IGQ_IGQ_CONCURRENT_ENGINE_H_
 #define IGQ_IGQ_CONCURRENT_ENGINE_H_
 
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "igq/engine.h"
@@ -105,7 +113,33 @@ class ConcurrentQueryEngine {
   ShardedQueryCache& mutable_cache() { return *cache_; }
   const IgqOptions& options() const { return options_; }
 
+  /// Times the full miss pipeline (Prepare/Filter/probe/verify/Insert) ran,
+  /// across all streams. With singleflight, N streams missing concurrently
+  /// on the same canonical key add 1 here, not N —
+  /// tests/concurrency_test.cc pins exactly-one-execution per unique key.
+  uint64_t pipeline_executions() const {
+    return pipeline_executions_.load(std::memory_order_relaxed);
+  }
+  /// Queries answered by parking on another stream's in-flight record
+  /// (ShortcutKind::kCoalescedHit).
+  uint64_t coalesced_hits() const {
+    return coalesced_hits_.load(std::memory_order_relaxed);
+  }
+
  private:
+  /// Singleflight record for one canonical key being computed. The leader —
+  /// the stream that inserted the record — runs the pipeline and publishes
+  /// its answer here; followers park on `cv`. `failed` marks a leader that
+  /// unwound without publishing: followers then run the pipeline themselves
+  /// instead of propagating a missing answer.
+  struct InFlightQuery {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    bool failed = false;
+    std::vector<GraphId> answer;
+  };
+
   /// Verification over `candidates`: borrows the shared pool when it is
   /// free and the set is big enough to split, else runs inline.
   std::vector<GraphId> RunVerification(const std::vector<GraphId>& candidates,
@@ -117,6 +151,16 @@ class ConcurrentQueryEngine {
   std::unique_ptr<ShardedQueryCache> cache_;
   std::unique_ptr<VerifyPool> pool_;  // null when verify_threads == 1
   std::mutex pool_mutex_;             // arbitrates pool borrowing
+  /// Singleflight table: canonical key -> in-flight record. A key is
+  /// present only while its leader runs; the leader erases it after
+  /// publishing, and by then the key is already hittable in the cache
+  /// (Insert registers it before the leader returns), so late arrivals
+  /// take the fast path instead. Guarded by inflight_mutex_ (a leaf lock:
+  /// never held while waiting or while holding any cache lock).
+  std::unordered_map<std::string, std::shared_ptr<InFlightQuery>> inflight_;
+  std::mutex inflight_mutex_;
+  std::atomic<uint64_t> pipeline_executions_{0};
+  std::atomic<uint64_t> coalesced_hits_{0};
   /// The mutation writer gate: shared by every Process for the query's
   /// whole lifetime, exclusive in ApplyMutation. Queries therefore never
   /// observe a half-applied mutation, and the database/method/cache reads

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/timer.h"
+#include "features/canonical.h"
 #include "igq/pruning.h"
 #include "snapshot/mutation_state.h"
 #include "snapshot/serializer.h"
@@ -59,10 +60,26 @@ std::vector<GraphId> QueryEngine::Process(const Graph& query,
 
   std::unique_ptr<PreparedQuery> prepared = method_->Prepare(query);
 
-  // Stage 1+2 (Fig. 6): host-method filtering and the two cache probes —
+  // Stage 1+2 (Fig. 6): host-method filtering and the cache lookup —
   // optionally on separate threads, as in the paper's three-way parallelism.
+  // The lookup tries the canonical-key exact-hit fast path first: one hash
+  // probe of the key map. Only on a key miss does the feature extraction +
+  // index probe run — an exact hit therefore performs zero isomorphism
+  // tests. The filter still runs either way: its candidate count feeds the
+  // §5.1 exact-hit credit below, which keeps eviction trajectories (and the
+  // fig09/fig15 cells) identical to the pre-key isomorphism path.
   std::vector<GraphId> candidates;
   CacheProbe probe;
+  std::string canonical;
+  size_t exact_position = SIZE_MAX;
+  auto cache_lookup = [&] {
+    canonical = GraphCanonicalCode(query);
+    exact_position = cache_->FindExactByKey(canonical);
+    if (exact_position == SIZE_MAX) {
+      const PathFeatureCounts features = cache_->ExtractFeatures(query);
+      probe = cache_->Probe(query, features);
+    }
+  };
   if (!options_.enabled) {
     ScopedTimer filter_timer(filter_sink);
     candidates = method_->Filter(*prepared);
@@ -73,8 +90,7 @@ std::vector<GraphId> QueryEngine::Process(const Graph& query,
     });
     {
       ScopedTimer probe_timer(probe_sink);
-      const PathFeatureCounts features = cache_->ExtractFeatures(query);
-      probe = cache_->Probe(query, features);
+      cache_lookup();
     }
     filter_thread.join();
   } else {
@@ -83,8 +99,7 @@ std::vector<GraphId> QueryEngine::Process(const Graph& query,
       candidates = method_->Filter(*prepared);
     }
     ScopedTimer probe_timer(probe_sink);
-    const PathFeatureCounts features = cache_->ExtractFeatures(query);
-    probe = cache_->Probe(query, features);
+    cache_lookup();
   }
   if (stats != nullptr) {
     stats->candidates_initial = candidates.size();
@@ -110,13 +125,17 @@ std::vector<GraphId> QueryEngine::Process(const Graph& query,
   cache_->RecordQueryProcessed();
   const size_t query_nodes = query.NumVertices();
 
-  // §4.3 case 1: identical previous query — return its answer outright.
-  if (probe.exact_position != SIZE_MAX) {
-    const CachedQuery& entry = cache_->entries()[probe.exact_position];
-    cache_->CreditHit(probe.exact_position);
-    cache_->CreditPrune(probe.exact_position, candidates.size(),
-                        SumIsomorphismCosts(*db_, method_->Direction(),
-                                            query_nodes, candidates));
+  // §4.3 case 1: identical (isomorphic) previous query — return its answer
+  // outright. The canonical key found it above in one hash lookup; the probe
+  // fallback covers only the key map and probe disagreeing, which the
+  // canonicalization test suite rules out (the key map holds exactly the
+  // flushed entries the probe scans).
+  if (exact_position == SIZE_MAX) exact_position = probe.exact_position;
+  if (exact_position != SIZE_MAX) {
+    const CachedQuery& entry = cache_->entries()[exact_position];
+    cache_->CreditExactHit(exact_position, candidates.size(),
+                           SumIsomorphismCosts(*db_, method_->Direction(),
+                                               query_nodes, candidates));
     if (stats != nullptr) {
       stats->shortcut = ShortcutKind::kExactHit;
       stats->candidates_final = 0;
@@ -188,8 +207,9 @@ std::vector<GraphId> QueryEngine::Process(const Graph& query,
   if (stats != nullptr) stats->answer_size = answer.size();
 
   // Stage 6-8 (Fig. 6): store the executed query; maintenance (window flush
-  // + shadow rebuild) is timed inside the cache, off the query path.
-  cache_->Insert(query, answer);
+  // + shadow rebuild) is timed inside the cache, off the query path. The
+  // canonical key was already computed for the fast-path lookup.
+  cache_->Insert(query, answer, std::move(canonical));
   return answer;
 }
 

@@ -27,9 +27,13 @@ namespace igq {
 
 /// How a query was resolved (§4.3 shortcuts).
 enum class ShortcutKind {
-  kNone,               // full pipeline ran
-  kExactHit,           // identical previous query: cached answer returned
-  kEmptyAnswerPruning  // a cached relation proved the answer empty
+  kNone,                // full pipeline ran
+  kExactHit,            // identical previous query: cached answer returned
+  kEmptyAnswerPruning,  // a cached relation proved the answer empty
+  /// Concurrent engine only: this stream missed on a canonical key another
+  /// stream was already computing, parked on the in-flight record, and
+  /// returned the leader's published answer (singleflight coalescing).
+  kCoalescedHit
 };
 
 /// Per-query measurements, the raw material of every figure in §7.

@@ -3,6 +3,7 @@
 #define IGQ_IGQ_QUERY_RECORD_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/id_set.h"
@@ -46,6 +47,11 @@ struct QueryGraphMetadata {
 struct CachedQuery {
   uint64_t id = 0;
   Graph graph;
+  /// GraphCanonicalCode(graph): the isomorphism-complete key the caches'
+  /// exact-hit maps use, so an exact hit is one hash lookup instead of a
+  /// probe plus isomorphism test. Persisted in snapshot record version 2;
+  /// recomputed from `graph` when loading older snapshots (docs/FORMATS.md).
+  std::string canonical;
   IdSet answer;
   QueryGraphMetadata meta;
   /// Lazy-removal marker (sharded cache only): set when a dataset graph in

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/timer.h"
+#include "features/canonical.h"
 #include "igq/cache.h"
 #include "isomorphism/match_core.h"
 #include "snapshot/serializer.h"
@@ -11,8 +12,11 @@
 namespace igq {
 namespace {
 
-/// Payload version of the serialized sharded-cache state.
-constexpr uint32_t kShardedCacheStateVersion = 1;
+/// Payload version of the serialized sharded-cache state. Version 2 added
+/// the canonical key to every cached-query record; version-1 payloads are
+/// still accepted, with the keys recomputed on load.
+constexpr uint32_t kShardedCacheStateVersion = 2;
+constexpr uint32_t kShardedCacheStateVersionNoCanonical = 1;
 
 }  // namespace
 
@@ -87,6 +91,18 @@ void ShardedQueryCache::ProbeSession::CreditPrune(const Hit& hit,
   meta.cost_saved += cost;
 }
 
+void ShardedQueryCache::ProbeSession::CreditExactHit(const Hit& hit,
+                                                     uint64_t removed,
+                                                     LogValue cost) const {
+  Shard& shard = *owner_->shards_[hit.shard];
+  std::lock_guard<std::mutex> credits(shard.credit_mutex);
+  QueryGraphMetadata& meta = (*shard.entries)[hit.position].meta;
+  ++meta.hits;
+  meta.last_hit_at = owner_->queries_processed_.load(std::memory_order_relaxed);
+  meta.removed_candidates += removed;
+  meta.cost_saved += cost;
+}
+
 ShardedQueryCache::ProbeSession ShardedQueryCache::Probe(
     const Graph& query, const PathFeatureCounts& query_features) {
   ProbeSession session(this);
@@ -144,8 +160,52 @@ ShardedQueryCache::ProbeSession ShardedQueryCache::Probe(
   return session;
 }
 
+bool ShardedQueryCache::TryExactHit(
+    const std::string& canonical,
+    const std::function<LogValue(std::span<const GraphId>)>& cost_of,
+    std::vector<GraphId>* answer) {
+  CanonicalRef ref;
+  {
+    std::shared_lock<std::shared_mutex> map_lock(canonical_mutex_);
+    const auto it = canonical_index_.find(canonical);
+    if (it == canonical_index_.end()) return false;
+    ref = it->second;
+  }
+  // The map lock is dropped before the shard lock is taken (lookups never
+  // hold both), so the copied ref may be stale — a flush moved the entry
+  // between the two locks. Validate against the live record and miss
+  // spuriously rather than lock both; the caller just runs the pipeline.
+  Shard& shard = *shards_[ref.shard];
+  std::shared_lock<std::shared_mutex> lock(shard.mutex);
+  CachedQuery* record = nullptr;
+  if (ref.in_window) {
+    if (ref.index < shard.window.size()) record = &shard.window[ref.index];
+  } else if (ref.index < shard.entries->size()) {
+    record = &(*shard.entries)[ref.index];
+  }
+  if (record == nullptr || record->id != ref.id || record->tombstoned) {
+    return false;
+  }
+  *answer = record->answer.ToVector();
+  const LogValue cost = cost_of(*answer);
+  // One §5.1 credit site, mirroring QueryCache::CreditExactHit: the shared
+  // structure lock pins the record, the credit mutex serializes the update.
+  std::lock_guard<std::mutex> credits(shard.credit_mutex);
+  QueryGraphMetadata& meta = record->meta;
+  ++meta.hits;
+  meta.last_hit_at = queries_processed_.load(std::memory_order_relaxed);
+  meta.removed_candidates += answer->size();
+  meta.cost_saved += cost;
+  return true;
+}
+
 void ShardedQueryCache::Insert(const Graph& query,
                                std::vector<GraphId> answer) {
+  Insert(query, std::move(answer), GraphCanonicalCode(query));
+}
+
+void ShardedQueryCache::Insert(const Graph& query, std::vector<GraphId> answer,
+                               std::string canonical) {
   const uint64_t query_hash = GraphShardHash(query);
   const size_t shard_index = static_cast<size_t>(query_hash % shards_.size());
   Shard& shard = *shards_[shard_index];
@@ -184,13 +244,25 @@ void ShardedQueryCache::Insert(const Graph& query,
     CachedQuery record;
     record.id = next_id_.fetch_add(1, std::memory_order_relaxed);
     record.graph = query;
+    record.canonical = canonical;
     // Shared normalization with QueryCache::Insert: sortedness detected in
     // one pass (answers arrive sorted), representation picked adaptively.
     record.answer = IdSet::FromIds(std::move(answer), universe_);
     record.meta.inserted_at =
         queries_processed_.load(std::memory_order_relaxed);
+    const uint64_t record_id = record.id;
     shard.window.push_back(std::move(record));
     shard.window_hashes.push_back(query_hash);
+    // Register the key while the exclusive structure lock still pins the
+    // window slot (lock order: shard.mutex -> canonical_mutex_). This is
+    // what closes the singleflight loop: the key becomes hittable the
+    // moment the leader inserts, before it publishes and unregisters.
+    {
+      std::unique_lock<std::shared_mutex> map_lock(canonical_mutex_);
+      canonical_index_.try_emplace(
+          std::move(canonical),
+          CanonicalRef{shard_index, true, shard.window.size() - 1, record_id});
+    }
     flush_due = shard.window.size() >= shard_window_;
   }
   if (flush_due) MaintainShard(shard_index, /*force=*/false, /*wait=*/false);
@@ -294,9 +366,14 @@ void ShardedQueryCache::MaintainShard(size_t shard_index, bool force,
       std::unique_lock<std::shared_mutex> lock(shard.mutex);
       // Credits landed on the old entries while the rebuild ran; carry the
       // freshest metadata over to the surviving copies. Positions are
-      // stable: only this (gated) path restructures entries.
+      // stable: only this (gated) path restructures entries. Window slots
+      // need the same carry-over since the canonical fast path can credit
+      // entries that are still in the window.
       for (size_t i = 0; i < survivor_from.size(); ++i) {
         (*staged)[i].meta = (*shard.entries)[survivor_from[i]].meta;
+      }
+      for (size_t i = 0; i < take; ++i) {
+        (*staged)[survivor_from.size() + i].meta = shard.window[i].meta;
       }
       // The indexes point at the vector *object* behind the unique_ptr;
       // moving the pointer in preserves that address.
@@ -309,12 +386,43 @@ void ShardedQueryCache::MaintainShard(size_t shard_index, bool force,
           shard.window_hashes.begin() + static_cast<ptrdiff_t>(take));
       shard.isub = std::move(fresh_isub);
       shard.isuper = std::move(fresh_isuper);
+      // Evictions, window promotions, and the window shift above all moved
+      // canonical keys around; rewrite this shard's slice of the map while
+      // the exclusive lock still blocks lookups from chasing dead refs.
+      ReindexShardCanonicals(shard_index);
       more = shard.window.size() >= shard_window_ ||
              (force && !shard.window.empty());
     }
     maintenance_micros_.fetch_add(timer.ElapsedMicros(),
                                   std::memory_order_relaxed);
     if (!more) return;
+  }
+}
+
+void ShardedQueryCache::ReindexShardCanonicals(size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  std::unique_lock<std::shared_mutex> map_lock(canonical_mutex_);
+  for (auto it = canonical_index_.begin(); it != canonical_index_.end();) {
+    if (it->second.shard == shard_index) {
+      it = canonical_index_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Flushed entries before window, so within the shard the flushed copy of
+  // a key wins — mirroring the sequential cache, where only flushed entries
+  // are hittable at all. Keys owned by other shards are left alone
+  // (try_emplace): first registration wins across shards.
+  const std::vector<CachedQuery>& entries = *shard.entries;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    canonical_index_.try_emplace(entries[i].canonical,
+                                 CanonicalRef{shard_index, false, i,
+                                              entries[i].id});
+  }
+  for (size_t i = 0; i < shard.window.size(); ++i) {
+    canonical_index_.try_emplace(shard.window[i].canonical,
+                                 CanonicalRef{shard_index, true, i,
+                                              shard.window[i].id});
   }
 }
 
@@ -446,8 +554,15 @@ size_t ShardedQueryCache::MemoryBytes() const {
     for (const CachedQuery& record : *shard->entries) {
       bytes += record.graph.MemoryBytes();
       bytes += record.answer.MemoryBytes();
+      bytes += record.canonical.capacity();
       bytes += sizeof(CachedQuery);
     }
+  }
+  {
+    std::shared_lock<std::shared_mutex> map_lock(canonical_mutex_);
+    bytes += canonical_index_.size() *
+             (sizeof(std::pair<std::string, CanonicalRef>) + sizeof(void*));
+    for (const auto& [key, ref] : canonical_index_) bytes += key.capacity();
   }
   return bytes;
 }
@@ -500,6 +615,7 @@ void ShardedQueryCache::Save(snapshot::BinaryWriter& writer,
       CachedQuery compacted;
       compacted.id = record.id;
       compacted.graph = record.graph;
+      compacted.canonical = record.canonical;
       compacted.meta = record.meta;
       record.answer.Materialize(&member_ids);
       DifferenceSorted(member_ids, dead_ids_, &live_ids);
@@ -516,9 +632,14 @@ void ShardedQueryCache::Save(snapshot::BinaryWriter& writer,
 bool ShardedQueryCache::Load(snapshot::BinaryReader& reader,
                              uint64_t num_graphs, uint32_t dataset_crc) {
   uint32_t version = 0, path_max_edges = 0;
-  if (!reader.ReadU32(&version) || version != kShardedCacheStateVersion) {
+  if (!reader.ReadU32(&version) ||
+      (version != kShardedCacheStateVersion &&
+       version != kShardedCacheStateVersionNoCanonical)) {
     return false;
   }
+  // Version-1 payloads predate the canonical key; recompute it per record
+  // so pre-change snapshots stay loadable with the fast path intact.
+  const bool with_canonical = version == kShardedCacheStateVersion;
   if (!reader.ReadU32(&path_max_edges) ||
       path_max_edges != options_.path_max_edges) {
     return false;
@@ -567,7 +688,9 @@ bool ShardedQueryCache::Load(snapshot::BinaryReader& reader,
         static_cast<size_t>(std::min<uint64_t>(num_entries, 1024)));
     for (uint64_t i = 0; i < num_entries; ++i) {
       CachedQuery record;
-      if (!LoadCachedQuery(reader, &record, num_graphs)) return false;
+      if (!LoadCachedQuery(reader, &record, num_graphs, with_canonical)) {
+        return false;
+      }
       stage.entries.push_back(std::move(record));
     }
     uint64_t num_window = 0;
@@ -576,7 +699,9 @@ bool ShardedQueryCache::Load(snapshot::BinaryReader& reader,
         static_cast<size_t>(std::min<uint64_t>(num_window, 1024)));
     for (uint64_t i = 0; i < num_window; ++i) {
       CachedQuery record;
-      if (!LoadCachedQuery(reader, &record, num_graphs)) return false;
+      if (!LoadCachedQuery(reader, &record, num_graphs, with_canonical)) {
+        return false;
+      }
       stage.window.push_back(std::move(record));
     }
   }
@@ -608,6 +733,17 @@ bool ShardedQueryCache::Load(snapshot::BinaryReader& reader,
     shard.window_hashes = std::move(window_hashes);
     shard.isub = std::move(fresh_isub);
     shard.isuper = std::move(fresh_isuper);
+  }
+  // Rebuild the canonical map wholesale — it is derived data, like the
+  // probe indexes. Shard locks are taken one at a time in shard order, so
+  // the rebuild obeys the shard.mutex -> canonical_mutex_ lock order.
+  {
+    std::unique_lock<std::shared_mutex> map_lock(canonical_mutex_);
+    canonical_index_.clear();
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::unique_lock<std::shared_mutex> lock(shards_[s]->mutex);
+    ReindexShardCanonicals(s);
   }
   queries_processed_.store(queries_processed);
   next_id_.store(next_id);

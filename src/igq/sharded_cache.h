@@ -30,10 +30,13 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <span>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "features/feature_set.h"
@@ -95,6 +98,12 @@ class ShardedQueryCache {
     /// mutex, and excluded from flush swaps by this session's shared lock.
     void CreditHit(const Hit& hit) const;
     void CreditPrune(const Hit& hit, uint64_t removed, LogValue cost) const;
+    /// The one crediting site for an exact hit found through the probe
+    /// (H += 1, R += removed, C += cost in a single credit-mutex section),
+    /// mirroring QueryCache::CreditExactHit — engines must not combine
+    /// CreditHit + CreditPrune for exact hits, so the fast path and this
+    /// fallback cannot double-count.
+    void CreditExactHit(const Hit& hit, uint64_t removed, LogValue cost) const;
 
    private:
     friend class ShardedQueryCache;
@@ -128,6 +137,26 @@ class ShardedQueryCache {
   ProbeSession Probe(const Graph& query,
                      const PathFeatureCounts& query_features);
 
+  /// Exact-hit fast path: if `canonical` resolves to a live (not tombstoned)
+  /// cached entry — flushed or still in a window, in any shard — copies its
+  /// answer into `*answer`, credits the entry's §5.1 metadata in one step
+  /// (H += 1, R += answer size, C += cost_of(answer)), and returns true.
+  /// One global hash lookup plus one shared shard lock; no feature
+  /// extraction, no probe, no isomorphism test. `cost_of` is invoked at most
+  /// once, with the answer ids, while the entry is pinned — lazily, so a
+  /// miss pays nothing for the cost model.
+  ///
+  /// Unlike the sequential fast path this also sees window entries: the
+  /// canonical map is what makes singleflight coalescing exact (a key
+  /// registered by Insert must be hittable before the shard's next flush),
+  /// and the extra hits only help. May spuriously miss when the ref went
+  /// stale between the map read and the shard lock (a flush moved the
+  /// entry); the caller then just runs the normal pipeline.
+  bool TryExactHit(
+      const std::string& canonical,
+      const std::function<LogValue(std::span<const GraphId>)>& cost_of,
+      std::vector<GraphId>* answer);
+
   /// Advances the global query counter (the denominator clock for M(g)).
   void RecordQueryProcessed() { ++queries_processed_; }
 
@@ -136,7 +165,11 @@ class ShardedQueryCache {
   /// thread (skipped if another thread is already flushing that shard).
   /// Duplicates — structurally equal graphs already cached or queued in the
   /// shard, which concurrent streams can race past the probe — are dropped.
+  /// The two-argument form computes the canonical key itself; engines pass
+  /// the key they already computed for the fast-path lookup.
   void Insert(const Graph& query, std::vector<GraphId> answer);
+  void Insert(const Graph& query, std::vector<GraphId> answer,
+              std::string canonical);
 
   /// Forces window integration on every shard (snapshot symmetry with
   /// QueryCache::Flush; normal operation never needs it). Blocks until any
@@ -239,10 +272,29 @@ class ShardedQueryCache {
     std::vector<uint64_t> window_hashes;
   };
 
+  /// Where a canonical key's entry lives. Refs are validated on use (bounds
+  /// + id match + not tombstoned) because a reader copies the ref, drops the
+  /// map lock, and only then locks the shard — a flush may have moved the
+  /// entry in between (the lookup then misses spuriously, which is safe).
+  struct CanonicalRef {
+    size_t shard = 0;
+    bool in_window = false;
+    size_t index = 0;   // into entries (flushed) or window
+    uint64_t id = 0;    // CachedQuery::id, the staleness check
+  };
+
   /// The deferred flush: integrates `shard`'s window when due (always, if
   /// `force`). `wait` blocks for the maintenance gate instead of skipping
   /// when another thread holds it.
   void MaintainShard(size_t shard_index, bool force, bool wait);
+
+  /// Rewrites canonical_index_ for one shard: drops every ref pointing into
+  /// it, then re-registers its entries (first) and window (second), so
+  /// within a shard the flushed copy of a key wins. Caller holds the shard's
+  /// structure lock exclusively; takes canonical_mutex_ exclusively (the
+  /// one place both are held together — lock order shard.mutex →
+  /// canonical_mutex_, and lookups never hold both).
+  void ReindexShardCanonicals(size_t shard_index);
 
   IgqOptions options_;
   size_t universe_ = 0;  // dataset size the answers index
@@ -256,6 +308,14 @@ class ShardedQueryCache {
   size_t shard_capacity_ = 1;
   size_t shard_window_ = 1;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// canonical code -> entry location, across ALL shards. Global because the
+  /// shard hash is structural, not isomorphism-invariant: two isomorphic
+  /// copies of a query generally land in different shards, so a per-shard
+  /// map could not answer "is an isomorph cached anywhere?" in one lookup.
+  /// First registration wins on cross-shard key collisions (rare: two
+  /// isomorphic-but-unequal copies raced in before either was hittable).
+  std::unordered_map<std::string, CanonicalRef> canonical_index_;
+  mutable std::shared_mutex canonical_mutex_;
   std::atomic<uint64_t> queries_processed_{0};
   std::atomic<uint64_t> next_id_{0};
   std::atomic<int64_t> maintenance_micros_{0};

@@ -4,12 +4,16 @@
 
 #include <gtest/gtest.h>
 
+#include "features/canonical.h"
+#include "igq/engine.h"
+#include "methods/registry.h"
 #include "tests/test_util.h"
 
 namespace igq {
 namespace {
 
 using testing::PathGraph;
+using testing::PermuteVertices;
 using testing::RandomConnectedGraph;
 using testing::RandomSubgraphOf;
 
@@ -174,6 +178,102 @@ TEST(QueryCacheTest, AnswersStoredSorted) {
   cache.Insert(PathGraph({1, 2}), {9, 3, 7});
   const std::vector<GraphId> expected{3, 7, 9};
   EXPECT_EQ(cache.entries()[0].answer.ToVector(), expected);
+}
+
+// ---- Canonical-key exact-hit fast path. ----
+
+TEST(QueryCacheTest, CanonicalKeyLookupMatchesProbeExactPath) {
+  // Parity with the pre-key isomorphism path: for any query, the canonical
+  // map and the probe's §4.3 exact scan must agree — same hit/miss, same
+  // position. Permuted copies of cached graphs exercise the hit side,
+  // fresh random graphs the (mostly) miss side.
+  QueryCache cache(SmallOptions(64, 4));
+  Rng rng(21);
+  std::vector<Graph> cached;
+  for (int i = 0; i < 24; ++i) {
+    cached.push_back(RandomConnectedGraph(rng, 5 + rng.Below(6),
+                                          3 + rng.Below(4), 3));
+    cache.Insert(cached.back(), {static_cast<GraphId>(i)});
+  }
+  cache.Flush();
+  size_t hits = 0;
+  for (int i = 0; i < 200; ++i) {
+    const Graph query =
+        rng.Chance(0.5)
+            ? PermuteVertices(rng, cached[rng.Below(cached.size())])
+            : RandomConnectedGraph(rng, 5 + rng.Below(6), 3 + rng.Below(4),
+                                   3);
+    const size_t by_key = cache.FindExactByKey(GraphCanonicalCode(query));
+    const CacheProbe probe = cache.Probe(query, cache.ExtractFeatures(query));
+    EXPECT_EQ(by_key, probe.exact_position);
+    if (by_key != SIZE_MAX) ++hits;
+  }
+  EXPECT_GT(hits, 50u);  // the parity above must have covered real hits
+}
+
+TEST(QueryCacheTest, FindExactByKeySeesFlushedEntriesOnly) {
+  QueryCache cache(SmallOptions(10, 2));
+  const Graph q = PathGraph({1, 2, 3});
+  const std::string key = GraphCanonicalCode(q);
+  cache.Insert(q, {1});
+  EXPECT_EQ(cache.FindExactByKey(key), SIZE_MAX);  // still in Itemp
+  cache.Insert(PathGraph({7, 8}), {});             // triggers flush
+  EXPECT_NE(cache.FindExactByKey(key), SIZE_MAX);
+}
+
+TEST(QueryCacheTest, CreditExactHitCountsOnce) {
+  // The one §5.1 crediting site: a single exact hit moves H, R, C, and the
+  // LRU clock exactly once — the engine no longer splits the update across
+  // CreditHit + CreditPrune call sites that could drift apart.
+  QueryCache cache(SmallOptions(4, 1));
+  const Graph q = PathGraph({1, 2, 3});
+  cache.Insert(q, {1, 4});
+  ASSERT_EQ(cache.size(), 1u);
+  cache.RecordQueryProcessed();
+  const size_t position = cache.FindExactByKey(GraphCanonicalCode(q));
+  ASSERT_EQ(position, 0u);
+  cache.CreditExactHit(position, 7, LogValue::FromLinear(100.0));
+  const QueryGraphMetadata& meta = cache.entries()[0].meta;
+  EXPECT_EQ(meta.hits, 1u);
+  EXPECT_EQ(meta.removed_candidates, 7u);
+  EXPECT_EQ(meta.last_hit_at, 1u);
+  EXPECT_NEAR(meta.cost_saved.ToLinear(), 100.0, 1e-6);
+}
+
+TEST(QueryCacheTest, EngineExactHitRunsZeroIsomorphismTests) {
+  Rng rng(33);
+  GraphDatabase db;
+  for (int i = 0; i < 12; ++i) {
+    db.graphs.push_back(RandomConnectedGraph(rng, 12, 6, 3));
+  }
+  db.RefreshLabelCount();
+  auto method = MethodRegistry::Create(QueryDirection::kSubgraph, "ggsx");
+  method->Build(db);
+  IgqOptions options;
+  options.cache_capacity = 16;
+  options.window_size = 1;  // every insert flushes: the repeat can hit
+  QueryEngine engine(db, method.get(), options);
+
+  const Graph query = RandomSubgraphOf(rng, db.graphs[0], 6);
+  QueryStats miss_stats, hit_stats;
+  const std::vector<GraphId> answer = engine.Process(query, &miss_stats);
+  EXPECT_EQ(miss_stats.shortcut, ShortcutKind::kNone);
+
+  // An isomorphic (vertex-permuted) repeat takes the canonical-key fast
+  // path: same answer, and zero isomorphism tests of either kind — neither
+  // verification (iso_tests) nor probe-side VF2 (probe_iso_tests).
+  const Graph permuted = PermuteVertices(rng, query);
+  EXPECT_EQ(engine.Process(permuted, &hit_stats), answer);
+  EXPECT_EQ(hit_stats.shortcut, ShortcutKind::kExactHit);
+  EXPECT_EQ(hit_stats.iso_tests, 0u);
+  EXPECT_EQ(hit_stats.probe_iso_tests, 0u);
+
+  // Single counting, end to end: two exact hits leave H at exactly 2.
+  EXPECT_EQ(engine.Process(query), answer);
+  const size_t position =
+      engine.cache().FindExactByKey(GraphCanonicalCode(query));
+  ASSERT_NE(position, SIZE_MAX);
+  EXPECT_EQ(engine.cache().entries()[position].meta.hits, 2u);
 }
 
 }  // namespace

@@ -11,7 +11,9 @@
 #include <span>
 #include <sstream>
 #include <thread>
+#include <unordered_set>
 
+#include "features/canonical.h"
 #include "igq/concurrent_engine.h"
 #include "igq/engine.h"
 #include "igq/mutation.h"
@@ -346,6 +348,143 @@ TEST(ConcurrentEngineTest, ShardedSnapshotRoundTrips) {
   ConcurrentQueryEngine wrong_kind(db, restored_method.get(), options);
   EXPECT_FALSE(wrong_kind.LoadSnapshot(seq_snapshot, &error));
   EXPECT_NE(error.find("no sharded-cache section"), std::string::npos);
+}
+
+// ---- Singleflight miss coalescing. ----
+
+TEST(ConcurrentEngineTest, SingleflightRunsPipelineOncePerUniqueKey) {
+  const GraphDatabase db = MakeDb(53, 30);
+
+  // Duplicate-heavy workload: 24 base queries repeated across 320 slots, so
+  // 16 streams constantly collide on the same canonical keys.
+  Rng rng(54);
+  std::vector<Graph> base;
+  for (size_t i = 0; i < 24; ++i) {
+    const Graph& source = db.graphs[rng.Below(db.graphs.size())];
+    base.push_back(RandomSubgraphOf(rng, source, 4 + rng.Below(8)));
+  }
+  std::vector<Graph> queries;
+  for (size_t i = 0; i < 320; ++i) {
+    queries.push_back(base[rng.Below(base.size())]);
+  }
+  std::unordered_set<std::string> unique_keys;
+  for (const Graph& query : queries) {
+    unique_keys.insert(GraphCanonicalCode(query));
+  }
+
+  // No-flush geometry: the per-shard windows never fill, so canonical refs
+  // never go stale and the exactly-once count below is exact, not a bound.
+  IgqOptions options;
+  options.cache_capacity = 512;
+  options.window_size = 256;
+  options.cache_shards = 4;
+
+  // Sequential replay first: the coalesced answers must be bit-identical.
+  auto seq_method = MethodRegistry::Create(QueryDirection::kSubgraph, "ggsx");
+  seq_method->Build(db);
+  QueryEngine sequential(db, seq_method.get(), options);
+  std::vector<std::vector<GraphId>> expected;
+  expected.reserve(queries.size());
+  for (const Graph& query : queries) {
+    expected.push_back(sequential.Process(query));
+  }
+
+  auto method = MethodRegistry::Create(QueryDirection::kSubgraph, "ggsx");
+  method->Build(db);
+  ConcurrentQueryEngine engine(db, method.get(), options);
+  const auto results = engine.ProcessConcurrent(queries, /*streams=*/16);
+
+  ASSERT_EQ(results.size(), queries.size());
+  size_t shortcut_hits = 0, coalesced = 0;
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].answer, expected[i]) << "query " << i;
+    const ShortcutKind kind = results[i].stats.shortcut;
+    if (kind == ShortcutKind::kExactHit ||
+        kind == ShortcutKind::kCoalescedHit) {
+      ++shortcut_hits;
+      if (kind == ShortcutKind::kCoalescedHit) ++coalesced;
+      // The fast path and coalescing both skip every isomorphism test.
+      EXPECT_EQ(results[i].stats.iso_tests, 0u) << "query " << i;
+      EXPECT_EQ(results[i].stats.probe_iso_tests, 0u) << "query " << i;
+    }
+  }
+
+  // The contract under test: N streams missing on the same key run the
+  // pipeline exactly once, no matter the interleaving — a duplicate either
+  // parks on the in-flight record or fast-path-hits the inserted entry.
+  EXPECT_EQ(engine.pipeline_executions(), unique_keys.size());
+  EXPECT_EQ(shortcut_hits, queries.size() - unique_keys.size());
+  EXPECT_EQ(engine.coalesced_hits(), coalesced);
+}
+
+TEST(ConcurrentEngineTest, SingleflightChurnStaysExactUnderMutation) {
+  // The churn variant: ApplyMutation races in-flight singleflight leaders.
+  // Every query holds the mutation gate shared for its whole lifetime —
+  // including parked followers — so no in-flight record ever spans a
+  // mutation; TSan (the CI job runs this file under it) checks the locking,
+  // quiescent brute force checks the answers.
+  auto db = std::make_unique<GraphDatabase>(MakeDb(59, 28));
+  auto method = MethodRegistry::Create(QueryDirection::kSubgraph, "grapes");
+  method->Build(*db);
+  IgqOptions options;
+  options.cache_capacity = 48;
+  options.window_size = 8;  // flushes + evictions interleave with coalescing
+  options.cache_shards = 4;
+  ConcurrentQueryEngine engine(*db, method.get(), options);
+
+  // Heavier duplication than MakeWorkload: 12 base queries over 160 slots.
+  Rng rng(60);
+  std::vector<Graph> base;
+  for (size_t i = 0; i < 12; ++i) {
+    const Graph& source = db->graphs[rng.Below(db->graphs.size())];
+    base.push_back(RandomSubgraphOf(rng, source, 4 + rng.Below(8)));
+  }
+  std::vector<Graph> queries;
+  for (size_t i = 0; i < 160; ++i) {
+    queries.push_back(base[rng.Below(base.size())]);
+  }
+
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    Rng writer_rng(61);
+    std::vector<GraphId> removable;
+    for (GraphId i = 0; i < 28; ++i) removable.push_back(i);
+    for (size_t op = 0; op < 80; ++op) {
+      if (writer_rng.Chance(0.5) || removable.size() <= 10) {
+        const MutationResult result = engine.ApplyMutation(
+            *db, GraphMutation::Add(RandomConnectedGraph(
+                     writer_rng, 10 + writer_rng.Below(8), 4, 3)));
+        EXPECT_TRUE(result.applied);
+        removable.push_back(result.id);
+      } else {
+        const size_t slot = writer_rng.Below(removable.size());
+        EXPECT_TRUE(
+            engine
+                .ApplyMutation(*db, GraphMutation::Remove(removable[slot]))
+                .applied);
+        removable.erase(removable.begin() + static_cast<ptrdiff_t>(slot));
+      }
+      std::this_thread::yield();
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  size_t rounds = 0;
+  do {
+    const auto results = engine.ProcessConcurrent(queries, /*streams=*/8);
+    ASSERT_EQ(results.size(), queries.size());
+    ++rounds;
+  } while (!done.load(std::memory_order_acquire) && rounds < 12);
+  writer.join();
+
+  const auto results = engine.ProcessConcurrent(queries, /*streams=*/8);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    std::vector<GraphId> expected;
+    for (GraphId id : BruteForceSubgraphAnswer(db->graphs, queries[i])) {
+      if (db->IsLive(id)) expected.push_back(id);
+    }
+    EXPECT_EQ(results[i].answer, expected) << "query " << i;
+  }
 }
 
 // ---- Online mutation: lazy tombstoning, patching, and churn stress. ----

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "features/canonical.h"
+#include "igq/cache.h"
 #include "igq/engine.h"
 #include "igq/mutation.h"
 #include "methods/feature_count_index.h"
@@ -815,6 +817,103 @@ TEST(SnapshotRejectionTest, MutationSectionCorruptionSwept) {
   QueryEngine clean(*db, clean_method.get(), options);
   std::stringstream stream(bytes);
   EXPECT_TRUE(clean.LoadSnapshot(stream, &error)) << error;
+}
+
+// ---- Canonical-key persistence (record version 2 + v1 fallback). ----
+
+TEST(CacheStateTest, RoundTripPreservesCanonicalKeys) {
+  IgqOptions options;
+  options.cache_capacity = 32;
+  options.window_size = 4;
+  const IgqOptions validated = ValidatedIgqOptions(options);
+  QueryCache cache(validated, /*universe=*/20);
+
+  Rng rng(71);
+  for (int i = 0; i < 12; ++i) {
+    cache.Insert(RandomConnectedGraph(rng, 6 + rng.Below(5), 4, 3),
+                 {static_cast<GraphId>(i)});
+  }
+  cache.Flush();
+  ASSERT_GT(cache.size(), 0u);
+
+  std::ostringstream payload;
+  {
+    snapshot::BinaryWriter writer(payload);
+    cache.Save(writer, /*num_graphs=*/20, /*dataset_crc=*/0xABCD);
+    ASSERT_TRUE(writer.ok());
+  }
+  QueryCache restored(validated, /*universe=*/20);
+  std::istringstream in(payload.str());
+  snapshot::BinaryReader reader(in);
+  ASSERT_TRUE(restored.Load(reader, 20, 0xABCD));
+
+  // The stored keys survive byte-identically, and the rebuilt map resolves
+  // them to the same positions as the producing cache.
+  ASSERT_EQ(restored.size(), cache.size());
+  for (size_t i = 0; i < cache.size(); ++i) {
+    const std::string& key = cache.entries()[i].canonical;
+    EXPECT_FALSE(key.empty());
+    EXPECT_EQ(restored.entries()[i].canonical, key) << "entry " << i;
+    EXPECT_EQ(restored.FindExactByKey(key), cache.FindExactByKey(key))
+        << "entry " << i;
+  }
+}
+
+TEST(CacheStateTest, Version1PayloadLoadsByRecomputingCanonicalKeys) {
+  // A hand-built version-1 cache payload — the exact pre-key layout, no
+  // canonical string in the records — must still load, with the keys
+  // recomputed from the graphs so the fast path works on old snapshots.
+  IgqOptions options;
+  options.cache_capacity = 8;
+  options.window_size = 2;
+  const IgqOptions validated = ValidatedIgqOptions(options);
+
+  std::ostringstream payload;
+  snapshot::BinaryWriter writer(payload);
+  writer.WriteU32(1);  // version 1: records carry no canonical key
+  writer.WriteU32(static_cast<uint32_t>(validated.path_max_edges));
+  writer.WriteU64(validated.cache_capacity);
+  writer.WriteU64(validated.window_size);
+  writer.WriteU8(static_cast<uint8_t>(validated.replacement_policy));
+  writer.WriteU64(10);      // num_graphs
+  writer.WriteU32(0x1234);  // dataset crc
+  writer.WriteU64(5);       // queries_processed
+  writer.WriteU64(2);       // next_id
+  auto write_v1_record = [&writer](uint64_t id, const Graph& graph,
+                                   std::span<const GraphId> answer) {
+    writer.WriteU64(id);
+    snapshot::WriteGraph(writer, graph);
+    writer.WriteU64(answer.size());
+    for (GraphId member : answer) writer.WriteU32(member);
+    writer.WriteU64(0);  // hits
+    writer.WriteU64(0);  // inserted_at
+    writer.WriteU64(0);  // removed_candidates
+    writer.WriteDouble(LogValue::Zero().log());
+    writer.WriteU64(0);  // last_hit_at
+  };
+  const Graph a = testing::PathGraph({1, 2, 3});
+  const Graph b = testing::Triangle(4, 4, 4);
+  writer.WriteU64(2);  // flushed entries
+  const std::vector<GraphId> answer_a{1, 4};
+  const std::vector<GraphId> answer_b{2};
+  write_v1_record(0, a, answer_a);
+  write_v1_record(1, b, answer_b);
+  writer.WriteU64(0);  // empty window
+  ASSERT_TRUE(writer.ok());
+
+  QueryCache cache(validated, /*universe=*/10);
+  std::istringstream in(payload.str());
+  snapshot::BinaryReader reader(in);
+  ASSERT_TRUE(cache.Load(reader, 10, 0x1234));
+  ASSERT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.entries()[0].canonical, GraphCanonicalCode(a));
+  EXPECT_EQ(cache.entries()[1].canonical, GraphCanonicalCode(b));
+
+  // The recomputed keys are live in the map: an isomorphic copy (the same
+  // path written from the other end) resolves to the restored entry.
+  const Graph reversed = testing::PathGraph({3, 2, 1});
+  EXPECT_EQ(cache.FindExactByKey(GraphCanonicalCode(reversed)), 0u);
+  EXPECT_EQ(cache.entries()[0].answer.ToVector(), answer_a);
 }
 
 }  // namespace
