@@ -18,7 +18,22 @@
 //       Restore engine state from a snapshot (skipping the index build when
 //       the snapshot carries one) and run a probe workload; --verify also
 //       answers the probes on a cold-built engine and fails on any
-//       divergence.
+//       divergence. Load failures exit with a typed code: 2 = corrupt
+//       bytes, 3 = snapshot format version skew, 4 = snapshot belongs to a
+//       different dataset/configuration (1 for anything else).
+//   igq_tool churn --data=aids.txt --method=grapes6 --mutations=200 \
+//            --dir=state [--sync=every_record|batched[:N]|os_default] \
+//            --snapshot-every=100
+//       Apply a random add/remove script through the engine with a
+//       write-ahead log attached (journal to <dir>/wal), saving an atomic
+//       snapshot to <dir>/snap and rotating the log every N mutations —
+//       the durable-server loop that `recover` picks up after a crash.
+//   igq_tool recover --data=aids.txt --method=grapes6 --dir=state \
+//            [--verify]
+//       Recover an engine from whatever <dir> still holds (snapshot + WAL),
+//       print the recovery report (ladder rung, replay counts), and run
+//       probe queries; --verify re-answers the probes on a cold-built
+//       engine over the recovered database and fails on any divergence.
 //   igq_tool serve --data=aids.txt --method=grapes6 --streams=8 \
 //            --queries=1000 --shards=8 [--verify] [--save=warm.igqs]
 //       Serve the workload as N concurrent client streams over ONE shared,
@@ -31,16 +46,23 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/timer.h"
 #include "datasets/profiles.h"
+#include "durability/fault_fs.h"
+#include "durability/recovery.h"
+#include "durability/wal.h"
 #include "graph/graph_io.h"
 #include "igq/concurrent_engine.h"
 #include "igq/engine.h"
+#include "igq/mutation.h"
 #include "methods/registry.h"
 #include "workload/query_generator.h"
 
@@ -196,21 +218,33 @@ int CmdSave(const std::map<std::string, std::string>& flags) {
               workload.size(), warm_timer.ElapsedSeconds(),
               engine.cache().size(), engine.cache().window_fill());
 
+  // Atomic save (tmp + fsync + rename): a crash mid-write can never clobber
+  // an existing snapshot at this path.
   const std::string out_path = Get(flags, "out", "warm.igqs");
-  std::ofstream out(out_path, std::ios::binary);
-  if (!out) {
-    std::fprintf(stderr, "cannot write '%s'\n", out_path.c_str());
-    return 1;
-  }
   std::string error;
-  if (!engine.SaveSnapshot(out, &error)) {
+  if (!igq::durability::SaveSnapshotAtomic(
+          igq::durability::RealFileSystem::Instance(), out_path,
+          [&engine](std::ostream& out, std::string* err) {
+            return engine.SaveSnapshot(out, err);
+          },
+          &error)) {
     std::fprintf(stderr, "snapshot failed: %s\n", error.c_str());
     return 1;
   }
-  out.flush();
-  std::printf("snapshot written to %s (%lld bytes)\n", out_path.c_str(),
-              static_cast<long long>(out.tellp()));
+  std::printf("snapshot written atomically to %s\n", out_path.c_str());
   return 0;
+}
+
+// Typed exit codes for snapshot load failures, so scripts and CI can tell
+// "re-generate the snapshot" (4) from "the disk ate it" (2) from "upgrade
+// the reader" (3).
+int LoadExitCode(igq::snapshot::SnapshotErrorKind kind) {
+  switch (kind) {
+    case igq::snapshot::SnapshotErrorKind::kCorrupt: return 2;
+    case igq::snapshot::SnapshotErrorKind::kVersionSkew: return 3;
+    case igq::snapshot::SnapshotErrorKind::kDatasetDivergence: return 4;
+    default: return 1;
+  }
 }
 
 int CmdLoad(const std::map<std::string, std::string>& flags) {
@@ -231,9 +265,10 @@ int CmdLoad(const std::map<std::string, std::string>& flags) {
   igq::SnapshotLoadInfo info;
   igq::Timer load_timer;
   if (!engine.LoadSnapshot(in, &error, &info)) {
-    std::fprintf(stderr, "cannot load snapshot '%s': %s\n",
-                 snapshot_path.c_str(), error.c_str());
-    return 1;
+    std::fprintf(stderr, "cannot load snapshot '%s': %s (%s)\n",
+                 snapshot_path.c_str(), error.c_str(),
+                 igq::snapshot::SnapshotErrorKindName(info.error_kind));
+    return LoadExitCode(info.error_kind);
   }
   if (!info.method_index_restored) {
     std::printf("snapshot has no %s index; building from scratch\n",
@@ -418,13 +453,164 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+// The durable-server loop: mutations journaled through the write-ahead log
+// before they apply, with periodic atomic snapshots + log rotation. Kill
+// this process at ANY point and `recover` brings the engine back.
+int CmdChurn(const std::map<std::string, std::string>& flags) {
+  igq::GraphDatabase db;
+  if (!LoadDatabase(flags, &db)) return 1;
+  igq::QueryDirection direction;
+  auto method = MakeMethod(flags, &direction);
+  if (method == nullptr) return 1;
+
+  igq::durability::WalOptions wal_options;
+  const std::string sync_text = Get(flags, "sync", "every_record");
+  if (!igq::durability::ParseSyncPolicy(sync_text, &wal_options)) {
+    std::fprintf(stderr,
+                 "bad --sync='%s' (every_record|batched[:N]|os_default)\n",
+                 sync_text.c_str());
+    return 1;
+  }
+  const std::string dir = Get(flags, "dir", "state");
+  const std::string wal_dir = (std::filesystem::path(dir) / "wal").string();
+  const std::string snap_path = (std::filesystem::path(dir) / "snap").string();
+  std::error_code ec;
+  std::filesystem::create_directories(wal_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create '%s': %s\n", wal_dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+
+  method->Build(db);
+  igq::QueryEngine engine(db, method.get(), EngineOptions(flags, direction));
+  igq::durability::FileSystem& fs = igq::durability::RealFileSystem::Instance();
+  igq::durability::WalWriter wal(fs, wal_dir, wal_options);
+  if (!wal.Open(0, 1)) {
+    std::fprintf(stderr, "cannot open WAL under '%s'\n", wal_dir.c_str());
+    return 1;
+  }
+  engine.AttachWal(&wal);
+
+  const size_t total =
+      std::max<long long>(1, std::atoll(Get(flags, "mutations", "200").c_str()));
+  const size_t snapshot_every =
+      std::max<long long>(1,
+                          std::atoll(Get(flags, "snapshot-every", "100").c_str()));
+  igq::Rng rng(std::atoll(Get(flags, "seed", "42").c_str()) + 7);
+  std::vector<igq::GraphId> live;
+  for (igq::GraphId i = 0; i < db.graphs.size(); ++i) live.push_back(i);
+  size_t snapshots = 0;
+  igq::Timer timer;
+  for (size_t i = 0; i < total; ++i) {
+    igq::GraphMutation mutation;
+    if (rng.Chance(0.5) || live.size() < 2) {
+      mutation = igq::GraphMutation::Add(
+          db.graphs[rng.Below(db.graphs.size())]);
+    } else {
+      const size_t slot = rng.Below(live.size());
+      mutation = igq::GraphMutation::Remove(live[slot]);
+      live.erase(live.begin() + static_cast<ptrdiff_t>(slot));
+    }
+    const igq::MutationResult result = engine.ApplyMutation(db, mutation);
+    if (result.wal_failed) {
+      std::fprintf(stderr,
+                   "WAL append failed at mutation %zu; refusing to continue "
+                   "(nothing was applied)\n", i);
+      return 1;
+    }
+    if (result.applied && mutation.kind == igq::MutationKind::kAddGraph) {
+      live.push_back(result.id);
+    }
+    if ((i + 1) % snapshot_every == 0) {
+      std::string error;
+      if (!igq::durability::SaveSnapshotAtomic(
+              fs, snap_path,
+              [&engine](std::ostream& out, std::string* err) {
+                return engine.SaveSnapshot(out, err);
+              },
+              &error) ||
+          !wal.Rotate(db.mutation_epoch)) {
+        std::fprintf(stderr, "snapshot at epoch %llu failed: %s\n",
+                     static_cast<unsigned long long>(db.mutation_epoch),
+                     error.c_str());
+        return 1;
+      }
+      ++snapshots;
+    }
+  }
+  if (!wal.Sync()) {
+    std::fprintf(stderr, "final WAL sync failed\n");
+    return 1;
+  }
+  std::printf("%zu mutations journaled (%s sync) in %.2fs; epoch %llu, "
+              "next sequence %llu, %zu atomic snapshot(s) at %s\n",
+              total, igq::durability::SyncPolicyName(wal_options.sync_policy),
+              timer.ElapsedSeconds(),
+              static_cast<unsigned long long>(db.mutation_epoch),
+              static_cast<unsigned long long>(wal.next_sequence()),
+              snapshots, snap_path.c_str());
+  return 0;
+}
+
+int CmdRecover(const std::map<std::string, std::string>& flags) {
+  igq::GraphDatabase db;
+  if (!LoadDatabase(flags, &db)) return 1;
+  igq::QueryDirection direction;
+  auto method = MakeMethod(flags, &direction);
+  if (method == nullptr) return 1;
+
+  const std::string dir = Get(flags, "dir", "state");
+  igq::durability::RecoverySpec spec;
+  spec.wal_dir = (std::filesystem::path(dir) / "wal").string();
+  spec.snapshot_paths = {(std::filesystem::path(dir) / "snap").string()};
+
+  igq::QueryEngine engine(db, method.get(), EngineOptions(flags, direction));
+  igq::Timer timer;
+  const igq::durability::RecoveryReport report = igq::durability::RecoverEngine(
+      igq::durability::RealFileSystem::Instance(), spec, db, *method, engine);
+  std::printf("%s", report.Summary().c_str());
+  std::printf("recovered in %.2fs\n", timer.ElapsedSeconds());
+
+  const igq::WorkloadSpec probe_spec = igq::MakeWorkloadSpec(
+      Get(flags, "workload", "zipf-zipf"),
+      std::atof(Get(flags, "alpha", "1.4").c_str()),
+      std::atoll(Get(flags, "queries", "50").c_str()),
+      std::atoll(Get(flags, "seed", "44").c_str()));
+  const auto probes = igq::GenerateWorkload(db.graphs, probe_spec);
+  std::vector<std::vector<igq::GraphId>> answers;
+  answers.reserve(probes.size());
+  for (const igq::WorkloadQuery& wq : probes) {
+    answers.push_back(engine.Process(wq.graph));
+  }
+  std::printf("%zu probe queries answered on the recovered engine\n",
+              probes.size());
+
+  if (flags.count("verify") != 0) {
+    // The recovered index + cache must answer exactly like a cold build
+    // over the recovered database.
+    auto cold_method = MakeMethod(flags, nullptr);
+    cold_method->Build(db);
+    igq::QueryEngine cold(db, cold_method.get(),
+                          EngineOptions(flags, direction));
+    for (size_t i = 0; i < probes.size(); ++i) {
+      if (cold.Process(probes[i].graph) != answers[i]) {
+        std::printf("answers identical to cold rebuild: NO (query %zu)\n", i);
+        return 1;
+      }
+    }
+    std::printf("answers identical to cold rebuild: yes\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: igq_tool <gen|stat|query|save|load|serve> "
-                 "[--flag=value ...]\n");
+                 "usage: igq_tool <gen|stat|query|save|load|serve|churn|"
+                 "recover> [--flag=value ...]\n");
     return 1;
   }
   const auto flags = ParseFlags(argc, argv);
@@ -434,6 +620,8 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "save") == 0) return CmdSave(flags);
   if (std::strcmp(argv[1], "load") == 0) return CmdLoad(flags);
   if (std::strcmp(argv[1], "serve") == 0) return CmdServe(flags);
+  if (std::strcmp(argv[1], "churn") == 0) return CmdChurn(flags);
+  if (std::strcmp(argv[1], "recover") == 0) return CmdRecover(flags);
   std::fprintf(stderr, "unknown command '%s'\n", argv[1]);
   return 1;
 }

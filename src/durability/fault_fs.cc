@@ -1,0 +1,347 @@
+#include "durability/fault_fs.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace igq {
+namespace durability {
+
+// ---------------------------------------------------------------------------
+// Default WriteFileAtomic: tmp sibling -> sync -> rename. Built on the
+// virtual primitives so FaultFs (which only overrides the primitives) gets
+// fault injection through every step for free.
+
+bool FileSystem::WriteFileAtomic(const std::string& path,
+                                 const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  Remove(tmp);  // a stale tmp from an earlier crash must not be appended to
+  {
+    std::unique_ptr<WritableFile> file = OpenForAppend(tmp);
+    if (file == nullptr) return false;
+    if (!contents.empty() && !file->Append(contents.data(), contents.size())) {
+      file->Close();
+      return false;
+    }
+    if (!file->Sync()) {
+      file->Close();
+      return false;
+    }
+    if (!file->Close()) return false;
+  }
+  return Rename(tmp, path);
+}
+
+// ---------------------------------------------------------------------------
+// RealFileSystem (POSIX).
+
+namespace {
+
+class PosixWritableFile : public WritableFile {
+ public:
+  explicit PosixWritableFile(int fd) : fd_(fd) {}
+  ~PosixWritableFile() override { Close(); }
+
+  bool Append(const void* data, size_t size) override {
+    const char* bytes = static_cast<const char*>(data);
+    while (size > 0) {
+      const ssize_t written = ::write(fd_, bytes, size);
+      if (written <= 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      bytes += written;
+      size -= static_cast<size_t>(written);
+    }
+    return true;
+  }
+
+  bool Sync() override { return fd_ >= 0 && ::fsync(fd_) == 0; }
+
+  bool Close() override {
+    if (fd_ < 0) return true;
+    const bool ok = ::close(fd_) == 0;
+    fd_ = -1;
+    return ok;
+  }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+RealFileSystem& RealFileSystem::Instance() {
+  static RealFileSystem instance;
+  return instance;
+}
+
+std::unique_ptr<WritableFile> RealFileSystem::OpenForAppend(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return nullptr;
+  return std::make_unique<PosixWritableFile>(fd);
+}
+
+bool RealFileSystem::ReadFile(const std::string& path, std::string* contents) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return false;
+  *contents = std::move(buffer).str();
+  return true;
+}
+
+bool RealFileSystem::Rename(const std::string& from, const std::string& to) {
+  return ::rename(from.c_str(), to.c_str()) == 0;
+}
+
+bool RealFileSystem::Exists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
+}
+
+bool RealFileSystem::Remove(const std::string& path) {
+  return ::unlink(path.c_str()) == 0;
+}
+
+std::vector<std::string> RealFileSystem::ListDir(const std::string& dir) {
+  std::vector<std::string> names;
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) return names;
+  while (struct dirent* entry = ::readdir(handle)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    struct stat st;
+    if (::stat((dir + "/" + name).c_str(), &st) == 0 && S_ISREG(st.st_mode)) {
+      names.push_back(name);
+    }
+  }
+  ::closedir(handle);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+// ---------------------------------------------------------------------------
+// InMemoryFileSystem.
+
+namespace {
+
+/// Splits "dir/name" on the final '/'; a path with no '/' lives in "".
+std::pair<std::string, std::string> SplitPath(const std::string& path) {
+  const size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return {"", path};
+  return {path.substr(0, slash), path.substr(slash + 1)};
+}
+
+}  // namespace
+
+class InMemoryWritableFile : public WritableFile {
+ public:
+  InMemoryWritableFile(InMemoryFileSystem* fs, std::string path)
+      : fs_(fs), path_(std::move(path)) {}
+
+  bool Append(const void* data, size_t size) override {
+    std::lock_guard<std::mutex> lock(fs_->mutex_);
+    auto it = fs_->files_.find(path_);
+    if (it == fs_->files_.end()) return false;  // removed underneath us
+    it->second.data.append(static_cast<const char*>(data), size);
+    return true;
+  }
+
+  bool Sync() override {
+    std::lock_guard<std::mutex> lock(fs_->mutex_);
+    auto it = fs_->files_.find(path_);
+    if (it == fs_->files_.end()) return false;
+    it->second.durable_size = it->second.data.size();
+    return true;
+  }
+
+  bool Close() override { return true; }
+
+ private:
+  InMemoryFileSystem* fs_;
+  std::string path_;
+};
+
+std::unique_ptr<WritableFile> InMemoryFileSystem::OpenForAppend(
+    const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    files_.try_emplace(path);  // create empty if absent; keep if present
+  }
+  return std::make_unique<InMemoryWritableFile>(this, path);
+}
+
+bool InMemoryFileSystem::ReadFile(const std::string& path,
+                                  std::string* contents) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return false;
+  *contents = it->second.data;
+  return true;
+}
+
+bool InMemoryFileSystem::Rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(from);
+  if (it == files_.end()) return false;
+  files_[to] = std::move(it->second);
+  files_.erase(it);
+  return true;
+}
+
+bool InMemoryFileSystem::Exists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return files_.count(path) != 0;
+}
+
+bool InMemoryFileSystem::Remove(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return files_.erase(path) != 0;
+}
+
+std::vector<std::string> InMemoryFileSystem::ListDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  for (const auto& [path, state] : files_) {
+    const auto [file_dir, name] = SplitPath(path);
+    if (file_dir == dir) names.push_back(name);
+  }
+  return names;  // map order is already sorted
+}
+
+void InMemoryFileSystem::SimulateCrash() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [path, state] : files_) {
+    state.data.resize(state.durable_size);
+  }
+}
+
+bool InMemoryFileSystem::SetContents(const std::string& path,
+                                     std::string contents) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FileState& state = files_[path];
+  state.data = std::move(contents);
+  state.durable_size = state.data.size();
+  return true;
+}
+
+bool InMemoryFileSystem::FlipBit(const std::string& path, size_t byte_offset,
+                                 int bit) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(path);
+  if (it == files_.end() || byte_offset >= it->second.data.size()) return false;
+  it->second.data[byte_offset] =
+      static_cast<char>(it->second.data[byte_offset] ^ (1 << (bit & 7)));
+  return true;
+}
+
+bool InMemoryFileSystem::TruncateFile(const std::string& path,
+                                      size_t new_size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(path);
+  if (it == files_.end() || new_size > it->second.data.size()) return false;
+  it->second.data.resize(new_size);
+  it->second.durable_size = std::min(it->second.durable_size, new_size);
+  return true;
+}
+
+size_t InMemoryFileSystem::FileSize(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(path);
+  return it == files_.end() ? 0 : it->second.data.size();
+}
+
+// ---------------------------------------------------------------------------
+// FaultFs.
+
+class FaultWritableFile : public WritableFile {
+ public:
+  FaultWritableFile(FaultFs* fs, std::unique_ptr<WritableFile> base)
+      : fs_(fs), base_(std::move(base)) {}
+
+  bool Append(const void* data, size_t size) override {
+    if (fs_->crashed_) return false;
+    ++fs_->appends_;
+    if (fs_->plan.short_write_at == fs_->appends_) {
+      // A short write: half the bytes land, the call fails.
+      const size_t half = size / 2;
+      if (half > 0) base_->Append(data, half);
+      fs_->bytes_appended_ += half;
+      return false;
+    }
+    const uint64_t limit = fs_->plan.crash_after_bytes;
+    if (fs_->bytes_appended_ + size > limit) {
+      // The write that crosses the crash point is cut at the boundary and
+      // the "process" is dead from here on.
+      const size_t prefix = static_cast<size_t>(
+          limit > fs_->bytes_appended_ ? limit - fs_->bytes_appended_ : 0);
+      if (prefix > 0) base_->Append(data, prefix);
+      fs_->bytes_appended_ += prefix;
+      fs_->crashed_ = true;
+      return false;
+    }
+    if (!base_->Append(data, size)) return false;
+    fs_->bytes_appended_ += size;
+    return true;
+  }
+
+  bool Sync() override {
+    if (fs_->crashed_) return false;
+    ++fs_->syncs_;
+    if (fs_->plan.fail_sync_at == fs_->syncs_) return false;
+    return base_->Sync();
+  }
+
+  bool Close() override { return base_->Close(); }
+
+ private:
+  FaultFs* fs_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+std::unique_ptr<WritableFile> FaultFs::OpenForAppend(const std::string& path) {
+  if (crashed_) return nullptr;
+  std::unique_ptr<WritableFile> base = base_->OpenForAppend(path);
+  if (base == nullptr) return nullptr;
+  return std::make_unique<FaultWritableFile>(this, std::move(base));
+}
+
+bool FaultFs::ReadFile(const std::string& path, std::string* contents) {
+  return !crashed_ && base_->ReadFile(path, contents);
+}
+
+bool FaultFs::Rename(const std::string& from, const std::string& to) {
+  return !crashed_ && base_->Rename(from, to);
+}
+
+bool FaultFs::Exists(const std::string& path) {
+  return !crashed_ && base_->Exists(path);
+}
+
+bool FaultFs::Remove(const std::string& path) {
+  return !crashed_ && base_->Remove(path);
+}
+
+std::vector<std::string> FaultFs::ListDir(const std::string& dir) {
+  if (crashed_) return {};
+  return base_->ListDir(dir);
+}
+
+void FaultFs::Reset() {
+  crashed_ = false;
+  bytes_appended_ = 0;
+  appends_ = 0;
+  syncs_ = 0;
+}
+
+}  // namespace durability
+}  // namespace igq

@@ -1,0 +1,181 @@
+// File abstraction behind the durability subsystem (WAL + atomic snapshot
+// saves), designed so every byte the subsystem persists can be fault-injected
+// in tests:
+//
+//   * FileSystem / WritableFile — the minimal surface the WAL and the atomic
+//     snapshot writer need: append, fsync, rename, list, read-whole-file.
+//   * RealFileSystem — POSIX implementation (write/fsync/rename). Rename is
+//     atomic; WriteFileAtomic composes tmp-write + fsync + rename so a crash
+//     mid-save can never clobber an existing file.
+//   * InMemoryFileSystem — models the OS page cache: Append lands in volatile
+//     content, Sync advances a per-file durable watermark, SimulateCrash()
+//     truncates every file back to its watermark. Bit flips and truncation
+//     are first-class so corruption tests need no real disk.
+//   * FaultFs — a shim over any FileSystem injecting short writes, failed
+//     fsyncs, and a byte-exact crash point (the write that crosses it is cut
+//     at the boundary and every later operation fails, like a dead process).
+//
+// Thread-safety: InMemoryFileSystem serializes all operations internally so
+// a WAL writer thread and a post-crash scanner can share it; FaultFs adds no
+// locking of its own beyond atomic counters (the WAL already serializes
+// appends under the engines' writer gate).
+#ifndef IGQ_DURABILITY_FAULT_FS_H_
+#define IGQ_DURABILITY_FAULT_FS_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace igq {
+namespace durability {
+
+/// An open append-only file handle.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends `size` bytes. False on any failure (including a short write —
+  /// partially-appended bytes may still have reached the file, exactly the
+  /// torn-tail case recovery handles).
+  virtual bool Append(const void* data, size_t size) = 0;
+
+  /// Durability barrier: everything appended so far survives a crash once
+  /// this returns true.
+  virtual bool Sync() = 0;
+
+  /// Closes the handle (idempotent; no implicit Sync).
+  virtual bool Close() = 0;
+};
+
+/// The file-system surface the durability subsystem is written against.
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  /// Opens `path` for appending, creating it (empty) if absent.
+  virtual std::unique_ptr<WritableFile> OpenForAppend(
+      const std::string& path) = 0;
+
+  /// Reads the whole file into `contents`. False if unreadable.
+  virtual bool ReadFile(const std::string& path, std::string* contents) = 0;
+
+  /// Plain directory-entry rename (atomic on POSIX). False on failure.
+  virtual bool Rename(const std::string& from, const std::string& to) = 0;
+
+  virtual bool Exists(const std::string& path) = 0;
+  virtual bool Remove(const std::string& path) = 0;
+
+  /// Names (not paths) of regular files directly under `dir`, sorted.
+  virtual std::vector<std::string> ListDir(const std::string& dir) = 0;
+
+  /// Crash-safe whole-file replace: writes `contents` to a `.tmp` sibling,
+  /// syncs it, then renames over `path` — a crash at any point leaves either
+  /// the old file or the new one, never a torn mix. Implemented on the
+  /// primitives above so FaultFs faults apply to every step.
+  virtual bool WriteFileAtomic(const std::string& path,
+                               const std::string& contents);
+};
+
+/// POSIX-backed implementation used by igq_tool and the benches.
+class RealFileSystem : public FileSystem {
+ public:
+  static RealFileSystem& Instance();
+
+  std::unique_ptr<WritableFile> OpenForAppend(const std::string& path) override;
+  bool ReadFile(const std::string& path, std::string* contents) override;
+  bool Rename(const std::string& from, const std::string& to) override;
+  bool Exists(const std::string& path) override;
+  bool Remove(const std::string& path) override;
+  std::vector<std::string> ListDir(const std::string& dir) override;
+};
+
+/// In-memory file system with an explicit durability model for crash tests.
+class InMemoryFileSystem : public FileSystem {
+ public:
+  std::unique_ptr<WritableFile> OpenForAppend(const std::string& path) override;
+  bool ReadFile(const std::string& path, std::string* contents) override;
+  bool Rename(const std::string& from, const std::string& to) override;
+  bool Exists(const std::string& path) override;
+  bool Remove(const std::string& path) override;
+  std::vector<std::string> ListDir(const std::string& dir) override;
+
+  /// Discards everything volatile: every file's content reverts to its last
+  /// Sync()-ed prefix, as if the process (and OS) died and rebooted.
+  void SimulateCrash();
+
+  /// Test hooks. All return false when `path` does not exist / the offset is
+  /// out of range. Mutated bytes count as durable (the corruption is "on
+  /// disk").
+  bool SetContents(const std::string& path, std::string contents);
+  bool FlipBit(const std::string& path, size_t byte_offset, int bit);
+  bool TruncateFile(const std::string& path, size_t new_size);
+  size_t FileSize(const std::string& path);
+
+ private:
+  friend class InMemoryWritableFile;
+  struct FileState {
+    std::string data;
+    size_t durable_size = 0;
+  };
+  std::mutex mutex_;
+  std::map<std::string, FileState> files_;
+};
+
+/// Faults a FaultFs injects, all disabled by default. Counters are global
+/// across files (the WAL is effectively a single append stream).
+struct FaultPlan {
+  static constexpr uint64_t kNever = std::numeric_limits<uint64_t>::max();
+
+  /// Total appended bytes after which the "process dies": the append that
+  /// crosses the limit writes only up to the boundary and fails, and every
+  /// subsequent operation fails too (check FaultFs::crashed()). Pair with
+  /// InMemoryFileSystem::SimulateCrash() to also drop unsynced bytes.
+  uint64_t crash_after_bytes = kNever;
+
+  /// 1-based index of the Append call that writes only its first half and
+  /// then fails (a classic short write).
+  uint64_t short_write_at = 0;
+
+  /// 1-based index of the Sync call that fails; the data stays volatile.
+  uint64_t fail_sync_at = 0;
+};
+
+/// Fault-injection shim over any FileSystem.
+class FaultFs : public FileSystem {
+ public:
+  explicit FaultFs(FileSystem& base) : base_(&base) {}
+
+  FaultPlan plan;
+
+  std::unique_ptr<WritableFile> OpenForAppend(const std::string& path) override;
+  bool ReadFile(const std::string& path, std::string* contents) override;
+  bool Rename(const std::string& from, const std::string& to) override;
+  bool Exists(const std::string& path) override;
+  bool Remove(const std::string& path) override;
+  std::vector<std::string> ListDir(const std::string& dir) override;
+
+  bool crashed() const { return crashed_; }
+  uint64_t bytes_appended() const { return bytes_appended_; }
+  uint64_t appends() const { return appends_; }
+  uint64_t syncs() const { return syncs_; }
+
+  /// Clears counters and the crashed flag (the plan is left alone).
+  void Reset();
+
+ private:
+  friend class FaultWritableFile;
+  FileSystem* base_;
+  bool crashed_ = false;
+  uint64_t bytes_appended_ = 0;
+  uint64_t appends_ = 0;
+  uint64_t syncs_ = 0;
+};
+
+}  // namespace durability
+}  // namespace igq
+
+#endif  // IGQ_DURABILITY_FAULT_FS_H_

@@ -1,0 +1,428 @@
+#include "durability/wal.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "snapshot/serializer.h"
+
+namespace igq {
+namespace durability {
+namespace {
+
+/// Record kinds on disk (decoupled from MutationKind's in-memory values).
+constexpr uint8_t kKindAdd = 1;
+constexpr uint8_t kKindRemove = 2;
+
+/// u32 payload_size + u64 sequence + u64 epoch preceding the payload.
+constexpr size_t kRecordPreambleBytes = 4 + 8 + 8;
+/// Trailing CRC-32.
+constexpr size_t kRecordCrcBytes = 4;
+/// magic + u32 version + u64 start_epoch + u32 header crc.
+constexpr size_t kSegmentHeaderBytes = 4 + 4 + 8 + 4;
+
+}  // namespace
+
+const char* SyncPolicyName(SyncPolicy policy) {
+  switch (policy) {
+    case SyncPolicy::kEveryRecord: return "every_record";
+    case SyncPolicy::kBatched: return "batched";
+    case SyncPolicy::kOsDefault: return "os_default";
+  }
+  return "?";
+}
+
+bool ParseSyncPolicy(const std::string& text, WalOptions* options) {
+  if (text == "every_record") {
+    options->sync_policy = SyncPolicy::kEveryRecord;
+    return true;
+  }
+  if (text == "os_default") {
+    options->sync_policy = SyncPolicy::kOsDefault;
+    return true;
+  }
+  if (text == "batched") {
+    options->sync_policy = SyncPolicy::kBatched;
+    return true;
+  }
+  if (text.rfind("batched:", 0) == 0) {
+    const long long n = std::atoll(text.c_str() + 8);
+    if (n <= 0) return false;
+    options->sync_policy = SyncPolicy::kBatched;
+    options->batch_records = static_cast<size_t>(n);
+    return true;
+  }
+  return false;
+}
+
+std::string WalFileName(uint64_t start_epoch) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "wal-%020llu.log",
+                static_cast<unsigned long long>(start_epoch));
+  return buffer;
+}
+
+std::string EncodeWalRecord(const WalRecord& record) {
+  // Payload first, to learn its length.
+  std::ostringstream payload_stream;
+  {
+    snapshot::BinaryWriter writer(payload_stream);
+    if (record.mutation.kind == MutationKind::kAddGraph) {
+      writer.WriteU8(kKindAdd);
+      snapshot::WriteGraph(writer, record.mutation.graph);
+    } else {
+      writer.WriteU8(kKindRemove);
+      writer.WriteU32(record.mutation.id);
+    }
+  }
+  const std::string payload = std::move(payload_stream).str();
+
+  std::ostringstream out;
+  snapshot::BinaryWriter writer(out);
+  writer.WriteU32(static_cast<uint32_t>(payload.size()));
+  writer.WriteU64(record.sequence);
+  writer.WriteU64(record.epoch);
+  writer.WriteBytes(payload.data(), payload.size());
+  writer.WriteU32(writer.crc());  // covers everything above
+  return std::move(out).str();
+}
+
+// ---------------------------------------------------------------------------
+// WalWriter.
+
+WalWriter::WalWriter(FileSystem& fs, std::string dir, WalOptions options)
+    : fs_(&fs), dir_(std::move(dir)), options_(options) {}
+
+WalWriter::~WalWriter() {
+  if (file_ != nullptr) {
+    Sync();
+    file_->Close();
+  }
+}
+
+bool WalWriter::Open(uint64_t start_epoch, uint64_t next_sequence) {
+  if (file_ != nullptr) {
+    file_->Close();
+    file_.reset();
+  }
+  ok_ = false;
+  next_sequence_ = next_sequence;
+  current_path_ = dir_.empty() ? WalFileName(start_epoch)
+                               : dir_ + "/" + WalFileName(start_epoch);
+  // A file with this name can already exist after a crash-and-recover at
+  // exactly `start_epoch` (e.g. the crash hit right after a rotation).
+  // Appending onto it would bury a second header mid-file; and since the
+  // chain recovered only TO start_epoch, any bytes in the old file beyond
+  // its header are by definition not part of the valid chain — replacing
+  // the file loses nothing.
+  if (fs_->Exists(current_path_)) fs_->Remove(current_path_);
+  file_ = fs_->OpenForAppend(current_path_);
+  if (file_ == nullptr) return false;
+
+  std::ostringstream header;
+  {
+    snapshot::BinaryWriter writer(header);
+    writer.WriteBytes(kWalMagic, sizeof(kWalMagic));
+    writer.WriteU32(kWalVersion);
+    writer.WriteU64(start_epoch);
+    writer.WriteU32(writer.crc());
+  }
+  const std::string bytes = std::move(header).str();
+  if (!file_->Append(bytes.data(), bytes.size())) return false;
+  // The header is made durable regardless of policy: an empty-but-valid
+  // segment is what marks a rotation as having happened.
+  if (!file_->Sync()) return false;
+  unsynced_records_ = 0;
+  ok_ = true;
+  return true;
+}
+
+bool WalWriter::Append(const GraphMutation& mutation, uint64_t epoch_after,
+                       uint64_t* sequence) {
+  if (!ok_ || file_ == nullptr) return false;
+  WalRecord record;
+  record.sequence = next_sequence_;
+  record.epoch = epoch_after;
+  record.mutation = mutation;
+  const std::string bytes = EncodeWalRecord(record);
+  if (!file_->Append(bytes.data(), bytes.size())) {
+    ok_ = false;  // the tail may be torn; nothing after it can be trusted
+    return false;
+  }
+  ++unsynced_records_;
+  switch (options_.sync_policy) {
+    case SyncPolicy::kEveryRecord:
+      if (!Sync()) {
+        ok_ = false;
+        return false;
+      }
+      break;
+    case SyncPolicy::kBatched:
+      if (unsynced_records_ >= options_.batch_records && !Sync()) {
+        ok_ = false;
+        return false;
+      }
+      break;
+    case SyncPolicy::kOsDefault:
+      break;
+  }
+  if (sequence != nullptr) *sequence = record.sequence;
+  ++next_sequence_;
+  return true;
+}
+
+bool WalWriter::Sync() {
+  if (file_ == nullptr) return false;
+  if (unsynced_records_ == 0) return true;
+  if (!file_->Sync()) return false;
+  unsynced_records_ = 0;
+  return true;
+}
+
+bool WalWriter::Rotate(uint64_t snapshot_epoch) {
+  if (file_ != nullptr) {
+    if (!Sync()) return false;
+    file_->Close();
+    file_.reset();
+  }
+  return Open(snapshot_epoch, next_sequence_);
+}
+
+// ---------------------------------------------------------------------------
+// Scanning.
+
+namespace {
+
+struct SegmentParse {
+  uint64_t start_epoch = 0;  // from the header
+  std::vector<WalRecord> records;
+  bool header_ok = false;
+  /// False when the segment ended mid-record / bad CRC; `tail_reason` says
+  /// how. Records before the damage are still usable.
+  bool clean_end = true;
+  std::string tail_reason;
+};
+
+/// Parses one segment leniently: whatever prefix is valid is returned, and
+/// the first framing/CRC problem marks the (torn) end.
+SegmentParse ParseSegment(const std::string& contents) {
+  SegmentParse parse;
+  std::istringstream in(contents);
+  snapshot::BinaryReader reader(in);
+
+  uint8_t magic[4] = {0, 0, 0, 0};
+  uint32_t version = 0;
+  uint64_t start_epoch = 0;
+  uint32_t header_crc = 0;
+  if (!reader.ReadBytes(magic, sizeof(magic)) ||
+      !std::equal(magic, magic + 4, kWalMagic)) {
+    parse.tail_reason = "bad segment magic";
+    return parse;
+  }
+  if (!reader.ReadU32(&version) || version != kWalVersion) {
+    parse.tail_reason = "unsupported segment version";
+    return parse;
+  }
+  if (!reader.ReadU64(&start_epoch)) {
+    parse.tail_reason = "truncated segment header";
+    return parse;
+  }
+  const uint32_t actual_header_crc = reader.crc();
+  if (!reader.ReadU32(&header_crc) || header_crc != actual_header_crc) {
+    parse.tail_reason = "segment header checksum mismatch";
+    return parse;
+  }
+  parse.header_ok = true;
+  parse.start_epoch = start_epoch;
+
+  uint64_t expected_epoch = start_epoch + 1;
+  for (;;) {
+    if (in.peek() == std::char_traits<char>::eof()) break;  // clean end
+    reader.ResetCrc();
+    uint32_t payload_size = 0;
+    uint64_t sequence = 0, epoch = 0;
+    if (!reader.ReadU32(&payload_size)) {
+      parse.clean_end = false;
+      parse.tail_reason = "torn record length";
+      break;
+    }
+    if (payload_size > kMaxWalPayloadBytes) {
+      parse.clean_end = false;
+      parse.tail_reason = "record length out of range (corrupt tail)";
+      break;
+    }
+    if (!reader.ReadU64(&sequence) || !reader.ReadU64(&epoch)) {
+      parse.clean_end = false;
+      parse.tail_reason = "torn record preamble";
+      break;
+    }
+    std::string payload(payload_size, '\0');
+    if (payload_size > 0 && !reader.ReadBytes(payload.data(), payload_size)) {
+      parse.clean_end = false;
+      parse.tail_reason = "torn record payload";
+      break;
+    }
+    const uint32_t actual_crc = reader.crc();
+    uint32_t stored_crc = 0;
+    if (!reader.ReadU32(&stored_crc)) {
+      parse.clean_end = false;
+      parse.tail_reason = "torn record checksum";
+      break;
+    }
+    if (stored_crc != actual_crc) {
+      parse.clean_end = false;
+      parse.tail_reason = "record checksum mismatch";
+      break;
+    }
+    // Decode the (checksum-verified) payload.
+    WalRecord record;
+    record.sequence = sequence;
+    record.epoch = epoch;
+    {
+      std::istringstream payload_in(payload);
+      snapshot::BinaryReader payload_reader(payload_in);
+      uint8_t kind = 0;
+      bool decoded = payload_reader.ReadU8(&kind);
+      if (decoded && kind == kKindAdd) {
+        Graph graph;
+        decoded = snapshot::ReadGraph(payload_reader, &graph) &&
+                  payload_in.peek() == std::char_traits<char>::eof();
+        record.mutation = GraphMutation::Add(std::move(graph));
+      } else if (decoded && kind == kKindRemove) {
+        uint32_t id = 0;
+        decoded = payload_reader.ReadU32(&id) &&
+                  payload_in.peek() == std::char_traits<char>::eof();
+        record.mutation = GraphMutation::Remove(id);
+      } else {
+        decoded = false;
+      }
+      if (!decoded) {
+        parse.clean_end = false;
+        parse.tail_reason = "undecodable record payload";
+        break;
+      }
+    }
+    // Epoch continuity within the segment. Duplicate/out-of-order epochs
+    // (and by extension sequences, checked across segments by the caller)
+    // are rejected: the chain ends at the last good record.
+    if (epoch != expected_epoch) {
+      parse.clean_end = false;
+      parse.tail_reason =
+          "epoch discontinuity (expected " + std::to_string(expected_epoch) +
+          ", found " + std::to_string(epoch) + ")";
+      break;
+    }
+    ++expected_epoch;
+    parse.records.push_back(std::move(record));
+  }
+  return parse;
+}
+
+}  // namespace
+
+WalScan ScanWal(FileSystem& fs, const std::string& dir) {
+  WalScan scan;
+  std::vector<std::pair<uint64_t, std::string>> segments;  // (start_epoch, path)
+  for (const std::string& name : fs.ListDir(dir)) {
+    if (name.rfind("wal-", 0) != 0 || name.size() != WalFileName(0).size() ||
+        name.substr(name.size() - 4) != ".log") {
+      continue;  // foreign file; not ours to judge
+    }
+    const std::string digits = name.substr(4, 20);
+    if (digits.find_first_not_of("0123456789") != std::string::npos) {
+      scan.notes.push_back("ignored unparsable segment name " + name);
+      continue;
+    }
+    segments.emplace_back(std::strtoull(digits.c_str(), nullptr, 10),
+                          dir.empty() ? name : dir + "/" + name);
+  }
+  std::sort(segments.begin(), segments.end());
+
+  uint64_t expected_epoch = 0;     // epoch the next segment must start at
+  uint64_t expected_sequence = 0;  // 0 = not yet pinned by a first record
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const auto& [name_epoch, path] = segments[i];
+    std::string contents;
+    if (!fs.ReadFile(path, &contents)) {
+      scan.notes.push_back("unreadable segment " + path + "; chain ends");
+      break;
+    }
+    SegmentParse parse = ParseSegment(contents);
+    if (!parse.header_ok) {
+      scan.notes.push_back("segment " + path + ": " + parse.tail_reason +
+                           "; chain ends");
+      break;
+    }
+    if (parse.start_epoch != name_epoch) {
+      scan.notes.push_back("segment " + path +
+                           ": header epoch disagrees with file name; "
+                           "chain ends");
+      break;
+    }
+    if (scan.segments == 0 && parse.start_epoch != 0) {
+      scan.notes.push_back(
+          "log starts at epoch " + std::to_string(parse.start_epoch) +
+          " > 0: earlier segments are missing, so the database cannot be "
+          "replayed from the base dataset; ignoring the log");
+      break;
+    }
+    if (parse.start_epoch > expected_epoch) {
+      scan.notes.push_back("segment " + path + " starts at epoch " +
+                           std::to_string(parse.start_epoch) +
+                           " but the chain ends at " +
+                           std::to_string(expected_epoch) +
+                           "; records in between are missing; chain ends");
+      break;
+    }
+    ++scan.segments;
+    // A segment may start below the chain tip (it was opened at a snapshot
+    // epoch while an older segment's torn tail still held invalid bytes
+    // beyond it). Records at-or-below the tip are duplicates of already
+    // accepted ones and are skipped; genuinely conflicting records are
+    // impossible because epochs within a segment are contiguous.
+    bool chain_broken = false;
+    for (WalRecord& record : parse.records) {
+      if (record.epoch <= expected_epoch) continue;
+      if (record.epoch != expected_epoch + 1) {
+        scan.notes.push_back("segment " + path + ": epoch gap at record " +
+                             std::to_string(record.sequence) + "; chain ends");
+        chain_broken = true;
+        break;
+      }
+      if (expected_sequence != 0 && record.sequence != expected_sequence) {
+        scan.notes.push_back(
+            "segment " + path + ": sequence discontinuity (expected " +
+            std::to_string(expected_sequence) + ", found " +
+            std::to_string(record.sequence) + "); chain ends");
+        chain_broken = true;
+        break;
+      }
+      expected_sequence = record.sequence + 1;
+      expected_epoch = record.epoch;
+      scan.records.push_back(std::move(record));
+    }
+    if (chain_broken) break;
+    if (!parse.clean_end) {
+      if (i + 1 == segments.size()) {
+        // Damage in the FINAL segment is the crash signature: truncate.
+        scan.truncated_tail = true;
+        scan.truncation_reason = parse.tail_reason;
+      } else {
+        // A later segment may resume exactly at the chain tip (rotation
+        // after a recovery that truncated this segment's tail). If it does,
+        // the chain continues; if not, the next iteration reports the gap.
+        scan.notes.push_back("segment " + path + ": " + parse.tail_reason +
+                             " (mid-chain)");
+      }
+    }
+  }
+
+  scan.last_epoch = expected_epoch;
+  scan.next_sequence = expected_sequence == 0
+                           ? 1
+                           : expected_sequence;
+  return scan;
+}
+
+}  // namespace durability
+}  // namespace igq

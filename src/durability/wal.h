@@ -1,0 +1,161 @@
+// Write-ahead mutation log (docs/FORMATS.md, "Write-ahead log"): every
+// applied dataset mutation is appended — checksummed, length-prefixed,
+// monotonically sequenced — BEFORE the engines touch the database, so the
+// mutations applied after the last snapshot survive a crash and can be
+// replayed by recovery (durability/recovery.h).
+//
+// The log is a directory of segments named wal-<start_epoch>.log. A segment
+// opened at database mutation epoch E holds the records for epochs E+1,
+// E+2, ... in order; saving a snapshot at epoch S rotates to a fresh
+// wal-<S>.log so the segment boundary marks "everything before this is also
+// captured by the epoch-S snapshot". Segments are never rewritten, and the
+// whole chain from epoch 0 must be retained: snapshots validate mutation
+// state rather than storing graph payloads, so rebuilding the database at
+// any epoch always replays the log from the base dataset (FORMATS.md,
+// retention note).
+//
+// Reading tolerates exactly the damage a crash can cause: a torn tail (the
+// last record cut short, its CRC wrong, or its length absurd) is truncated
+// at the last whole record instead of failing the scan. Anything else —
+// bad sequence/epoch continuity, duplicate or out-of-order sequence
+// numbers, a corrupt non-final segment — ends the usable chain at the last
+// good record and is reported, never silently skipped.
+#ifndef IGQ_DURABILITY_WAL_H_
+#define IGQ_DURABILITY_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "durability/fault_fs.h"
+#include "igq/mutation.h"
+
+namespace igq {
+namespace durability {
+
+/// First bytes of every WAL segment: 'I' 'G' 'Q' 'W'.
+inline constexpr uint8_t kWalMagic[4] = {'I', 'G', 'Q', 'W'};
+/// Segment format version; bumped on any incompatible layout change.
+inline constexpr uint32_t kWalVersion = 1;
+/// Hard ceiling on one record's payload — a length field beyond this is
+/// treated as a torn/corrupt tail, not an allocation request.
+inline constexpr uint32_t kMaxWalPayloadBytes = 1u << 26;
+
+/// When appended records become durable.
+enum class SyncPolicy : uint8_t {
+  kEveryRecord,  // fsync after every Append — nothing acknowledged is lost
+  kBatched,      // fsync every WalOptions::batch_records appends
+  kOsDefault     // never fsync on append; the OS flushes when it pleases
+};
+
+const char* SyncPolicyName(SyncPolicy policy);
+
+struct WalOptions {
+  SyncPolicy sync_policy = SyncPolicy::kEveryRecord;
+  /// kBatched only: records per fsync.
+  size_t batch_records = 32;
+};
+
+/// Parses "every_record" | "batched" | "batched:N" | "os_default" into
+/// `options` (leaving batch_records alone for the bare "batched"). Returns
+/// false on anything else.
+bool ParseSyncPolicy(const std::string& text, WalOptions* options);
+
+/// One logged mutation. `epoch` is the database's mutation epoch AFTER the
+/// mutation applies (epochs increment by exactly 1 per applied mutation, so
+/// a log replayed from the base dataset passes through every epoch).
+/// `sequence` is the log's own monotonically increasing record id,
+/// continuous across segment rotations.
+struct WalRecord {
+  uint64_t sequence = 0;
+  uint64_t epoch = 0;
+  GraphMutation mutation;
+};
+
+/// Segment file name for a segment opened at `start_epoch`
+/// ("wal-00000000000000000042.log" — zero-padded so lexicographic order is
+/// epoch order).
+std::string WalFileName(uint64_t start_epoch);
+
+/// Encodes one record in the on-disk framing:
+///   u32 payload_size | u64 sequence | u64 epoch | payload | u32 crc
+/// where payload is u8 kind + graph body (add) or u32 id (remove), and the
+/// CRC-32 covers every preceding byte of the record.
+std::string EncodeWalRecord(const WalRecord& record);
+
+/// The append side. Not internally synchronized: the engines serialize
+/// Append under their mutation writer gate (see docs/CONCURRENCY.md).
+class WalWriter {
+ public:
+  /// `fs` must outlive the writer; `dir` is created by the caller.
+  WalWriter(FileSystem& fs, std::string dir, WalOptions options);
+  ~WalWriter();
+
+  /// Opens the segment wal-<start_epoch>.log and makes its header durable.
+  /// `next_sequence` seeds the record numbering — 1 for a fresh log,
+  /// RecoveryReport::next_wal_sequence when continuing after recovery (then
+  /// open at RecoveryReport::recovered_epoch). A pre-existing file with
+  /// this name is REPLACED: under that protocol it can only hold a stale
+  /// header plus torn bytes from the crash being recovered from.
+  bool Open(uint64_t start_epoch, uint64_t next_sequence);
+
+  /// Appends one record (and syncs, per policy). On success fills
+  /// `*sequence` with the assigned number and returns true. On failure the
+  /// record must be treated as NOT durable — the engines refuse to apply a
+  /// mutation whose append failed.
+  bool Append(const GraphMutation& mutation, uint64_t epoch_after,
+              uint64_t* sequence);
+
+  /// Explicit durability barrier (used before rotation and at shutdown).
+  bool Sync();
+
+  /// Closes the current segment (after syncing it) and opens
+  /// wal-<snapshot_epoch>.log. Call right after a snapshot at
+  /// `snapshot_epoch` has been durably saved.
+  bool Rotate(uint64_t snapshot_epoch);
+
+  uint64_t next_sequence() const { return next_sequence_; }
+  const std::string& current_path() const { return current_path_; }
+  bool ok() const { return ok_; }
+
+ private:
+  FileSystem* fs_;
+  std::string dir_;
+  WalOptions options_;
+  std::unique_ptr<WritableFile> file_;
+  std::string current_path_;
+  uint64_t next_sequence_ = 1;
+  size_t unsynced_records_ = 0;
+  bool ok_ = false;
+};
+
+/// Everything a scan of the log directory learned.
+struct WalScan {
+  /// The valid chain: epochs first_epoch+1 .. last_epoch with no gaps,
+  /// sequences strictly +1 per record.
+  std::vector<WalRecord> records;
+  /// Epoch of the last valid record (0 when the log is empty/absent).
+  uint64_t last_epoch = 0;
+  /// Sequence a continuing writer should use next.
+  uint64_t next_sequence = 1;
+  /// True when the final segment ended in a torn/corrupt record that was
+  /// truncated away (the expected crash signature).
+  bool truncated_tail = false;
+  std::string truncation_reason;
+  /// Human-readable diagnostics for everything unusual (skipped files,
+  /// broken chains, missing prefix).
+  std::vector<std::string> notes;
+  size_t segments = 0;
+};
+
+/// Scans every wal-*.log under `dir`, validates framing and continuity, and
+/// returns the longest usable record chain starting at epoch 0. Never
+/// fails: an unreadable or empty directory simply yields no records (with
+/// notes saying why).
+WalScan ScanWal(FileSystem& fs, const std::string& dir);
+
+}  // namespace durability
+}  // namespace igq
+
+#endif  // IGQ_DURABILITY_WAL_H_

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/timer.h"
+#include "durability/wal.h"
 #include "features/canonical.h"
 #include "igq/pruning.h"
 #include "snapshot/mutation_state.h"
@@ -364,7 +365,13 @@ bool ConcurrentQueryEngine::SaveSnapshot(std::ostream& out,
 bool ConcurrentQueryEngine::LoadSnapshot(std::istream& in, std::string* error,
                                          SnapshotLoadInfo* info) {
   if (info != nullptr) *info = SnapshotLoadInfo{};
-  if (!snapshot::ReadSnapshotHeader(in, error)) return false;
+  // Failure classification mirrors QueryEngine::LoadSnapshot.
+  snapshot::SnapshotErrorKind kind = snapshot::SnapshotErrorKind::kNone;
+  auto classify = [&](snapshot::SnapshotErrorKind value) {
+    if (info != nullptr) info->error_kind = value;
+    return false;
+  };
+  if (!snapshot::ReadSnapshotHeader(in, error, &kind)) return classify(kind);
 
   // Decode and checksum-verify every section before touching engine state,
   // so a file corrupted anywhere is rejected without side effects.
@@ -372,7 +379,9 @@ bool ConcurrentQueryEngine::LoadSnapshot(std::istream& in, std::string* error,
   bool have_cache = false, have_index = false, have_mutation = false;
   for (;;) {
     snapshot::Section section;
-    if (!snapshot::ReadSection(in, &section, error)) return false;
+    if (!snapshot::ReadSection(in, &section, error, &kind)) {
+      return classify(kind);
+    }
     if (section.id == snapshot::kSectionEnd) break;
     if (section.id == snapshot::kSectionShardedCache) {
       cache_payload = std::move(section.payload);
@@ -390,11 +399,11 @@ bool ConcurrentQueryEngine::LoadSnapshot(std::istream& in, std::string* error,
   }
   if (in.peek() != std::char_traits<char>::eof()) {
     SetError(error, "corrupt snapshot: trailing bytes after the end marker");
-    return false;
+    return classify(snapshot::SnapshotErrorKind::kCorrupt);
   }
   if (!have_cache) {
     SetError(error, "snapshot has no sharded-cache section");
-    return false;
+    return classify(snapshot::SnapshotErrorKind::kCorrupt);
   }
 
   // Mutation-state validation (validate-don't-apply, see
@@ -408,19 +417,19 @@ bool ConcurrentQueryEngine::LoadSnapshot(std::istream& in, std::string* error,
     snapshot::BinaryReader mutation_reader(mutation_stream);
     if (!snapshot::ValidateMutationState(mutation_reader, *db_,
                                          &mutation_epoch, &num_tombstones,
-                                         error)) {
-      return false;
+                                         error, &kind)) {
+      return classify(kind);
     }
     if (mutation_stream.peek() != std::char_traits<char>::eof()) {
       SetError(error,
                "corrupt snapshot: unread bytes in the mutation-state section");
-      return false;
+      return classify(snapshot::SnapshotErrorKind::kCorrupt);
     }
   } else if (db_->mutation_epoch != 0) {
     SetError(error,
              "snapshot carries no mutation state but the database has "
              "mutated since construction");
-    return false;
+    return classify(snapshot::SnapshotErrorKind::kDatasetDivergence);
   }
 
   // Validate the method-index framing before committing any state.
@@ -431,13 +440,13 @@ bool ConcurrentQueryEngine::LoadSnapshot(std::istream& in, std::string* error,
       snapshot::BinaryReader name_reader(index_stream);
       if (!name_reader.ReadString(&method_name)) {
         SetError(error, "method-index section is malformed");
-        return false;
+        return classify(snapshot::SnapshotErrorKind::kCorrupt);
       }
     }
     if (method_name != method_->Name()) {
       SetError(error, "snapshot index was built by method '" + method_name +
                           "', engine runs '" + method_->Name() + "'");
-      return false;
+      return classify(snapshot::SnapshotErrorKind::kDatasetDivergence);
     }
   }
 
@@ -454,11 +463,13 @@ bool ConcurrentQueryEngine::LoadSnapshot(std::istream& in, std::string* error,
              "sharded-cache section rejected (malformed, saved under "
              "different iGQ options — including cache_shards — or over a "
              "different dataset)");
-    return false;
+    // The payload passed its checksum, so the bytes are as written — the
+    // mismatch is with this engine's dataset or configuration.
+    return classify(snapshot::SnapshotErrorKind::kDatasetDivergence);
   }
   if (cache_stream.peek() != std::char_traits<char>::eof()) {
     SetError(error, "corrupt snapshot: unread bytes in the cache section");
-    return false;
+    return classify(snapshot::SnapshotErrorKind::kCorrupt);
   }
 
   if (have_index) {
@@ -466,12 +477,12 @@ bool ConcurrentQueryEngine::LoadSnapshot(std::istream& in, std::string* error,
       SetError(error, "method '" + method_->Name() +
                           "' rejected its index payload (incompatible "
                           "configuration or malformed bytes)");
-      return false;
+      return classify(snapshot::SnapshotErrorKind::kDatasetDivergence);
     }
     if (index_stream.peek() != std::char_traits<char>::eof()) {
       SetError(error,
                "corrupt snapshot: unread bytes in the method-index section");
-      return false;
+      return classify(snapshot::SnapshotErrorKind::kCorrupt);
     }
     if (info != nullptr) info->method_index_restored = true;
   }
@@ -498,6 +509,19 @@ MutationResult ConcurrentQueryEngine::ApplyMutation(
   // makes the db.graphs reallocation (and the method's index surgery)
   // safe — see the header and docs/CONCURRENCY.md.
   std::unique_lock<std::shared_mutex> mutation_gate(mutation_mutex_);
+  // The no-op check runs BEFORE the WAL append, so every logged record is
+  // exactly one epoch increment (see QueryEngine::ApplyMutation). The
+  // append itself sits inside the exclusive section: the gate is what
+  // serializes WAL writes, so record order on disk IS apply order.
+  if (mutation.kind == MutationKind::kRemoveGraph) {
+    result.id = mutation.id;
+    if (!db.IsLive(mutation.id)) return result;  // no-op: never logged
+  }
+  if (wal_ != nullptr &&
+      !wal_->Append(mutation, db.mutation_epoch + 1, &result.wal_sequence)) {
+    result.wal_failed = true;
+    return result;
+  }
   if (mutation.kind == MutationKind::kAddGraph) {
     result.id = db.AddGraph(mutation.graph);
     result.applied = true;
@@ -506,8 +530,7 @@ MutationResult ConcurrentQueryEngine::ApplyMutation(
     cache_->ApplyGraphAdded(db.graphs[result.id], result.id,
                             method_->Direction());
   } else {
-    result.id = mutation.id;
-    if (!db.RemoveGraph(mutation.id)) return result;  // no-op: nothing moved
+    db.RemoveGraph(mutation.id);  // cannot fail: IsLive held above
     result.applied = true;
     result.incremental = method_->OnRemoveGraph(db, mutation.id);
     if (!result.incremental) method_->Build(db);

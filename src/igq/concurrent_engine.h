@@ -108,6 +108,17 @@ class ConcurrentQueryEngine {
   MutationResult ApplyMutation(GraphDatabase& db,
                                const GraphMutation& mutation);
 
+  /// Attaches a write-ahead log (durability/wal.h): every ApplyMutation
+  /// then appends its record inside the exclusive mutation_mutex_ section —
+  /// the writer gate serializes WAL appends, so record order on disk is
+  /// apply order — before touching the database, and refuses the mutation
+  /// (MutationResult::wal_failed) when the append fails. Pass nullptr to
+  /// detach. Call while quiescent on the mutation side (no concurrent
+  /// ApplyMutation); the writer must outlive the attachment and be
+  /// Open()-ed at the database's current epoch.
+  void AttachWal(durability::WalWriter* wal) { wal_ = wal; }
+  durability::WalWriter* wal() const { return wal_; }
+
   QueryDirection direction() const { return method_->Direction(); }
   const ShardedQueryCache& cache() const { return *cache_; }
   ShardedQueryCache& mutable_cache() { return *cache_; }
@@ -166,6 +177,9 @@ class ConcurrentQueryEngine {
   /// observe a half-applied mutation, and the database/method/cache reads
   /// all over the query path need no per-access synchronization.
   std::shared_mutex mutation_mutex_;
+  /// Not owned; see AttachWal. Only touched under the exclusive side of
+  /// mutation_mutex_ (and by AttachWal, which requires mutation quiescence).
+  durability::WalWriter* wal_ = nullptr;
 };
 
 }  // namespace igq

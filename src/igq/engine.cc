@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/timer.h"
+#include "durability/wal.h"
 #include "features/canonical.h"
 #include "igq/pruning.h"
 #include "snapshot/mutation_state.h"
@@ -262,7 +263,14 @@ bool QueryEngine::SaveSnapshot(std::ostream& out, std::string* error) const {
 bool QueryEngine::LoadSnapshot(std::istream& in, std::string* error,
                                SnapshotLoadInfo* info) {
   if (info != nullptr) *info = SnapshotLoadInfo{};
-  if (!snapshot::ReadSnapshotHeader(in, error)) return false;
+  // Each failure path classifies itself (SnapshotErrorKind) so callers can
+  // tell damaged bytes, version skew, and dataset divergence apart.
+  snapshot::SnapshotErrorKind kind = snapshot::SnapshotErrorKind::kNone;
+  auto classify = [&](snapshot::SnapshotErrorKind value) {
+    if (info != nullptr) info->error_kind = value;
+    return false;  // so failure paths read `return classify(...)`
+  };
+  if (!snapshot::ReadSnapshotHeader(in, error, &kind)) return classify(kind);
 
   // Decode and checksum-verify every section before touching engine state,
   // so a file corrupted anywhere is rejected without side effects.
@@ -270,7 +278,9 @@ bool QueryEngine::LoadSnapshot(std::istream& in, std::string* error,
   bool have_cache = false, have_index = false, have_mutation = false;
   for (;;) {
     snapshot::Section section;
-    if (!snapshot::ReadSection(in, &section, error)) return false;
+    if (!snapshot::ReadSection(in, &section, error, &kind)) {
+      return classify(kind);
+    }
     if (section.id == snapshot::kSectionEnd) break;
     if (section.id == snapshot::kSectionCache) {
       cache_payload = std::move(section.payload);
@@ -289,11 +299,11 @@ bool QueryEngine::LoadSnapshot(std::istream& in, std::string* error,
   // into 0 would silently drop the file's tail — require EOF behind it.
   if (in.peek() != std::char_traits<char>::eof()) {
     SetError(error, "corrupt snapshot: trailing bytes after the end marker");
-    return false;
+    return classify(snapshot::SnapshotErrorKind::kCorrupt);
   }
   if (!have_cache) {
     SetError(error, "snapshot has no cache section");
-    return false;
+    return classify(snapshot::SnapshotErrorKind::kCorrupt);
   }
 
   // Mutation-state validation (validate-don't-apply: the engine holds the
@@ -307,19 +317,19 @@ bool QueryEngine::LoadSnapshot(std::istream& in, std::string* error,
     snapshot::BinaryReader mutation_reader(mutation_stream);
     if (!snapshot::ValidateMutationState(mutation_reader, *db_,
                                          &mutation_epoch, &num_tombstones,
-                                         error)) {
-      return false;
+                                         error, &kind)) {
+      return classify(kind);
     }
     if (mutation_stream.peek() != std::char_traits<char>::eof()) {
       SetError(error,
                "corrupt snapshot: unread bytes in the mutation-state section");
-      return false;
+      return classify(snapshot::SnapshotErrorKind::kCorrupt);
     }
   } else if (db_->mutation_epoch != 0) {
     SetError(error,
              "snapshot carries no mutation state but the database has "
              "mutated since construction");
-    return false;
+    return classify(snapshot::SnapshotErrorKind::kDatasetDivergence);
   }
 
   // Validate the method-index framing before committing any state, so a
@@ -331,13 +341,13 @@ bool QueryEngine::LoadSnapshot(std::istream& in, std::string* error,
       snapshot::BinaryReader name_reader(index_stream);
       if (!name_reader.ReadString(&method_name)) {
         SetError(error, "method-index section is malformed");
-        return false;
+        return classify(snapshot::SnapshotErrorKind::kCorrupt);
       }
     }
     if (method_name != method_->Name()) {
       SetError(error, "snapshot index was built by method '" + method_name +
                           "', engine runs '" + method_->Name() + "'");
-      return false;
+      return classify(snapshot::SnapshotErrorKind::kDatasetDivergence);
     }
   }
 
@@ -352,13 +362,15 @@ bool QueryEngine::LoadSnapshot(std::istream& in, std::string* error,
     SetError(error,
              "cache section rejected (malformed, saved under different iGQ "
              "options, or over a different dataset)");
-    return false;
+    // The payload passed its checksum, so the bytes are as written — the
+    // mismatch is with this engine's dataset or configuration.
+    return classify(snapshot::SnapshotErrorKind::kDatasetDivergence);
   }
   // An under-counted record count would leave unread bytes behind — the
   // same silent data loss the container guards against everywhere else.
   if (cache_stream.peek() != std::char_traits<char>::eof()) {
     SetError(error, "corrupt snapshot: unread bytes in the cache section");
-    return false;
+    return classify(snapshot::SnapshotErrorKind::kCorrupt);
   }
 
   if (have_index) {
@@ -368,7 +380,7 @@ bool QueryEngine::LoadSnapshot(std::istream& in, std::string* error,
       SetError(error, "method '" + method_->Name() +
                           "' rejected its index payload (incompatible "
                           "configuration or malformed bytes)");
-      return false;
+      return classify(snapshot::SnapshotErrorKind::kDatasetDivergence);
     }
     // Fail-closed on unread bytes. LoadIndex has already committed by this
     // point, but the index it installed is self-consistent and validated
@@ -377,7 +389,7 @@ bool QueryEngine::LoadSnapshot(std::istream& in, std::string* error,
     if (index_stream.peek() != std::char_traits<char>::eof()) {
       SetError(error,
                "corrupt snapshot: unread bytes in the method-index section");
-      return false;
+      return classify(snapshot::SnapshotErrorKind::kCorrupt);
     }
     if (info != nullptr) info->method_index_restored = true;
   }
@@ -395,6 +407,20 @@ MutationResult QueryEngine::ApplyMutation(GraphDatabase& db,
                                           const GraphMutation& mutation) {
   MutationResult result;
   if (&db != db_) return result;  // not the database this engine serves
+  // The no-op check runs BEFORE the WAL append, so every logged record
+  // corresponds to exactly one applied mutation — one epoch increment —
+  // and a replayed log passes through every epoch (durability/wal.h).
+  if (mutation.kind == MutationKind::kRemoveGraph) {
+    result.id = mutation.id;
+    if (!db.IsLive(mutation.id)) return result;  // no-op: never logged
+  }
+  // Log-before-apply: a mutation that cannot be made durable is refused
+  // outright rather than applied and lost on the next crash.
+  if (wal_ != nullptr &&
+      !wal_->Append(mutation, db.mutation_epoch + 1, &result.wal_sequence)) {
+    result.wal_failed = true;
+    return result;
+  }
   if (mutation.kind == MutationKind::kAddGraph) {
     result.id = db.AddGraph(mutation.graph);
     result.applied = true;
@@ -403,8 +429,7 @@ MutationResult QueryEngine::ApplyMutation(GraphDatabase& db,
     cache_->ApplyGraphAdded(db.graphs[result.id], result.id,
                             method_->Direction());
   } else {
-    result.id = mutation.id;
-    if (!db.RemoveGraph(mutation.id)) return result;  // no-op: nothing moved
+    db.RemoveGraph(mutation.id);  // cannot fail: IsLive held above
     result.applied = true;
     result.incremental = method_->OnRemoveGraph(db, mutation.id);
     if (!result.incremental) method_->Build(db);

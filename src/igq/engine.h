@@ -22,8 +22,13 @@
 #include "igq/options.h"
 #include "igq/verify_pool.h"
 #include "methods/method.h"
+#include "snapshot/snapshot.h"
 
 namespace igq {
+
+namespace durability {
+class WalWriter;
+}  // namespace durability
 
 /// How a query was resolved (§4.3 shortcuts).
 enum class ShortcutKind {
@@ -83,6 +88,11 @@ struct SnapshotLoadInfo {
   /// section).
   uint64_t mutation_epoch = 0;
   size_t tombstones = 0;
+  /// Why LoadSnapshot failed, when it did (kNone after a successful load):
+  /// corrupt bytes, a format version skew, or a snapshot that belongs to a
+  /// different dataset/configuration. Callers branch on this (igq_tool maps
+  /// it to exit codes; recovery's ladder reports it).
+  snapshot::SnapshotErrorKind error_kind = snapshot::SnapshotErrorKind::kNone;
 };
 
 /// iGQ on top of any host Method, subgraph or supergraph.
@@ -153,6 +163,16 @@ class QueryEngine {
   MutationResult ApplyMutation(GraphDatabase& db,
                                const GraphMutation& mutation);
 
+  /// Attaches a write-ahead log (durability/wal.h): from now on every
+  /// ApplyMutation appends its record — and makes it durable per the
+  /// writer's sync policy — BEFORE touching the database, and refuses the
+  /// mutation (MutationResult::wal_failed) when the append fails. Pass
+  /// nullptr to detach. The writer must outlive the attachment and must
+  /// already be Open()-ed at the database's current epoch; the engine does
+  /// not own it. Follows the single-stream contract like ApplyMutation.
+  void AttachWal(durability::WalWriter* wal) { wal_ = wal; }
+  durability::WalWriter* wal() const { return wal_; }
+
   QueryDirection direction() const { return method_->Direction(); }
   const QueryCache& cache() const { return *cache_; }
   QueryCache& mutable_cache() { return *cache_; }
@@ -168,6 +188,7 @@ class QueryEngine {
   IgqOptions options_;
   std::unique_ptr<QueryCache> cache_;
   std::unique_ptr<VerifyPool> pool_;  // null when verify_threads == 1
+  durability::WalWriter* wal_ = nullptr;  // not owned; see AttachWal
 };
 
 }  // namespace igq

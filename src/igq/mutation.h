@@ -53,6 +53,13 @@ struct MutationResult {
   bool incremental = false;
   /// The database's mutation epoch after the call.
   uint64_t epoch = 0;
+  /// Sequence number the write-ahead log assigned to this mutation; 0 when
+  /// no WAL is attached (or the mutation was a no-op and never logged).
+  uint64_t wal_sequence = 0;
+  /// True when a WAL was attached but the append failed: the engine then
+  /// REFUSES the mutation (applied stays false, nothing changed anywhere) —
+  /// a mutation that cannot be made durable is not applied at all.
+  bool wal_failed = false;
 };
 
 }  // namespace igq

@@ -13,6 +13,10 @@ void SetError(std::string* error, const char* message) {
   if (error != nullptr) *error = message;
 }
 
+void SetKind(SnapshotErrorKind* kind, SnapshotErrorKind value) {
+  if (kind != nullptr) *kind = value;
+}
+
 }  // namespace
 
 void WriteMutationState(BinaryWriter& writer, const GraphDatabase& db) {
@@ -24,15 +28,22 @@ void WriteMutationState(BinaryWriter& writer, const GraphDatabase& db) {
 
 bool ValidateMutationState(BinaryReader& reader, const GraphDatabase& db,
                            uint64_t* epoch, size_t* num_tombstones,
-                           std::string* error) {
+                           std::string* error, SnapshotErrorKind* kind) {
   uint32_t version = 0;
-  if (!reader.ReadU32(&version) || version != kMutationStateVersion) {
+  if (!reader.ReadU32(&version)) {
+    SetError(error, "mutation-state section is truncated");
+    SetKind(kind, SnapshotErrorKind::kCorrupt);
+    return false;
+  }
+  if (version != kMutationStateVersion) {
     SetError(error, "mutation-state section has an unknown payload version");
+    SetKind(kind, SnapshotErrorKind::kVersionSkew);
     return false;
   }
   uint64_t stamped_epoch = 0, count = 0;
   if (!reader.ReadU64(&stamped_epoch) || !reader.ReadU64(&count)) {
     SetError(error, "mutation-state section is truncated");
+    SetKind(kind, SnapshotErrorKind::kCorrupt);
     return false;
   }
   // Well-formedness first (the corruption-sweep contract: a damaged id is
@@ -40,6 +51,7 @@ bool ValidateMutationState(BinaryReader& reader, const GraphDatabase& db,
   // equality with the database's live state.
   if (count > db.graphs.size()) {
     SetError(error, "mutation-state section: more tombstones than graphs");
+    SetKind(kind, SnapshotErrorKind::kCorrupt);
     return false;
   }
   uint32_t previous = 0;
@@ -47,15 +59,18 @@ bool ValidateMutationState(BinaryReader& reader, const GraphDatabase& db,
     uint32_t id = 0;
     if (!reader.ReadU32(&id)) {
       SetError(error, "mutation-state section is truncated");
+      SetKind(kind, SnapshotErrorKind::kCorrupt);
       return false;
     }
     if (id >= db.graphs.size()) {
       SetError(error, "mutation-state section: tombstone id out of range");
+      SetKind(kind, SnapshotErrorKind::kCorrupt);
       return false;
     }
     if (i > 0 && id <= previous) {
       SetError(error,
                "mutation-state section: tombstone ids not strictly ascending");
+      SetKind(kind, SnapshotErrorKind::kCorrupt);
       return false;
     }
     previous = id;
@@ -63,6 +78,7 @@ bool ValidateMutationState(BinaryReader& reader, const GraphDatabase& db,
       SetError(error,
                "snapshot was taken at a different mutation state than the "
                "database (tombstones differ)");
+      SetKind(kind, SnapshotErrorKind::kDatasetDivergence);
       return false;
     }
   }
@@ -70,6 +86,7 @@ bool ValidateMutationState(BinaryReader& reader, const GraphDatabase& db,
     SetError(error,
              "snapshot was taken at a different mutation state than the "
              "database (epoch or tombstone count differs)");
+    SetKind(kind, SnapshotErrorKind::kDatasetDivergence);
     return false;
   }
   if (epoch != nullptr) *epoch = stamped_epoch;

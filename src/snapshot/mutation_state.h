@@ -11,6 +11,7 @@
 #include <string>
 
 #include "methods/method.h"
+#include "snapshot/snapshot.h"
 
 namespace igq {
 namespace snapshot {
@@ -30,10 +31,14 @@ void WriteMutationState(BinaryWriter& writer, const GraphDatabase& db);
 /// unknown payload version, tombstone ids that are out of range
 /// (>= db.graphs.size()), unsorted, or duplicated, or a tombstone
 /// list/epoch that differs from the database's current state. On success
-/// fills `epoch` and `num_tombstones` (either may be null).
+/// fills `epoch` and `num_tombstones` (either may be null). `kind`, when
+/// non-null, classifies the failure: malformed bytes are kCorrupt, an
+/// unknown payload version is kVersionSkew, and a well-formed state that
+/// disagrees with `db` is kDatasetDivergence.
 bool ValidateMutationState(BinaryReader& reader, const GraphDatabase& db,
                            uint64_t* epoch, size_t* num_tombstones,
-                           std::string* error);
+                           std::string* error,
+                           SnapshotErrorKind* kind = nullptr);
 
 }  // namespace snapshot
 }  // namespace igq

@@ -14,7 +14,22 @@ void SetError(std::string* error, const std::string& message) {
   if (error != nullptr) *error = message;
 }
 
+void SetKind(SnapshotErrorKind* kind, SnapshotErrorKind value) {
+  if (kind != nullptr) *kind = value;
+}
+
 }  // namespace
+
+const char* SnapshotErrorKindName(SnapshotErrorKind kind) {
+  switch (kind) {
+    case SnapshotErrorKind::kNone: return "none";
+    case SnapshotErrorKind::kIo: return "io";
+    case SnapshotErrorKind::kCorrupt: return "corrupt";
+    case SnapshotErrorKind::kVersionSkew: return "version-skew";
+    case SnapshotErrorKind::kDatasetDivergence: return "dataset-divergence";
+  }
+  return "?";
+}
 
 void WriteSnapshotHeader(std::ostream& out) {
   BinaryWriter writer(out);
@@ -37,33 +52,41 @@ void WriteSnapshotEnd(std::ostream& out) {
   writer.WriteU32(kSectionEnd);
 }
 
-bool ReadSnapshotHeader(std::istream& in, std::string* error) {
+bool ReadSnapshotHeader(std::istream& in, std::string* error,
+                        SnapshotErrorKind* kind) {
   BinaryReader reader(in);
   uint8_t magic[4] = {0, 0, 0, 0};
   if (!reader.ReadBytes(magic, sizeof(magic))) {
     SetError(error, "truncated snapshot: missing magic");
+    SetKind(kind, SnapshotErrorKind::kCorrupt);
     return false;
   }
   for (size_t i = 0; i < sizeof(magic); ++i) {
     if (magic[i] != kSnapshotMagic[i]) {
       SetError(error, "not an iGQ snapshot (bad magic)");
+      SetKind(kind, SnapshotErrorKind::kCorrupt);
       return false;
     }
   }
   uint32_t version = 0;
   if (!reader.ReadU32(&version)) {
     SetError(error, "truncated snapshot: missing version");
+    SetKind(kind, SnapshotErrorKind::kCorrupt);
     return false;
   }
   if (version != kSnapshotVersion) {
     SetError(error, "unsupported snapshot version " + std::to_string(version) +
                         " (expected " + std::to_string(kSnapshotVersion) + ")");
+    SetKind(kind, SnapshotErrorKind::kVersionSkew);
     return false;
   }
   return true;
 }
 
-bool ReadSection(std::istream& in, Section* section, std::string* error) {
+bool ReadSection(std::istream& in, Section* section, std::string* error,
+                 SnapshotErrorKind* kind) {
+  // Every failure mode below is damaged bytes.
+  SetKind(kind, SnapshotErrorKind::kCorrupt);
   BinaryReader reader(in);
   uint32_t id = 0;
   if (!reader.ReadU32(&id)) {
@@ -73,6 +96,7 @@ bool ReadSection(std::istream& in, Section* section, std::string* error) {
   if (id == kSectionEnd) {
     section->id = kSectionEnd;
     section->payload.clear();
+    SetKind(kind, SnapshotErrorKind::kNone);
     return true;
   }
   uint64_t size = 0;
@@ -115,6 +139,7 @@ bool ReadSection(std::istream& in, Section* section, std::string* error) {
   }
   section->id = id;
   section->payload = std::move(payload);
+  SetKind(kind, SnapshotErrorKind::kNone);
   return true;
 }
 

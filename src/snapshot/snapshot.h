@@ -43,6 +43,26 @@ struct Section {
   std::string payload;
 };
 
+/// Broad classification of why a snapshot was rejected, for callers that
+/// act differently per class (igq_tool maps these to distinct exit codes;
+/// recovery's ladder logs them). The `error` strings stay the precise
+/// human-readable account.
+enum class SnapshotErrorKind : uint8_t {
+  kNone = 0,
+  /// The underlying stream/file could not be read at all.
+  kIo,
+  /// Damaged bytes: bad magic, truncation, framing, checksum mismatch,
+  /// malformed payloads.
+  kCorrupt,
+  /// A well-formed file written by an incompatible format version.
+  kVersionSkew,
+  /// A well-formed, current-version file that belongs to a different
+  /// dataset, mutation state, method, or engine configuration.
+  kDatasetDivergence,
+};
+
+const char* SnapshotErrorKindName(SnapshotErrorKind kind);
+
 /// Writes the snapshot magic + version.
 void WriteSnapshotHeader(std::ostream& out);
 
@@ -53,16 +73,21 @@ void WriteSection(std::ostream& out, uint32_t id, const std::string& payload);
 void WriteSnapshotEnd(std::ostream& out);
 
 /// Validates magic + version. On failure returns false and, when `error`
-/// is non-null, stores a human-readable reason.
-bool ReadSnapshotHeader(std::istream& in, std::string* error);
+/// is non-null, stores a human-readable reason (and classifies it into
+/// `kind` when non-null: kCorrupt for bad magic/truncation, kVersionSkew
+/// for a version mismatch).
+bool ReadSnapshotHeader(std::istream& in, std::string* error,
+                        SnapshotErrorKind* kind = nullptr);
 
 /// Reads the next section into `section`, verifying its checksum (which
 /// covers the id and size fields as well as the payload). The end marker
 /// yields id == kSectionEnd with an empty payload; because the end marker
 /// itself is unchecksummed, readers must require EOF right after it — a
 /// section id corrupted into 0 then shows up as trailing garbage.
-/// Returns false on truncation, oversized payloads, or checksum mismatch.
-bool ReadSection(std::istream& in, Section* section, std::string* error);
+/// Returns false on truncation, oversized payloads, or checksum mismatch
+/// (all kCorrupt in `kind`).
+bool ReadSection(std::istream& in, Section* section, std::string* error,
+                 SnapshotErrorKind* kind = nullptr);
 
 }  // namespace snapshot
 }  // namespace igq

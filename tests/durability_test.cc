@@ -1,0 +1,611 @@
+// Unit coverage for the durability subsystem's building blocks: WAL record
+// framing and segment scanning (durability/wal.h), the fault-injection file
+// system (durability/fault_fs.h), and atomic whole-file replacement. The
+// fault matrix here is deliberately exhaustive at the byte level — every
+// truncation point and every flipped bit must degrade to a clean prefix of
+// the written records, never to a fabricated or reordered one. End-to-end
+// crash recovery of whole engines lives in recovery_test.cc.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "durability/fault_fs.h"
+#include "durability/wal.h"
+#include "igq/engine.h"
+#include "igq/mutation.h"
+#include "methods/registry.h"
+#include "snapshot/serializer.h"
+#include "tests/test_util.h"
+
+namespace igq {
+namespace durability {
+namespace {
+
+using igq::testing::RandomConnectedGraph;
+
+/// Canonical byte form of a graph, for equality checks.
+std::string GraphBytes(const Graph& graph) {
+  std::ostringstream out;
+  snapshot::BinaryWriter writer(out);
+  snapshot::WriteGraph(writer, graph);
+  return std::move(out).str();
+}
+
+void ExpectSameMutation(const GraphMutation& a, const GraphMutation& b) {
+  ASSERT_EQ(static_cast<int>(a.kind), static_cast<int>(b.kind));
+  if (a.kind == MutationKind::kAddGraph) {
+    EXPECT_EQ(GraphBytes(a.graph), GraphBytes(b.graph));
+  } else {
+    EXPECT_EQ(a.id, b.id);
+  }
+}
+
+/// A small deterministic mutation mix: adds and removes of added ids.
+std::vector<GraphMutation> SampleMutations(uint64_t seed, size_t count) {
+  Rng rng(seed);
+  std::vector<GraphMutation> mutations;
+  size_t added = 0;
+  for (size_t i = 0; i < count; ++i) {
+    if (added > 2 && rng.Chance(0.3)) {
+      mutations.push_back(GraphMutation::Remove(
+          static_cast<GraphId>(rng.Below(added))));
+    } else {
+      mutations.push_back(GraphMutation::Add(
+          RandomConnectedGraph(rng, 4 + rng.Below(4), 2, 3)));
+      ++added;
+    }
+  }
+  return mutations;
+}
+
+/// Appends `mutations` through a writer opened at epoch 0, returning the
+/// per-record encoded sizes so tests can compute byte boundaries.
+std::vector<size_t> WriteLog(FileSystem& fs, const std::string& dir,
+                             const std::vector<GraphMutation>& mutations,
+                             WalOptions options = {}) {
+  WalWriter writer(fs, dir, options);
+  EXPECT_TRUE(writer.Open(/*start_epoch=*/0, /*next_sequence=*/1));
+  std::vector<size_t> sizes;
+  uint64_t epoch = 0;
+  for (const GraphMutation& mutation : mutations) {
+    WalRecord record;
+    record.sequence = writer.next_sequence();
+    record.epoch = epoch + 1;
+    record.mutation = mutation;
+    sizes.push_back(EncodeWalRecord(record).size());
+    uint64_t sequence = 0;
+    EXPECT_TRUE(writer.Append(mutation, ++epoch, &sequence));
+    EXPECT_EQ(sequence, record.sequence);
+  }
+  EXPECT_TRUE(writer.Sync());
+  return sizes;
+}
+
+// ---------------------------------------------------------------------------
+// Framing and scanning.
+
+TEST(Wal, ParseSyncPolicy) {
+  WalOptions options;
+  EXPECT_TRUE(ParseSyncPolicy("every_record", &options));
+  EXPECT_EQ(options.sync_policy, SyncPolicy::kEveryRecord);
+  EXPECT_TRUE(ParseSyncPolicy("os_default", &options));
+  EXPECT_EQ(options.sync_policy, SyncPolicy::kOsDefault);
+  EXPECT_TRUE(ParseSyncPolicy("batched", &options));
+  EXPECT_EQ(options.sync_policy, SyncPolicy::kBatched);
+  EXPECT_EQ(options.batch_records, 32u);  // untouched by the bare form
+  EXPECT_TRUE(ParseSyncPolicy("batched:7", &options));
+  EXPECT_EQ(options.batch_records, 7u);
+  EXPECT_FALSE(ParseSyncPolicy("batched:0", &options));
+  EXPECT_FALSE(ParseSyncPolicy("batched:-3", &options));
+  EXPECT_FALSE(ParseSyncPolicy("sometimes", &options));
+  EXPECT_FALSE(ParseSyncPolicy("", &options));
+}
+
+TEST(Wal, FileNameIsZeroPaddedAndSortable) {
+  EXPECT_EQ(WalFileName(0), "wal-00000000000000000000.log");
+  EXPECT_EQ(WalFileName(42), "wal-00000000000000000042.log");
+  EXPECT_LT(WalFileName(9), WalFileName(10));  // lexicographic == numeric
+}
+
+TEST(Wal, AppendScanRoundTrip) {
+  InMemoryFileSystem fs;
+  const std::vector<GraphMutation> mutations = SampleMutations(101, 17);
+  WriteLog(fs, "wal", mutations);
+
+  const WalScan scan = ScanWal(fs, "wal");
+  ASSERT_EQ(scan.records.size(), mutations.size());
+  EXPECT_EQ(scan.last_epoch, mutations.size());
+  EXPECT_EQ(scan.next_sequence, mutations.size() + 1);
+  EXPECT_FALSE(scan.truncated_tail);
+  EXPECT_EQ(scan.segments, 1u);
+  for (size_t i = 0; i < mutations.size(); ++i) {
+    EXPECT_EQ(scan.records[i].sequence, i + 1);
+    EXPECT_EQ(scan.records[i].epoch, i + 1);
+    ExpectSameMutation(scan.records[i].mutation, mutations[i]);
+  }
+}
+
+TEST(Wal, EmptyDirectoryScansClean) {
+  InMemoryFileSystem fs;
+  const WalScan scan = ScanWal(fs, "wal");
+  EXPECT_TRUE(scan.records.empty());
+  EXPECT_EQ(scan.last_epoch, 0u);
+  EXPECT_EQ(scan.next_sequence, 1u);
+  EXPECT_FALSE(scan.truncated_tail);
+}
+
+TEST(Wal, RotationChainsAcrossSegments) {
+  InMemoryFileSystem fs;
+  const std::vector<GraphMutation> mutations = SampleMutations(103, 6);
+  WalWriter writer(fs, "wal", WalOptions{});
+  ASSERT_TRUE(writer.Open(0, 1));
+  uint64_t epoch = 0;
+  for (size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(writer.Append(mutations[i], ++epoch, nullptr));
+  }
+  ASSERT_TRUE(writer.Rotate(/*snapshot_epoch=*/4));  // as after a snapshot
+  EXPECT_EQ(writer.current_path(), "wal/" + WalFileName(4));
+  for (size_t i = 4; i < 6; ++i) {
+    ASSERT_TRUE(writer.Append(mutations[i], ++epoch, nullptr));
+  }
+
+  const WalScan scan = ScanWal(fs, "wal");
+  EXPECT_EQ(scan.segments, 2u);
+  ASSERT_EQ(scan.records.size(), 6u);
+  EXPECT_EQ(scan.last_epoch, 6u);
+  EXPECT_EQ(scan.next_sequence, 7u);  // sequences continuous across rotation
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(scan.records[i].sequence, i + 1);
+  }
+}
+
+TEST(Wal, MissingPrefixSegmentIgnoresLog) {
+  InMemoryFileSystem fs;
+  WalWriter writer(fs, "wal", WalOptions{});
+  // A lone segment starting at epoch 5: the records for epochs 1..5 are
+  // gone, so nothing can be replayed from the base dataset.
+  ASSERT_TRUE(writer.Open(/*start_epoch=*/5, /*next_sequence=*/6));
+  ASSERT_TRUE(writer.Append(GraphMutation::Remove(0), 6, nullptr));
+
+  const WalScan scan = ScanWal(fs, "wal");
+  EXPECT_TRUE(scan.records.empty());
+  EXPECT_FALSE(scan.notes.empty());
+}
+
+TEST(Wal, MissingMiddleSegmentEndsChain) {
+  InMemoryFileSystem fs;
+  const std::vector<GraphMutation> mutations = SampleMutations(107, 6);
+  WalWriter writer(fs, "wal", WalOptions{});
+  ASSERT_TRUE(writer.Open(0, 1));
+  uint64_t epoch = 0;
+  for (size_t i = 0; i < 2; ++i) {
+    ASSERT_TRUE(writer.Append(mutations[i], ++epoch, nullptr));
+  }
+  ASSERT_TRUE(writer.Rotate(2));
+  for (size_t i = 2; i < 4; ++i) {
+    ASSERT_TRUE(writer.Append(mutations[i], ++epoch, nullptr));
+  }
+  ASSERT_TRUE(writer.Rotate(4));
+  for (size_t i = 4; i < 6; ++i) {
+    ASSERT_TRUE(writer.Append(mutations[i], ++epoch, nullptr));
+  }
+  ASSERT_TRUE(fs.Remove("wal/" + WalFileName(2)));
+
+  const WalScan scan = ScanWal(fs, "wal");
+  EXPECT_EQ(scan.records.size(), 2u);  // epochs 3..4 missing: chain ends
+  EXPECT_EQ(scan.last_epoch, 2u);
+  EXPECT_FALSE(scan.notes.empty());
+}
+
+TEST(Wal, ScanIgnoresForeignFiles) {
+  InMemoryFileSystem fs;
+  const std::vector<GraphMutation> mutations = SampleMutations(109, 3);
+  WriteLog(fs, "wal", mutations);
+  fs.SetContents("wal/notes.txt", "not a segment");
+  fs.SetContents("wal/wal-junk.log", "short name, not ours");
+  fs.SetContents("wal/" + WalFileName(0) + ".bak", "wrong suffix");
+
+  const WalScan scan = ScanWal(fs, "wal");
+  EXPECT_EQ(scan.records.size(), mutations.size());
+  EXPECT_EQ(scan.segments, 1u);
+}
+
+// Truncate the log at EVERY byte offset: the scan must yield exactly the
+// records whose frames fit, flag the torn tail whenever the cut lands
+// mid-record, and never fabricate or alter a record.
+TEST(Wal, TruncationSweepEveryByte) {
+  InMemoryFileSystem fs;
+  const std::vector<GraphMutation> mutations = SampleMutations(113, 6);
+  const std::vector<size_t> sizes = WriteLog(fs, "wal", mutations);
+  const std::string path = "wal/" + WalFileName(0);
+  const std::string full = [&] {
+    std::string contents;
+    EXPECT_TRUE(fs.ReadFile(path, &contents));
+    return contents;
+  }();
+
+  // Record boundaries: header end, then cumulative record ends.
+  std::vector<size_t> boundaries;
+  size_t offset = full.size();
+  for (auto it = sizes.rbegin(); it != sizes.rend(); ++it) offset -= *it;
+  const size_t header_size = offset;  // what precedes record 1
+  boundaries.push_back(header_size);
+  for (size_t size : sizes) boundaries.push_back(boundaries.back() + size);
+  ASSERT_EQ(boundaries.back(), full.size());
+
+  for (size_t cut = 0; cut <= full.size(); ++cut) {
+    fs.SetContents(path, full.substr(0, cut));
+    const WalScan scan = ScanWal(fs, "wal");
+    // Whole records that survived the cut.
+    size_t expect_records = 0;
+    while (expect_records + 1 < boundaries.size() &&
+           boundaries[expect_records + 1] <= cut) {
+      ++expect_records;
+    }
+    if (cut < header_size) {
+      EXPECT_TRUE(scan.records.empty()) << "cut " << cut;
+      continue;
+    }
+    ASSERT_EQ(scan.records.size(), expect_records) << "cut " << cut;
+    for (size_t i = 0; i < expect_records; ++i) {
+      EXPECT_EQ(scan.records[i].sequence, i + 1) << "cut " << cut;
+      ExpectSameMutation(scan.records[i].mutation, mutations[i]);
+    }
+    const bool at_boundary = cut == boundaries[expect_records];
+    EXPECT_EQ(scan.truncated_tail, !at_boundary) << "cut " << cut;
+  }
+}
+
+// Flip every bit of the log, one at a time: the scan must always yield a
+// clean prefix of the original records — a flipped record never survives
+// its checksum, and nothing after it is trusted.
+TEST(Wal, BitFlipSweepYieldsOnlyCleanPrefixes) {
+  InMemoryFileSystem fs;
+  const std::vector<GraphMutation> mutations = SampleMutations(127, 4);
+  WriteLog(fs, "wal", mutations);
+  const std::string path = "wal/" + WalFileName(0);
+  std::string full;
+  ASSERT_TRUE(fs.ReadFile(path, &full));
+
+  for (size_t byte = 0; byte < full.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      ASSERT_TRUE(fs.FlipBit(path, byte, bit));
+      const WalScan scan = ScanWal(fs, "wal");
+      ASSERT_LE(scan.records.size(), mutations.size())
+          << "byte " << byte << " bit " << bit;
+      for (size_t i = 0; i < scan.records.size(); ++i) {
+        ASSERT_EQ(scan.records[i].sequence, i + 1)
+            << "byte " << byte << " bit " << bit;
+        ASSERT_EQ(scan.records[i].epoch, i + 1)
+            << "byte " << byte << " bit " << bit;
+        ExpectSameMutation(scan.records[i].mutation, mutations[i]);
+      }
+      ASSERT_TRUE(fs.FlipBit(path, byte, bit));  // restore
+    }
+  }
+}
+
+TEST(Wal, DuplicateSequenceEndsChain) {
+  InMemoryFileSystem fs;
+  const std::vector<GraphMutation> mutations = SampleMutations(131, 3);
+  WriteLog(fs, "wal", mutations);
+  const std::string path = "wal/" + WalFileName(0);
+  std::string contents;
+  ASSERT_TRUE(fs.ReadFile(path, &contents));
+
+  // Forge a record that reuses the last sequence number (epoch continues).
+  WalRecord forged;
+  forged.sequence = 3;  // duplicate of record 3
+  forged.epoch = 4;
+  forged.mutation = GraphMutation::Remove(0);
+  fs.SetContents(path, contents + EncodeWalRecord(forged));
+
+  const WalScan scan = ScanWal(fs, "wal");
+  EXPECT_EQ(scan.records.size(), 3u);  // the forgery is rejected
+  EXPECT_EQ(scan.last_epoch, 3u);
+  EXPECT_FALSE(scan.notes.empty());
+}
+
+TEST(Wal, OutOfOrderSequenceEndsChain) {
+  InMemoryFileSystem fs;
+  const std::vector<GraphMutation> mutations = SampleMutations(137, 3);
+  WriteLog(fs, "wal", mutations);
+  const std::string path = "wal/" + WalFileName(0);
+  std::string contents;
+  ASSERT_TRUE(fs.ReadFile(path, &contents));
+
+  WalRecord forged;
+  forged.sequence = 7;  // jumps past 4
+  forged.epoch = 4;
+  forged.mutation = GraphMutation::Remove(1);
+  fs.SetContents(path, contents + EncodeWalRecord(forged));
+
+  const WalScan scan = ScanWal(fs, "wal");
+  EXPECT_EQ(scan.records.size(), 3u);
+  EXPECT_FALSE(scan.notes.empty());
+}
+
+TEST(Wal, DuplicateEpochTruncatesTail) {
+  InMemoryFileSystem fs;
+  const std::vector<GraphMutation> mutations = SampleMutations(139, 3);
+  WriteLog(fs, "wal", mutations);
+  const std::string path = "wal/" + WalFileName(0);
+  std::string contents;
+  ASSERT_TRUE(fs.ReadFile(path, &contents));
+
+  WalRecord forged;
+  forged.sequence = 4;
+  forged.epoch = 3;  // repeats the previous epoch
+  forged.mutation = GraphMutation::Remove(0);
+  fs.SetContents(path, contents + EncodeWalRecord(forged));
+
+  const WalScan scan = ScanWal(fs, "wal");
+  EXPECT_EQ(scan.records.size(), 3u);
+  EXPECT_TRUE(scan.truncated_tail);
+}
+
+// ---------------------------------------------------------------------------
+// Sync policies against the page-cache model.
+
+TEST(Wal, EveryRecordPolicySurvivesCrashImmediately) {
+  InMemoryFileSystem fs;
+  const std::vector<GraphMutation> mutations = SampleMutations(149, 5);
+  WalOptions options;
+  options.sync_policy = SyncPolicy::kEveryRecord;
+  WalWriter writer(fs, "wal", options);
+  ASSERT_TRUE(writer.Open(0, 1));
+  uint64_t epoch = 0;
+  for (const GraphMutation& mutation : mutations) {
+    ASSERT_TRUE(writer.Append(mutation, ++epoch, nullptr));
+  }
+  fs.SimulateCrash();  // no explicit Sync: the policy already synced
+  EXPECT_EQ(ScanWal(fs, "wal").records.size(), mutations.size());
+}
+
+TEST(Wal, BatchedPolicyLosesOnlyTheOpenBatch) {
+  const std::vector<GraphMutation> mutations = SampleMutations(151, 5);
+  WalOptions options;
+  options.sync_policy = SyncPolicy::kBatched;
+  options.batch_records = 3;
+
+  InMemoryFileSystem fs;
+  WalWriter writer(fs, "wal", options);
+  ASSERT_TRUE(writer.Open(0, 1));
+  uint64_t epoch = 0;
+  for (const GraphMutation& mutation : mutations) {
+    ASSERT_TRUE(writer.Append(mutation, ++epoch, nullptr));
+  }
+  // Records 1-3 synced as a full batch; 4-5 sit in the open batch.
+  fs.SimulateCrash();
+  EXPECT_EQ(ScanWal(fs, "wal").records.size(), 3u);
+}
+
+TEST(Wal, OsDefaultPolicyLosesUnsyncedRecords) {
+  const std::vector<GraphMutation> mutations = SampleMutations(157, 4);
+  WalOptions options;
+  options.sync_policy = SyncPolicy::kOsDefault;
+
+  InMemoryFileSystem fs;
+  WalWriter writer(fs, "wal", options);
+  ASSERT_TRUE(writer.Open(0, 1));
+  uint64_t epoch = 0;
+  for (const GraphMutation& mutation : mutations) {
+    ASSERT_TRUE(writer.Append(mutation, ++epoch, nullptr));
+  }
+  fs.SimulateCrash();
+  EXPECT_TRUE(ScanWal(fs, "wal").records.empty());  // only the header synced
+
+  // Same run with an explicit barrier before the crash keeps everything.
+  InMemoryFileSystem fs2;
+  WalWriter writer2(fs2, "wal", options);
+  ASSERT_TRUE(writer2.Open(0, 1));
+  epoch = 0;
+  for (const GraphMutation& mutation : mutations) {
+    ASSERT_TRUE(writer2.Append(mutation, ++epoch, nullptr));
+  }
+  ASSERT_TRUE(writer2.Sync());
+  fs2.SimulateCrash();
+  EXPECT_EQ(ScanWal(fs2, "wal").records.size(), mutations.size());
+}
+
+// ---------------------------------------------------------------------------
+// FaultFs: short writes, failed fsyncs, byte-exact crash points.
+
+TEST(FaultInjection, ShortWriteLeavesRecoverableTornTail) {
+  InMemoryFileSystem base;
+  FaultFs fs(base);
+  fs.plan.short_write_at = 3;  // append #1 is the header, #2 record 1
+
+  const std::vector<GraphMutation> mutations = SampleMutations(163, 3);
+  WalWriter writer(fs, "wal", WalOptions{});
+  ASSERT_TRUE(writer.Open(0, 1));
+  ASSERT_TRUE(writer.Append(mutations[0], 1, nullptr));
+  EXPECT_FALSE(writer.Append(mutations[1], 2, nullptr));  // the short write
+  EXPECT_FALSE(writer.ok());  // the writer refuses to continue on a torn file
+
+  const WalScan scan = ScanWal(base, "wal");
+  EXPECT_EQ(scan.records.size(), 1u);
+  EXPECT_TRUE(scan.truncated_tail);
+}
+
+TEST(FaultInjection, FailedSyncFailsTheAppendUnderEveryRecord) {
+  InMemoryFileSystem base;
+  FaultFs fs(base);
+  fs.plan.fail_sync_at = 2;  // sync #1 made the header durable
+
+  WalWriter writer(fs, "wal", WalOptions{});
+  ASSERT_TRUE(writer.Open(0, 1));
+  uint64_t sequence = 77;
+  EXPECT_FALSE(writer.Append(GraphMutation::Remove(0), 1, &sequence));
+  EXPECT_FALSE(writer.ok());
+  EXPECT_EQ(sequence, 77u);  // untouched on failure
+}
+
+TEST(FaultInjection, CrashAfterBytesCutsTheCrossingWriteExactly) {
+  InMemoryFileSystem base;
+  FaultFs fs(base);
+  const std::vector<GraphMutation> mutations = SampleMutations(167, 2);
+
+  // Learn the sizes with a clean dry run.
+  const std::vector<size_t> sizes = WriteLog(base, "dry", mutations);
+  size_t header_size = 0;
+  {
+    std::string contents;
+    ASSERT_TRUE(base.ReadFile("dry/" + WalFileName(0), &contents));
+    header_size = contents.size() - sizes[0] - sizes[1];
+  }
+
+  fs.plan.crash_after_bytes = header_size + sizes[0] + 5;
+  WalWriter writer(fs, "wal", WalOptions{});
+  ASSERT_TRUE(writer.Open(0, 1));
+  ASSERT_TRUE(writer.Append(mutations[0], 1, nullptr));
+  EXPECT_FALSE(writer.Append(mutations[1], 2, nullptr));  // crosses the limit
+  EXPECT_TRUE(fs.crashed());
+  EXPECT_EQ(fs.OpenForAppend("wal/other"), nullptr);  // dead process
+
+  EXPECT_EQ(base.FileSize("wal/" + WalFileName(0)),
+            header_size + sizes[0] + 5);
+  const WalScan scan = ScanWal(base, "wal");
+  EXPECT_EQ(scan.records.size(), 1u);
+  EXPECT_TRUE(scan.truncated_tail);
+}
+
+// ---------------------------------------------------------------------------
+// Atomic whole-file replacement.
+
+TEST(FaultInjection, WriteFileAtomicReplacesAndCleansUp) {
+  InMemoryFileSystem fs;
+  ASSERT_TRUE(fs.SetContents("snap", "old contents"));
+  ASSERT_TRUE(fs.WriteFileAtomic("snap", "new contents"));
+  std::string contents;
+  ASSERT_TRUE(fs.ReadFile("snap", &contents));
+  EXPECT_EQ(contents, "new contents");
+  EXPECT_FALSE(fs.Exists("snap.tmp"));
+}
+
+TEST(FaultInjection, CrashMidAtomicWritePreservesTheOldFile) {
+  InMemoryFileSystem base;
+  ASSERT_TRUE(base.SetContents("snap", "old contents"));
+
+  // Crash during the tmp write: the rename never happens.
+  FaultFs fs(base);
+  fs.plan.crash_after_bytes = 3;
+  EXPECT_FALSE(fs.WriteFileAtomic("snap", "new contents"));
+  base.SimulateCrash();
+  std::string contents;
+  ASSERT_TRUE(base.ReadFile("snap", &contents));
+  EXPECT_EQ(contents, "old contents");
+
+  // A failed fsync of the tmp file also aborts before the rename.
+  FaultFs fs2(base);
+  fs2.plan.fail_sync_at = 1;
+  EXPECT_FALSE(fs2.WriteFileAtomic("snap", "new contents"));
+  ASSERT_TRUE(base.ReadFile("snap", &contents));
+  EXPECT_EQ(contents, "old contents");
+
+  // And a stale tmp from the first crash does not poison a later save.
+  FaultFs fs3(base);
+  EXPECT_TRUE(fs3.WriteFileAtomic("snap", "new contents"));
+  ASSERT_TRUE(base.ReadFile("snap", &contents));
+  EXPECT_EQ(contents, "new contents");
+}
+
+TEST(FaultInjection, PageCacheModelDropsUnsyncedBytes) {
+  InMemoryFileSystem fs;
+  auto file = fs.OpenForAppend("f");
+  ASSERT_TRUE(file->Append("abc", 3));
+  ASSERT_TRUE(file->Sync());
+  ASSERT_TRUE(file->Append("def", 3));  // volatile
+  fs.SimulateCrash();
+  std::string contents;
+  ASSERT_TRUE(fs.ReadFile("f", &contents));
+  EXPECT_EQ(contents, "abc");
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level WAL behavior: sequences surface, failures fail closed.
+
+GraphDatabase SmallDb(uint64_t seed, size_t n) {
+  Rng rng(seed);
+  GraphDatabase db;
+  for (size_t i = 0; i < n; ++i) {
+    db.graphs.push_back(RandomConnectedGraph(rng, 6 + rng.Below(3), 2, 3));
+  }
+  db.RefreshLabelCount();
+  return db;
+}
+
+TEST(EngineWal, MutationResultSurfacesWalSequenceAndEpoch) {
+  auto db = std::make_unique<GraphDatabase>(SmallDb(171, 8));
+  auto method = MethodRegistry::Create(QueryDirection::kSubgraph, "grapes");
+  method->Build(*db);
+  QueryEngine engine(*db, method.get(), IgqOptions{});
+
+  InMemoryFileSystem fs;
+  WalWriter wal(fs, "wal", WalOptions{});
+  ASSERT_TRUE(wal.Open(0, 1));
+  engine.AttachWal(&wal);
+
+  Rng rng(171);
+  const MutationResult add =
+      engine.ApplyMutation(*db, GraphMutation::Add(
+                                    RandomConnectedGraph(rng, 5, 2, 3)));
+  ASSERT_TRUE(add.applied);
+  EXPECT_EQ(add.wal_sequence, 1u);
+  EXPECT_EQ(add.epoch, 1u);
+  EXPECT_FALSE(add.wal_failed);
+
+  const MutationResult remove =
+      engine.ApplyMutation(*db, GraphMutation::Remove(2));
+  ASSERT_TRUE(remove.applied);
+  EXPECT_EQ(remove.wal_sequence, 2u);
+  EXPECT_EQ(remove.epoch, 2u);
+
+  // A no-op remove is never logged: no record, no sequence burned.
+  const MutationResult noop =
+      engine.ApplyMutation(*db, GraphMutation::Remove(2));
+  EXPECT_FALSE(noop.applied);
+  EXPECT_EQ(noop.wal_sequence, 0u);
+  EXPECT_FALSE(noop.wal_failed);
+
+  const WalScan scan = ScanWal(fs, "wal");
+  EXPECT_EQ(scan.records.size(), 2u);
+  EXPECT_EQ(scan.last_epoch, db->mutation_epoch);
+}
+
+TEST(EngineWal, WalAppendFailureRefusesTheMutation) {
+  auto db = std::make_unique<GraphDatabase>(SmallDb(173, 8));
+  auto method = MethodRegistry::Create(QueryDirection::kSubgraph, "grapes");
+  method->Build(*db);
+  QueryEngine engine(*db, method.get(), IgqOptions{});
+
+  InMemoryFileSystem base;
+  FaultFs fs(base);
+  fs.plan.fail_sync_at = 2;  // the first record's fsync fails
+  WalWriter wal(fs, "wal", WalOptions{});
+  ASSERT_TRUE(wal.Open(0, 1));
+  engine.AttachWal(&wal);
+
+  Rng rng(173);
+  const MutationResult result =
+      engine.ApplyMutation(*db, GraphMutation::Add(
+                                    RandomConnectedGraph(rng, 5, 2, 3)));
+  EXPECT_FALSE(result.applied);
+  EXPECT_TRUE(result.wal_failed);
+  EXPECT_EQ(db->mutation_epoch, 0u);  // fail closed: nothing changed
+  EXPECT_EQ(db->graphs.size(), 8u);
+
+  // Detaching the broken log lets mutations flow again.
+  engine.AttachWal(nullptr);
+  const MutationResult retry =
+      engine.ApplyMutation(*db, GraphMutation::Add(
+                                    RandomConnectedGraph(rng, 5, 2, 3)));
+  EXPECT_TRUE(retry.applied);
+  EXPECT_EQ(retry.wal_sequence, 0u);  // no log attached
+}
+
+}  // namespace
+}  // namespace durability
+}  // namespace igq

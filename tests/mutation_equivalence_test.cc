@@ -25,6 +25,7 @@
 #include "isomorphism/ullmann.h"
 #include "methods/method.h"
 #include "methods/registry.h"
+#include "tests/state_diff.h"
 #include "tests/test_util.h"
 
 namespace {
@@ -36,6 +37,8 @@ bool g_smoke = false;
 namespace igq {
 namespace {
 
+using testing::ExpectSameCacheState;
+using testing::ExpectSameStats;
 using testing::PermuteVertices;
 using testing::RandomConnectedGraph;
 using testing::RandomSubgraphOf;
@@ -180,44 +183,9 @@ std::vector<GraphId> OracleAnswer(const GraphDatabase& db, const Graph& query,
   return answer;
 }
 
-void ExpectSameStats(const QueryStats& a, const QueryStats& b, size_t op) {
-  EXPECT_EQ(a.candidates_initial, b.candidates_initial) << "op " << op;
-  EXPECT_EQ(a.candidates_final, b.candidates_final) << "op " << op;
-  EXPECT_EQ(a.iso_tests, b.iso_tests) << "op " << op;
-  EXPECT_EQ(a.probe_iso_tests, b.probe_iso_tests) << "op " << op;
-  EXPECT_EQ(a.answer_size, b.answer_size) << "op " << op;
-  EXPECT_EQ(a.isub_hits, b.isub_hits) << "op " << op;
-  EXPECT_EQ(a.isuper_hits, b.isuper_hits) << "op " << op;
-  EXPECT_EQ(static_cast<int>(a.shortcut), static_cast<int>(b.shortcut))
-      << "op " << op;
-}
-
-/// Full behavioral-state equality of the two caches: entries, window fill,
-/// answers, and the §5.1 credit sequences (H, insertion clock, R, C, last
-/// hit). Cost credits accumulate in the same order on both arms, so even
-/// the log-space doubles must match bitwise.
-void ExpectSameCacheState(const QueryCache& a, const QueryCache& b,
-                          size_t op) {
-  ASSERT_EQ(a.size(), b.size()) << "op " << op;
-  ASSERT_EQ(a.window_fill(), b.window_fill()) << "op " << op;
-  EXPECT_EQ(a.queries_processed(), b.queries_processed()) << "op " << op;
-  for (size_t i = 0; i < a.size(); ++i) {
-    const CachedQuery& ea = a.entries()[i];
-    const CachedQuery& eb = b.entries()[i];
-    EXPECT_EQ(ea.id, eb.id) << "op " << op << " entry " << i;
-    EXPECT_EQ(ea.answer.ToVector(), eb.answer.ToVector())
-        << "op " << op << " entry " << i;
-    EXPECT_EQ(ea.meta.hits, eb.meta.hits) << "op " << op << " entry " << i;
-    EXPECT_EQ(ea.meta.inserted_at, eb.meta.inserted_at)
-        << "op " << op << " entry " << i;
-    EXPECT_EQ(ea.meta.removed_candidates, eb.meta.removed_candidates)
-        << "op " << op << " entry " << i;
-    EXPECT_EQ(ea.meta.last_hit_at, eb.meta.last_hit_at)
-        << "op " << op << " entry " << i;
-    EXPECT_EQ(ea.meta.cost_saved.log(), eb.meta.cost_saved.log())
-        << "op " << op << " entry " << i;
-  }
-}
+// ExpectSameStats / ExpectSameCacheState moved to tests/state_diff.h so the
+// crash-recovery sweep (recovery_test.cc) can hold recovered engines to the
+// same bit-identity bar.
 
 // ---------------------------------------------------------------------------
 // The differential harness.
