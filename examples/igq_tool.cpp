@@ -35,12 +35,18 @@
 //       probe queries; --verify re-answers the probes on a cold-built
 //       engine over the recovered database and fails on any divergence.
 //   igq_tool serve --data=aids.txt --method=grapes6 --streams=8 \
-//            --queries=1000 --shards=8 [--verify] [--save=warm.igqs]
+//            --queries=1000 --shards=8 [--verify] [--save=warm.igqs] \
+//            [--deadline-ms=N] [--max-states=N] [--admission=WATERMARK]
 //       Serve the workload as N concurrent client streams over ONE shared,
 //       sharded cache (ConcurrentQueryEngine) and report throughput and
 //       cache-assist rate; --verify replays the stream on the sequential
 //       engine and fails on any answer divergence, --save snapshots the
-//       sharded cache afterwards.
+//       sharded cache afterwards. The lifecycle flags (all off by
+//       default — serving then runs the exact unbudgeted pipeline) give
+//       every query a wall-clock deadline / search-state cap and enable
+//       admission control at the given cost watermark; budgeted runs
+//       print the typed outcome counters, and --verify then only
+//       compares queries that completed.
 //
 // Build: cmake --build build && ./build/igq_tool gen ...
 #include <algorithm>
@@ -402,10 +408,22 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
 
   const size_t streams =
       std::max<long long>(1, std::atoll(Get(flags, "streams", "8").c_str()));
-  igq::ConcurrentQueryEngine engine(db, method.get(),
-                                    EngineOptions(flags, direction));
+  const long long deadline_ms =
+      std::atoll(Get(flags, "deadline-ms", "0").c_str());
+  const long long max_states =
+      std::atoll(Get(flags, "max-states", "0").c_str());
+  const long long watermark = std::atoll(Get(flags, "admission", "0").c_str());
+  const bool budgeted = deadline_ms > 0 || max_states > 0 || watermark > 0;
+  igq::IgqOptions options = EngineOptions(flags, direction);
+  if (watermark > 0) {
+    options.serving.admission_watermark = static_cast<uint64_t>(watermark);
+  }
+  igq::ConcurrentQueryEngine engine(db, method.get(), options);
+  igq::BatchOptions batch;
+  if (deadline_ms > 0) batch.budget.deadline_micros = deadline_ms * 1000;
+  if (max_states > 0) batch.budget.max_states = static_cast<uint64_t>(max_states);
   igq::Timer serve_timer;
-  const auto results = engine.ProcessConcurrent(queries, streams);
+  const auto results = engine.ProcessConcurrent(queries, streams, batch);
   const double seconds = serve_timer.ElapsedSeconds();
 
   size_t assisted = 0, tests = 0;
@@ -423,21 +441,52 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
                   static_cast<double>(results.empty() ? 1 : results.size()),
               tests, engine.cache().size(), engine.cache().window_fill());
 
+  if (budgeted) {
+    const igq::serving::OutcomeCounters counters = engine.serving_counters();
+    std::printf("  outcomes : %llu completed, %llu partial, %llu deadline-"
+                "expired, %llu shed, %llu cancelled\n",
+                static_cast<unsigned long long>(counters.completed),
+                static_cast<unsigned long long>(counters.partial),
+                static_cast<unsigned long long>(counters.deadline_expired),
+                static_cast<unsigned long long>(counters.shed),
+                static_cast<unsigned long long>(counters.cancelled));
+    if (watermark > 0) {
+      const igq::serving::AdmissionController::Stats adm =
+          engine.admission_stats();
+      std::printf("  admission: %llu admitted, %llu shed, %llu expired in "
+                  "queue (watermark %lld)\n",
+                  static_cast<unsigned long long>(adm.admitted),
+                  static_cast<unsigned long long>(adm.shed),
+                  static_cast<unsigned long long>(adm.expired_in_queue),
+                  watermark);
+    }
+  }
+
   if (flags.count("verify") != 0) {
     // The concurrent engine is answer-equivalent to the sequential one:
-    // replay the same stream on a fresh QueryEngine and compare.
+    // replay the same stream on a fresh QueryEngine and compare. Under
+    // budgets only completed queries carry the full answer, so the check
+    // skips the typed non-completions.
     auto seq_method = MakeMethod(flags, nullptr);
     seq_method->Build(db);
     igq::QueryEngine sequential(db, seq_method.get(),
                                 EngineOptions(flags, direction));
+    size_t compared = 0;
     for (size_t i = 0; i < queries.size(); ++i) {
+      if (budgeted && results[i].outcome.kind !=
+                          igq::serving::QueryOutcomeKind::kCompleted) {
+        continue;
+      }
+      ++compared;
       if (sequential.Process(queries[i]) != results[i].answer) {
         std::printf("answers identical to sequential engine: NO (query %zu)\n",
                     i);
         return 1;
       }
     }
-    std::printf("answers identical to sequential engine: yes\n");
+    std::printf("answers identical to sequential engine: yes (%zu/%zu "
+                "compared)\n",
+                compared, queries.size());
   }
 
   const std::string save_path = Get(flags, "save", "");

@@ -10,6 +10,10 @@
 namespace igq {
 namespace {
 
+void SetIoError(GraphIoError* error, GraphIoError value) {
+  if (error != nullptr) *error = value;
+}
+
 std::optional<std::vector<Graph>> ReadGraphsText(std::istream& in) {
   std::vector<Graph> graphs;
   std::string line;
@@ -44,39 +48,102 @@ std::optional<std::vector<Graph>> ReadGraphsText(std::istream& in) {
 }
 
 // Called with the stream positioned on the magic's first byte.
-std::optional<std::vector<Graph>> ReadGraphsBinary(std::istream& in) {
+std::optional<std::vector<Graph>> ReadGraphsBinary(std::istream& in,
+                                                   GraphIoError* error) {
   snapshot::BinaryReader reader(in);
   uint8_t magic[4] = {0, 0, 0, 0};
-  if (!reader.ReadBytes(magic, sizeof(magic))) return std::nullopt;
+  if (!reader.ReadBytes(magic, sizeof(magic))) {
+    SetIoError(error, GraphIoError::kBadMagic);
+    return std::nullopt;
+  }
   for (size_t i = 0; i < sizeof(magic); ++i) {
-    if (magic[i] != kBinaryGraphMagic[i]) return std::nullopt;
+    if (magic[i] != kBinaryGraphMagic[i]) {
+      SetIoError(error, GraphIoError::kBadMagic);
+      return std::nullopt;
+    }
   }
   reader.ResetCrc();  // the trailing checksum covers version + count + bodies
   uint32_t version = 0;
-  if (!reader.ReadU32(&version) || version != kBinaryGraphVersion) {
+  if (!reader.ReadU32(&version)) {
+    SetIoError(error, GraphIoError::kMalformed);
     return std::nullopt;
   }
+  if (version != kBinaryGraphVersion) {
+    SetIoError(error, GraphIoError::kVersionSkew);
+    return std::nullopt;
+  }
+  // Arm the reader's byte budget with the bytes actually remaining (when
+  // the stream can tell us), so every declared length below — the graph
+  // count here, per-graph vertex/edge counts inside ReadGraph — is
+  // validated against what can possibly exist BEFORE any allocation.
+  const std::istream::pos_type here = in.tellg();
+  if (here != std::istream::pos_type(-1)) {
+    in.seekg(0, std::ios::end);
+    const std::istream::pos_type end = in.tellg();
+    in.seekg(here);
+    if (end != std::istream::pos_type(-1) && end >= here) {
+      reader.LimitRemainingBytes(static_cast<uint64_t>(end - here));
+    }
+  }
   uint64_t count = 0;
-  if (!reader.ReadU64(&count)) return std::nullopt;
+  if (!reader.ReadU64(&count)) {
+    SetIoError(error, GraphIoError::kMalformed);
+    return std::nullopt;
+  }
+  // Each graph body is at least 8 bytes (vertex count + edge count), and a
+  // 4-byte checksum must follow — a count claiming more fails before the
+  // reserve below touches it.
+  const uint64_t remaining = reader.remaining_bytes();
+  if (count != 0 && (remaining < 4 || count > (remaining - 4) / 8)) {
+    SetIoError(error, GraphIoError::kForgedLength);
+    return std::nullopt;
+  }
   std::vector<Graph> graphs;
   graphs.reserve(static_cast<size_t>(std::min<uint64_t>(count, 4096)));
   for (uint64_t i = 0; i < count; ++i) {
     Graph g;
-    if (!snapshot::ReadGraph(reader, &g)) return std::nullopt;
+    if (!snapshot::ReadGraph(reader, &g)) {
+      SetIoError(error, reader.length_guard_tripped()
+                            ? GraphIoError::kForgedLength
+                            : GraphIoError::kMalformed);
+      return std::nullopt;
+    }
     graphs.push_back(std::move(g));
   }
   const uint32_t actual_crc = reader.crc();
   uint32_t stored_crc = 0;
-  if (!reader.ReadU32(&stored_crc) || stored_crc != actual_crc) {
+  if (!reader.ReadU32(&stored_crc)) {
+    SetIoError(error, GraphIoError::kMalformed);
+    return std::nullopt;
+  }
+  if (stored_crc != actual_crc) {
+    SetIoError(error, GraphIoError::kChecksum);
     return std::nullopt;
   }
   // Trailing bytes mean a corrupted count field or a concatenated file —
   // either way the caller would silently lose data; reject instead.
-  if (in.peek() != std::char_traits<char>::eof()) return std::nullopt;
+  if (in.peek() != std::char_traits<char>::eof()) {
+    SetIoError(error, GraphIoError::kTrailingBytes);
+    return std::nullopt;
+  }
   return graphs;
 }
 
 }  // namespace
+
+const char* GraphIoErrorName(GraphIoError error) {
+  switch (error) {
+    case GraphIoError::kNone: return "none";
+    case GraphIoError::kIo: return "io";
+    case GraphIoError::kBadMagic: return "bad-magic";
+    case GraphIoError::kVersionSkew: return "version-skew";
+    case GraphIoError::kForgedLength: return "forged-length";
+    case GraphIoError::kMalformed: return "malformed";
+    case GraphIoError::kChecksum: return "checksum";
+    case GraphIoError::kTrailingBytes: return "trailing-bytes";
+  }
+  return "?";
+}
 
 void WriteGraphs(std::ostream& out, const std::vector<Graph>& graphs) {
   for (size_t i = 0; i < graphs.size(); ++i) {
@@ -103,12 +170,20 @@ void WriteGraphsBinary(std::ostream& out, const std::vector<Graph>& graphs) {
 }
 
 std::optional<std::vector<Graph>> ReadGraphs(std::istream& in) {
+  return ReadGraphsChecked(in, nullptr);
+}
+
+std::optional<std::vector<Graph>> ReadGraphsChecked(std::istream& in,
+                                                    GraphIoError* error) {
+  SetIoError(error, GraphIoError::kNone);
   // Sniff: the text format's first non-empty byte is '#' (or whitespace),
   // so a leading 'I' can only be the binary magic.
   const int first = in.peek();
   if (first == std::char_traits<char>::eof()) return std::vector<Graph>{};
-  if (first == kBinaryGraphMagic[0]) return ReadGraphsBinary(in);
-  return ReadGraphsText(in);
+  if (first == kBinaryGraphMagic[0]) return ReadGraphsBinary(in, error);
+  std::optional<std::vector<Graph>> graphs = ReadGraphsText(in);
+  if (!graphs.has_value()) SetIoError(error, GraphIoError::kMalformed);
+  return graphs;
 }
 
 bool WriteGraphsToFile(const std::string& path,
@@ -131,6 +206,16 @@ std::optional<std::vector<Graph>> ReadGraphsFromFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;
   return ReadGraphs(in);
+}
+
+std::optional<std::vector<Graph>> ReadGraphsCheckedFromFile(
+    const std::string& path, GraphIoError* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    SetIoError(error, GraphIoError::kIo);
+    return std::nullopt;
+  }
+  return ReadGraphsChecked(in, error);
 }
 
 }  // namespace igq

@@ -43,6 +43,23 @@ void WriteGraphs(std::ostream& out, const std::vector<Graph>& graphs);
 /// bodies, trailing CRC-32 (over everything after the magic).
 void WriteGraphsBinary(std::ostream& out, const std::vector<Graph>& graphs);
 
+/// Why a graph-collection read failed. Loaders branch on kForgedLength —
+/// the adversarial-input signature (a declared count or size larger than
+/// the bytes that remain in the file, caught before any allocation) — and
+/// tools print the name.
+enum class GraphIoError : uint8_t {
+  kNone = 0,
+  kIo,             // the file/stream could not be read at all
+  kBadMagic,       // binary path chosen but the IGQB magic is damaged
+  kVersionSkew,    // well-formed file from an incompatible format version
+  kForgedLength,   // a length field exceeds the remaining file size
+  kMalformed,      // truncation, out-of-range ids, bad graph structure
+  kChecksum,       // bodies decoded but the trailing CRC-32 disagrees
+  kTrailingBytes,  // bytes follow the checksum (corrupt count / concat)
+};
+
+const char* GraphIoErrorName(GraphIoError error);
+
 /// Parses a graph collection from the stream, sniffing the format: a
 /// leading 'I' selects the binary path (the text format always starts with
 /// '#' or whitespace), anything else the text parser. Returns std::nullopt
@@ -50,12 +67,24 @@ void WriteGraphsBinary(std::ostream& out, const std::vector<Graph>& graphs);
 /// checksum, ...).
 std::optional<std::vector<Graph>> ReadGraphs(std::istream& in);
 
+/// ReadGraphs with a typed failure reason. On the binary path every
+/// declared length (graph count, per-graph vertex/edge counts) is
+/// validated against the remaining file size BEFORE any allocation — an
+/// adversarial length field yields kForgedLength, never a bad_alloc. The
+/// validation needs a seekable stream (files, string streams); on a
+/// non-seekable stream the reads still fail cleanly at EOF, just without
+/// the forged-length classification.
+std::optional<std::vector<Graph>> ReadGraphsChecked(
+    std::istream& in, GraphIoError* error = nullptr);
+
 /// Convenience file wrappers. Return false / nullopt on I/O failure.
 /// Reading sniffs the format; streams are opened in binary mode either way.
 bool WriteGraphsToFile(const std::string& path, const std::vector<Graph>& graphs);
 bool WriteGraphsBinaryToFile(const std::string& path,
                              const std::vector<Graph>& graphs);
 std::optional<std::vector<Graph>> ReadGraphsFromFile(const std::string& path);
+std::optional<std::vector<Graph>> ReadGraphsCheckedFromFile(
+    const std::string& path, GraphIoError* error = nullptr);
 
 }  // namespace igq
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <sstream>
 #include <thread>
 
@@ -13,11 +14,39 @@
 #include "snapshot/serializer.h"
 #include "snapshot/snapshot.h"
 
+#if defined(__SANITIZE_THREAD__)
+#define IGQ_TSAN_ACTIVE 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define IGQ_TSAN_ACTIVE 1
+#endif
+#endif
+
 namespace igq {
 namespace {
 
 void SetError(std::string* error, const std::string& message) {
   if (error != nullptr) *error = message;
+}
+
+// Deadline-bounded shared acquisition of the writer gate. libstdc++ lowers
+// try_lock_until with a steady_clock deadline to pthread_rwlock_clockrdlock,
+// which ThreadSanitizer (through at least GCC 12's libtsan) does not
+// intercept — a successful acquisition is then invisible to TSan and every
+// read behind the gate is reported as a false race against ApplyMutation's
+// exclusive hold. Under TSan only, poll the intercepted try-lock path
+// instead; production builds keep the blocking timed wait.
+bool LockSharedUntil(std::shared_lock<std::shared_timed_mutex>& gate,
+                     std::chrono::steady_clock::time_point deadline) {
+#ifdef IGQ_TSAN_ACTIVE
+  while (!gate.try_lock()) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  return true;
+#else
+  return gate.try_lock_until(deadline);
+#endif
 }
 
 }  // namespace
@@ -28,7 +57,9 @@ ConcurrentQueryEngine::ConcurrentQueryEngine(const GraphDatabase& db,
     : db_(&db),
       method_(method),
       options_(ValidatedIgqOptions(options)),
-      cache_(std::make_unique<ShardedQueryCache>(options_, db.graphs.size())) {
+      cache_(std::make_unique<ShardedQueryCache>(options_, db.graphs.size())),
+      admission_(options_.serving.admission_watermark,
+                 options_.serving.admission_max_waiters) {
   if (options_.verify_threads > 1) {
     pool_ = std::make_unique<VerifyPool>(options_.verify_threads);
   }
@@ -37,7 +68,8 @@ ConcurrentQueryEngine::ConcurrentQueryEngine(const GraphDatabase& db,
 ConcurrentQueryEngine::~ConcurrentQueryEngine() = default;
 
 std::vector<GraphId> ConcurrentQueryEngine::RunVerification(
-    const std::vector<GraphId>& candidates, const PreparedQuery& prepared) {
+    const std::vector<GraphId>& candidates, const PreparedQuery& prepared,
+    serving::QueryControl* control) {
   auto verify = [this, &prepared](GraphId id) {
     return method_->Verify(prepared, id);
   };
@@ -47,11 +79,22 @@ std::vector<GraphId> ConcurrentQueryEngine::RunVerification(
   // point of stream-level parallelism, never a stall.
   if (pool_ != nullptr && candidates.size() >= 2 * pool_->threads()) {
     std::unique_lock<std::mutex> borrow(pool_mutex_, std::try_to_lock);
-    if (borrow.owns_lock()) return pool_->Run(candidates, verify);
+    if (borrow.owns_lock()) return pool_->Run(candidates, verify, control);
   }
   std::vector<GraphId> verified;
+  if (control == nullptr) {
+    for (GraphId id : candidates) {
+      if (verify(id)) verified.push_back(id);
+    }
+    return verified;
+  }
+  // Budgeted inline path: same discard protocol as VerifyPool's claim loop —
+  // an item whose verify finished at or after the stop is garbage.
   for (GraphId id : candidates) {
-    if (verify(id)) verified.push_back(id);
+    if (control->stopped()) break;
+    const bool hit = verify(id);
+    if (control->stopped()) break;
+    if (hit) verified.push_back(id);
   }
   return verified;
 }
@@ -61,7 +104,7 @@ std::vector<GraphId> ConcurrentQueryEngine::Process(const Graph& query,
   // Mutation gate, shared side: held for the query's whole lifetime so the
   // database, method index, and cache never shift underneath it. Queries
   // never block each other here — only an in-flight ApplyMutation does.
-  std::shared_lock<std::shared_mutex> mutation_gate(mutation_mutex_);
+  std::shared_lock<std::shared_timed_mutex> mutation_gate(mutation_mutex_);
   // Same null-stats contract as QueryEngine::Process: a null `stats` skips
   // all collection (no clock reads, no counter writes).
   if (stats != nullptr) *stats = QueryStats{};
@@ -288,12 +331,480 @@ std::vector<GraphId> ConcurrentQueryEngine::Process(const Graph& query,
   return answer;
 }
 
+QueryResult ConcurrentQueryEngine::ProcessWithBudget(
+    const Graph& query, const serving::QueryRequest& request,
+    bool collect_stats) {
+  // Zero budget fields fall back to the engine's serving defaults.
+  serving::QueryBudget budget = request.budget;
+  if (budget.deadline_micros == 0) {
+    budget.deadline_micros = options_.serving.default_deadline_micros;
+  }
+  if (budget.max_states == 0) {
+    budget.max_states = options_.serving.default_max_states;
+  }
+  serving::QueryControl control;
+  control.Arm(budget, request.cancel != nullptr ? request.cancel->flag()
+                                                : nullptr);
+  QueryResult result;
+  if (!control.limited() && !admission_.enabled()) {
+    // Fully unlimited and no admission: run the untouched pipeline —
+    // bit-identical cache trajectory, no checkpoint beyond the free
+    // per-state counter.
+    result.answer = Process(query, collect_stats ? &result.stats : nullptr);
+    result.outcome.kind = serving::QueryOutcomeKind::kCompleted;
+    result.outcome.elapsed_micros = control.ElapsedMicros();
+    outcomes_.Record(result.outcome);
+    return result;
+  }
+  result = ProcessBudgeted(query, control, collect_stats);
+  outcomes_.Record(result.outcome);
+  return result;
+}
+
+QueryResult ConcurrentQueryEngine::ProcessBudgeted(
+    const Graph& query, serving::QueryControl& control, bool collect_stats) {
+  QueryResult result;
+  QueryStats* stats = collect_stats ? &result.stats : nullptr;
+  int64_t* const filter_sink =
+      stats != nullptr ? &stats->filter_micros : nullptr;
+  int64_t* const probe_sink = stats != nullptr ? &stats->probe_micros : nullptr;
+  int64_t* const verify_sink =
+      stats != nullptr ? &stats->verify_micros : nullptr;
+  ScopedTimer total_timer(stats != nullptr ? &stats->total_micros : nullptr);
+
+  // Fills `result` with the typed rejection/partial outcome for a stopped
+  // control. All cache commits on this path are deferred, so every stopped
+  // exit leaves the shared cache bit-identical to one that never saw the
+  // query.
+  auto finish_stopped = [&](bool partial_eligible,
+                            std::vector<GraphId> partial_answer) {
+    const bool partial =
+        partial_eligible && options_.serving.degrade_to_partial;
+    result.outcome = serving::MakeStoppedOutcome(control, partial);
+    result.answer =
+        partial ? std::move(partial_answer) : std::vector<GraphId>{};
+    if (stats != nullptr) stats->answer_size = result.answer.size();
+  };
+
+  // Stage: writer-gate wait, deadline-aware. The gate is a
+  // shared_timed_mutex for exactly this: a query that cannot get past an
+  // in-flight mutation before its deadline reports kDeadlineExpired at
+  // kGateWait instead of blocking unboundedly. Without a deadline the wait
+  // is plain — cancellation is then noticed right after acquisition
+  // (mutations are short; the latency is bounded by one mutation).
+  control.set_stage(serving::QueryStage::kGateWait);
+  std::shared_lock<std::shared_timed_mutex> mutation_gate(mutation_mutex_,
+                                                          std::defer_lock);
+  if (control.has_deadline()) {
+    if (!LockSharedUntil(mutation_gate, control.deadline())) {
+      control.CheckNow();  // latches kDeadline (or kCancelled) at kGateWait
+      finish_stopped(false, {});
+      return result;
+    }
+  } else {
+    mutation_gate.lock();
+  }
+  if (control.CheckNow()) {
+    finish_stopped(false, {});
+    return result;
+  }
+
+  // The owning stream's searches (probe side and its verify share) run on
+  // this thread; VerifyPool installs the control on its borrowed workers
+  // itself.
+  ScopedSearchControl search_guard(MatchContext::ThreadLocal(), &control);
+
+  // Admission cost: query size in vertices + edges, a cheap proxy for the
+  // expected filter/verify work.
+  const uint64_t admission_cost =
+      static_cast<uint64_t>(query.NumVertices()) + query.NumEdges();
+  serving::AdmissionTicket ticket;
+  // Runs admission control with the gate DROPPED — a query parked in the
+  // admission queue must not hold the shared gate, or it would block
+  // mutations for up to its whole deadline — then re-acquires the gate.
+  // Returns false when `result` already holds the rejection outcome.
+  auto admit = [&]() -> bool {
+    if (!admission_.enabled()) return true;
+    mutation_gate.unlock();
+    control.set_stage(serving::QueryStage::kAdmission);
+    const serving::AdmissionController::Result admitted =
+        admission_.Admit(admission_cost, control);
+    if (admitted == serving::AdmissionController::Result::kShed) {
+      result.outcome.kind = serving::QueryOutcomeKind::kShed;
+      result.outcome.stage = serving::QueryStage::kAdmission;
+      result.outcome.elapsed_micros = control.ElapsedMicros();
+      return false;
+    }
+    if (admitted == serving::AdmissionController::Result::kDeadline) {
+      control.CheckNow();
+      finish_stopped(false, {});
+      return false;
+    }
+    ticket = serving::AdmissionTicket(&admission_, admission_cost);
+    control.set_stage(serving::QueryStage::kGateWait);
+    if (control.has_deadline()) {
+      if (!LockSharedUntil(mutation_gate, control.deadline())) {
+        control.CheckNow();
+        finish_stopped(false, {});
+        return false;
+      }
+    } else {
+      mutation_gate.lock();
+    }
+    if (control.CheckNow()) {
+      finish_stopped(false, {});
+      return false;
+    }
+    return true;
+  };
+
+  if (!options_.enabled) {
+    // Cache disabled: admission, then filter + budgeted verify. A stop
+    // during verify degrades to the verified-so-far subset (still a true
+    // subset of the answer).
+    if (!admit()) return result;
+    std::unique_ptr<PreparedQuery> prepared = method_->Prepare(query);
+    prepared->set_control(&control);
+    control.set_stage(serving::QueryStage::kFilter);
+    std::vector<GraphId> candidates;
+    {
+      ScopedTimer filter_timer(filter_sink);
+      candidates = method_->Filter(*prepared);
+    }
+    if (control.CheckNow()) {
+      finish_stopped(false, {});
+      return result;
+    }
+    if (stats != nullptr) stats->candidates_initial = candidates.size();
+    if (control.ChargeCandidates(candidates.size())) {
+      finish_stopped(false, {});
+      return result;
+    }
+    control.set_stage(serving::QueryStage::kVerify);
+    std::vector<GraphId> verified;
+    {
+      ScopedTimer verify_timer(verify_sink);
+      verified = RunVerification(candidates, *prepared, &control);
+    }
+    if (stats != nullptr) {
+      stats->iso_tests = candidates.size();
+      stats->candidates_final = candidates.size();
+    }
+    if (control.stopped()) {
+      finish_stopped(true, std::move(verified));
+      return result;
+    }
+    result.answer = std::move(verified);
+    result.outcome.kind = serving::QueryOutcomeKind::kCompleted;
+    result.outcome.elapsed_micros = control.ElapsedMicros();
+    if (stats != nullptr) stats->answer_size = result.answer.size();
+    return result;
+  }
+
+  // NOTE: unlike the unbudgeted path, the query-counter tick
+  // (RecordQueryProcessed) is DEFERRED to each commit point below, so an
+  // aborted query advances nothing. On the fast-path hit the tick therefore
+  // lands after TryExactHit's credit instead of before the lookup — a
+  // one-step deviation of the §5.1 denominator clock, documented in
+  // docs/CONCURRENCY.md (hit/miss ordering under concurrency is already
+  // unordered across streams).
+  const size_t query_nodes = query.NumVertices();
+  control.set_stage(serving::QueryStage::kFastPath);
+  std::string canonical;
+  {
+    ScopedTimer probe_timer(probe_sink);
+    canonical = GraphCanonicalCode(query);
+    auto cost_of = [this, query_nodes](std::span<const GraphId> ids) {
+      return SumIsomorphismCosts(*db_, method_->Direction(), query_nodes, ids);
+    };
+    std::vector<GraphId> hit_answer;
+    if (cache_->TryExactHit(canonical, cost_of, &hit_answer)) {
+      cache_->RecordQueryProcessed();
+      result.answer = std::move(hit_answer);
+      result.outcome.kind = serving::QueryOutcomeKind::kCompleted;
+      result.outcome.elapsed_micros = control.ElapsedMicros();
+      if (stats != nullptr) {
+        stats->shortcut = ShortcutKind::kExactHit;
+        stats->answer_size = result.answer.size();
+      }
+      return result;
+    }
+  }
+
+  // Fast-path miss: only now does admission apply — exact hits are always
+  // admitted, so cache hits stay cheap under overload (the shed watermark
+  // protects the expensive miss pipeline, not the O(1) lookup).
+  if (!admit()) return result;
+
+  // Singleflight, deadline-aware: a follower parks on the in-flight record
+  // only until its own deadline; a leader that aborts wakes followers with
+  // a typed outcome (InFlightQuery::leader_outcome) instead of hanging
+  // them.
+  control.set_stage(serving::QueryStage::kSingleflightWait);
+  std::shared_ptr<InFlightQuery> inflight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    auto [it, inserted] = inflight_.try_emplace(canonical);
+    if (inserted) it->second = std::make_shared<InFlightQuery>();
+    leader = inserted;
+    inflight = it->second;
+  }
+  if (!leader) {
+    std::unique_lock<std::mutex> wait_lock(inflight->mutex);
+    bool done = false;
+    if (control.has_deadline()) {
+      done = inflight->cv.wait_until(wait_lock, control.deadline(),
+                                     [&] { return inflight->done; });
+    } else {
+      // No deadline: wake periodically to notice external cancellation.
+      while (!(done = inflight->done)) {
+        if (inflight->cv.wait_for(wait_lock, std::chrono::milliseconds(50),
+                                  [&] { return inflight->done; })) {
+          done = true;
+          break;
+        }
+        if (control.CheckNow()) break;
+      }
+    }
+    if (done && !inflight->failed) {
+      std::vector<GraphId> shared_answer = inflight->answer;
+      wait_lock.unlock();
+      // Coalesced completion: commit this query's deferred counter tick
+      // (parity with the unbudgeted path, where every entrant ticks).
+      cache_->RecordQueryProcessed();
+      coalesced_hits_.fetch_add(1, std::memory_order_relaxed);
+      result.answer = std::move(shared_answer);
+      result.outcome.kind = serving::QueryOutcomeKind::kCompleted;
+      result.outcome.elapsed_micros = control.ElapsedMicros();
+      if (stats != nullptr) {
+        stats->shortcut = ShortcutKind::kCoalescedHit;
+        stats->answer_size = result.answer.size();
+      }
+      return result;
+    }
+    wait_lock.unlock();
+    // Parked past the budget (done == false), or the leader aborted with a
+    // typed outcome. A follower whose own budget is spent stops here; a
+    // live one re-runs the pipeline itself, unregistered — correctness
+    // over coalescing.
+    if (control.CheckNow()) {
+      finish_stopped(false, {});
+      return result;
+    }
+  }
+
+  // Leader-side publish guard, budgeted variant: on an abort it stamps the
+  // typed outcome on the record before the wake, so followers never hang on
+  // a dead leader.
+  struct BudgetedPublishGuard {
+    ConcurrentQueryEngine* engine;
+    const std::string* key;  // null: not a leader, guard is a no-op
+    InFlightQuery* record;
+    serving::QueryControl* control;
+    bool published = false;
+    std::vector<GraphId> answer;
+
+    void Publish(const std::vector<GraphId>& result) {
+      if (key == nullptr) return;
+      answer = result;
+      published = true;
+    }
+    ~BudgetedPublishGuard() {
+      if (key == nullptr) return;
+      {
+        std::lock_guard<std::mutex> lock(record->mutex);
+        record->failed = !published;
+        if (published) {
+          record->answer = std::move(answer);
+        } else {
+          // Partial answers are leader-private (a follower coalescing one
+          // would mistake a subset for the full answer), so an aborted
+          // leader publishes only the typed outcome.
+          record->leader_outcome = serving::MakeStoppedOutcome(*control,
+                                                               false);
+        }
+        record->done = true;
+      }
+      record->cv.notify_all();
+      std::lock_guard<std::mutex> lock(engine->inflight_mutex_);
+      engine->inflight_.erase(*key);
+    }
+  };
+  BudgetedPublishGuard publish{this, leader ? &canonical : nullptr,
+                               inflight.get(), &control};
+
+  pipeline_executions_.fetch_add(1, std::memory_order_relaxed);
+
+  std::unique_ptr<PreparedQuery> prepared = method_->Prepare(query);
+  prepared->set_control(&control);
+
+  control.set_stage(serving::QueryStage::kFilter);
+  std::vector<GraphId> candidates;
+  {
+    ScopedTimer filter_timer(filter_sink);
+    candidates = method_->Filter(*prepared);
+  }
+  if (control.CheckNow()) {
+    finish_stopped(false, {});
+    return result;
+  }
+  if (stats != nullptr) stats->candidates_initial = candidates.size();
+  // Memory cap: the post-filter candidate set is the query's dominant
+  // allocation driver.
+  if (control.ChargeCandidates(candidates.size())) {
+    finish_stopped(false, {});
+    return result;
+  }
+
+  control.set_stage(serving::QueryStage::kProbe);
+  // Deferred §5.1 credits, addressed by session Hit: buffered during prune
+  // and replayed at the commit point. Unlike the unbudgeted path the probe
+  // session therefore stays alive through verification — its shared shard
+  // locks pin the Hit positions the buffered credits reference. The
+  // extended hold is bounded by the query's budget (this path never runs
+  // unlimited) and blocks only shard-exclusive work (inserts, flush
+  // swaps), never other probes.
+  struct PendingCredit {
+    ShardedQueryCache::Hit hit;
+    uint64_t removed;
+    LogValue cost;
+  };
+  std::vector<PendingCredit> pending_credits;
+  PruneScratch& prune_scratch = PruneScratch::ThreadLocal();
+  std::vector<GraphId> answer;
+  {
+    ShardedQueryCache::ProbeSession session = [&] {
+      ScopedTimer probe_timer(probe_sink);
+      const PathFeatureCounts features = cache_->ExtractFeatures(query);
+      return cache_->Probe(query, features);
+    }();
+    // A stop during the probe makes its results garbage (an interrupted
+    // containment search aliases to a hit/miss) — abort without facts.
+    if (control.CheckNow()) {
+      finish_stopped(false, {});
+      return result;
+    }
+    if (stats != nullptr) {
+      stats->probe_iso_tests = session.probe_iso_tests();
+      stats->isub_hits = session.supergraph_hits().size();
+      stats->isuper_hits = session.subgraph_hits().size();
+    }
+
+    // Stale-canonical fallback exact hit (see Process): commit — tick plus
+    // the single crediting site — and return the cached answer.
+    if (session.has_exact()) {
+      cache_->RecordQueryProcessed();
+      const CachedQuery& entry = session.entry(session.exact());
+      session.CreditExactHit(session.exact(), candidates.size(),
+                             SumIsomorphismCosts(*db_, method_->Direction(),
+                                                 query_nodes, candidates));
+      std::vector<GraphId> cached_answer = entry.answer.ToVector();
+      if (stats != nullptr) {
+        stats->shortcut = ShortcutKind::kExactHit;
+        stats->candidates_final = 0;
+        stats->answer_size = cached_answer.size();
+      }
+      publish.Publish(cached_answer);
+      result.answer = std::move(cached_answer);
+      result.outcome.kind = serving::QueryOutcomeKind::kCompleted;
+      result.outcome.elapsed_micros = control.ElapsedMicros();
+      return result;
+    }
+
+    const bool subgraph_query =
+        method_->Direction() == QueryDirection::kSubgraph;
+    const std::vector<ShardedQueryCache::Hit>& guarantee_hits =
+        subgraph_query ? session.supergraph_hits() : session.subgraph_hits();
+    const std::vector<ShardedQueryCache::Hit>& intersect_hits =
+        subgraph_query ? session.subgraph_hits() : session.supergraph_hits();
+    {
+      ScopedTimer prune_timer(probe_sink);
+      std::vector<const CachedQuery*> guarantee, intersect;
+      guarantee.reserve(guarantee_hits.size());
+      for (const ShardedQueryCache::Hit& hit : guarantee_hits) {
+        guarantee.push_back(&session.entry(hit));
+      }
+      intersect.reserve(intersect_hits.size());
+      for (const ShardedQueryCache::Hit& hit : intersect_hits) {
+        intersect.push_back(&session.entry(hit));
+      }
+      PruneCandidates(
+          candidates, guarantee, intersect,
+          [&](PruneSide side, size_t index, std::span<const GraphId> removed) {
+            const ShardedQueryCache::Hit& hit = side == PruneSide::kGuarantee
+                                                    ? guarantee_hits[index]
+                                                    : intersect_hits[index];
+            // Costs are computed inside the callback (the removed span is
+            // only scratch-valid here); the credit itself is deferred.
+            pending_credits.push_back(
+                {hit, removed.size(),
+                 SumIsomorphismCosts(*db_, method_->Direction(), query_nodes,
+                                     removed)});
+          },
+          prune_scratch, &control);
+    }
+    const PruneOutcome& pruned = prune_scratch.outcome;
+    if (stats != nullptr) {
+      stats->candidates_final = pruned.remaining.size();
+      if (pruned.empty_answer_shortcut) {
+        stats->shortcut = ShortcutKind::kEmptyAnswerPruning;
+      }
+    }
+    // A stop during prune: the entries consulted so far yielded true facts,
+    // so the guaranteed set is a valid partial answer (§4.3 composition).
+    if (control.stopped()) {
+      std::vector<GraphId> partial;
+      AssembleAnswer(pruned, {}, prune_scratch, &partial);
+      finish_stopped(true, std::move(partial));
+      return result;
+    }
+
+    control.set_stage(serving::QueryStage::kVerify);
+    std::vector<GraphId> verified;
+    {
+      ScopedTimer verify_timer(verify_sink);
+      verified = RunVerification(pruned.remaining, *prepared, &control);
+    }
+    if (stats != nullptr) stats->iso_tests = pruned.remaining.size();
+
+    AssembleAnswer(pruned, verified, prune_scratch, &answer);
+    if (stats != nullptr) stats->answer_size = answer.size();
+    if (control.stopped()) {
+      // Verified ids are the trusted subset (RunVerification contract), so
+      // guaranteed ∪ verified is still a true partial answer. Never cached.
+      finish_stopped(true, std::move(answer));
+      return result;
+    }
+
+    // Commit, still inside the session: counter tick, then the buffered
+    // credits in consultation order (the session pins their Hits).
+    cache_->RecordQueryProcessed();
+    for (const PendingCredit& credit : pending_credits) {
+      session.CreditHit(credit.hit);
+      session.CreditPrune(credit.hit, credit.removed, credit.cost);
+    }
+  }  // session destroyed: Insert below takes exclusive shard locks, which
+     // would self-deadlock against the session's shared locks.
+  cache_->Insert(query, answer, canonical);
+  publish.Publish(answer);
+  result.answer = std::move(answer);
+  result.outcome.kind = serving::QueryOutcomeKind::kCompleted;
+  result.outcome.elapsed_micros = control.ElapsedMicros();
+  return result;
+}
+
 std::vector<BatchResult> ConcurrentQueryEngine::ProcessConcurrent(
     std::span<const Graph> queries, size_t streams,
     const BatchOptions& batch) {
   std::vector<BatchResult> results(queries.size());
   if (queries.empty()) return results;
   streams = std::clamp<size_t>(streams, 1, queries.size());
+
+  // A batch with an active budget or cancel flag routes every query through
+  // the lifecycle path; the default batch keeps the untouched pipeline.
+  const bool budgeted =
+      !batch.budget.Unlimited() || batch.cancel != nullptr;
 
   // Dynamic claiming: streams pull the next unprocessed query, so a stream
   // stuck on an expensive query does not strand its share of the batch.
@@ -303,8 +814,19 @@ std::vector<BatchResult> ConcurrentQueryEngine::ProcessConcurrent(
       const size_t index = cursor.fetch_add(1, std::memory_order_relaxed);
       if (index >= queries.size()) break;
       BatchResult& result = results[index];
-      result.answer = Process(queries[index],
-                              batch.collect_stats ? &result.stats : nullptr);
+      if (budgeted) {
+        serving::QueryRequest request;
+        request.budget = batch.budget;
+        request.cancel = batch.cancel;
+        QueryResult budgeted_result =
+            ProcessWithBudget(queries[index], request, batch.collect_stats);
+        result.answer = std::move(budgeted_result.answer);
+        result.stats = budgeted_result.stats;
+        result.outcome = budgeted_result.outcome;
+      } else {
+        result.answer = Process(queries[index],
+                                batch.collect_stats ? &result.stats : nullptr);
+      }
     }
   };
   std::vector<std::thread> workers;
@@ -413,8 +935,12 @@ bool ConcurrentQueryEngine::LoadSnapshot(std::istream& in, std::string* error,
   uint64_t mutation_epoch = 0;
   size_t num_tombstones = 0;
   if (have_mutation) {
+    const uint64_t mutation_payload_size = mutation_payload.size();
     std::istringstream mutation_stream(std::move(mutation_payload));
     snapshot::BinaryReader mutation_reader(mutation_stream);
+    // Length fields inside the section cannot claim more than the section
+    // itself holds — forged counts fail before allocating.
+    mutation_reader.LimitRemainingBytes(mutation_payload_size);
     if (!snapshot::ValidateMutationState(mutation_reader, *db_,
                                          &mutation_epoch, &num_tombstones,
                                          error, &kind)) {
@@ -455,8 +981,11 @@ bool ConcurrentQueryEngine::LoadSnapshot(std::istream& in, std::string* error,
   // cache and method alike — exactly as it was.
   auto fresh_cache =
       std::make_unique<ShardedQueryCache>(options_, db_->graphs.size());
+  const uint64_t cache_payload_size = cache_payload.size();
   std::istringstream cache_stream(std::move(cache_payload));
   snapshot::BinaryReader cache_reader(cache_stream);
+  // Same forged-length arming as the mutation section above.
+  cache_reader.LimitRemainingBytes(cache_payload_size);
   if (!fresh_cache->Load(cache_reader, db_->graphs.size(),
                          snapshot::DatasetFingerprint(db_->graphs))) {
     SetError(error,
@@ -508,7 +1037,7 @@ MutationResult ConcurrentQueryEngine::ApplyMutation(
   // and blocks new ones for the duration of the mutation, which is what
   // makes the db.graphs reallocation (and the method's index surgery)
   // safe — see the header and docs/CONCURRENCY.md.
-  std::unique_lock<std::shared_mutex> mutation_gate(mutation_mutex_);
+  std::unique_lock<std::shared_timed_mutex> mutation_gate(mutation_mutex_);
   // The no-op check runs BEFORE the WAL append, so every logged record is
   // exactly one epoch increment (see QueryEngine::ApplyMutation). The
   // append itself sits inside the exclusive section: the gate is what

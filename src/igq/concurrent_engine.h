@@ -46,6 +46,8 @@
 #include "igq/sharded_cache.h"
 #include "igq/verify_pool.h"
 #include "methods/method.h"
+#include "serving/admission.h"
+#include "serving/budget.h"
 
 namespace igq {
 
@@ -69,6 +71,31 @@ class ConcurrentQueryEngine {
   /// the per-stream entry point. A null `stats` skips stats collection
   /// entirely, as in QueryEngine::Process.
   std::vector<GraphId> Process(const Graph& query, QueryStats* stats = nullptr);
+
+  /// Budgeted execution under the serving lifecycle (serving/budget.h):
+  /// deadline-aware writer-gate and singleflight waits, admission control
+  /// (when IgqOptions::ServingOptions::admission_watermark is nonzero),
+  /// cooperative cancellation through every stage, and the degradation
+  /// ladder — full answer, cache-composed partial answer (kPartial, a true
+  /// subset, never cached), or a typed rejection. Exact-hit fast-path
+  /// lookups bypass admission entirely, so cache hits stay cheap under
+  /// overload. A query stopped mid-pipeline commits NOTHING to the shared
+  /// cache; a fully unlimited request (and admission disabled) runs the
+  /// plain Process pipeline and reports kCompleted. Thread-safe like
+  /// Process.
+  QueryResult ProcessWithBudget(const Graph& query,
+                                const serving::QueryRequest& request,
+                                bool collect_stats = false);
+
+  /// Lifecycle outcome counters since construction. Snapshot-independent:
+  /// never serialized, a restored engine starts its overload history fresh.
+  serving::OutcomeCounters serving_counters() const {
+    return outcomes_.Snapshot();
+  }
+  /// Admission-queue counters (all zero while admission is disabled).
+  serving::AdmissionController::Stats admission_stats() const {
+    return admission_.snapshot();
+  }
 
   /// Multiplexes `queries` over `streams` concurrently executing client
   /// streams (the calling thread participates, so `streams` is the total;
@@ -137,24 +164,50 @@ class ConcurrentQueryEngine {
     return coalesced_hits_.load(std::memory_order_relaxed);
   }
 
+  /// Acquires the writer gate exclusively, blocking queries exactly like an
+  /// in-flight mutation holding it would. Maintenance/testing hook: the
+  /// lifecycle tests use it to pin deadline behavior of queries stuck at
+  /// the gate (serving::QueryStage::kGateWait). Do not call from a thread
+  /// that is processing queries.
+  std::unique_lock<std::shared_timed_mutex> LockWriterGate() {
+    return std::unique_lock<std::shared_timed_mutex>(mutation_mutex_);
+  }
+
  private:
   /// Singleflight record for one canonical key being computed. The leader —
   /// the stream that inserted the record — runs the pipeline and publishes
   /// its answer here; followers park on `cv`. `failed` marks a leader that
   /// unwound without publishing: followers then run the pipeline themselves
-  /// instead of propagating a missing answer.
+  /// instead of propagating a missing answer. A *budgeted* leader that
+  /// aborts additionally records why in `leader_outcome` before the wake,
+  /// so parked followers see a typed outcome instead of hanging (they then
+  /// re-check their own budget and either stop or re-run unregistered).
   struct InFlightQuery {
     std::mutex mutex;
     std::condition_variable cv;
     bool done = false;
     bool failed = false;
     std::vector<GraphId> answer;
+    serving::QueryOutcome leader_outcome;
   };
 
   /// Verification over `candidates`: borrows the shared pool when it is
-  /// free and the set is big enough to split, else runs inline.
+  /// free and the set is big enough to split, else runs inline. `control`
+  /// (null on the unbudgeted path) propagates cancellation into the
+  /// workers; on a stopped control the result is the trusted subset
+  /// (VerifyPool::Run contract).
   std::vector<GraphId> RunVerification(const std::vector<GraphId>& candidates,
-                                       const PreparedQuery& prepared);
+                                       const PreparedQuery& prepared,
+                                       serving::QueryControl* control =
+                                           nullptr);
+
+  /// The budgeted pipeline behind ProcessWithBudget: deadline-aware gate
+  /// acquisition, admission, timed singleflight wait, stage checkpoints,
+  /// deferred cache commits, and the degradation ladder. `control` must be
+  /// armed; the unbudgeted Process body stays untouched.
+  QueryResult ProcessBudgeted(const Graph& query,
+                              serving::QueryControl& control,
+                              bool collect_stats);
 
   const GraphDatabase* db_;
   Method* method_;
@@ -175,8 +228,15 @@ class ConcurrentQueryEngine {
   /// The mutation writer gate: shared by every Process for the query's
   /// whole lifetime, exclusive in ApplyMutation. Queries therefore never
   /// observe a half-applied mutation, and the database/method/cache reads
-  /// all over the query path need no per-access synchronization.
-  std::shared_mutex mutation_mutex_;
+  /// all over the query path need no per-access synchronization. A *timed*
+  /// shared mutex so the budgeted path can bound its wait
+  /// (try_lock_shared_until against the query deadline) and report a typed
+  /// kGateWait timeout instead of blocking behind a long mutation.
+  std::shared_timed_mutex mutation_mutex_;
+  /// Bounded admission queue with load shedding (serving/admission.h);
+  /// disabled (watermark 0) unless ServingOptions asks for it.
+  serving::AdmissionController admission_;
+  serving::OutcomeAccumulator outcomes_;
   /// Not owned; see AttachWal. Only touched under the exclusive side of
   /// mutation_mutex_ (and by AttachWal, which requires mutation quiescence).
   durability::WalWriter* wal_ = nullptr;

@@ -35,15 +35,28 @@ QueryEngine::QueryEngine(const GraphDatabase& db, Method* method,
 QueryEngine::~QueryEngine() = default;
 
 std::vector<GraphId> QueryEngine::RunVerification(
-    const std::vector<GraphId>& candidates,
-    const PreparedQuery& prepared) const {
+    const std::vector<GraphId>& candidates, const PreparedQuery& prepared,
+    serving::QueryControl* control) const {
   auto verify = [this, &prepared](GraphId id) {
     return method_->Verify(prepared, id);
   };
-  if (pool_ != nullptr) return pool_->Run(candidates, verify);
+  if (pool_ != nullptr) return pool_->Run(candidates, verify, control);
+  if (control == nullptr) {
+    std::vector<GraphId> verified;
+    for (GraphId id : candidates) {
+      if (verify(id)) verified.push_back(id);
+    }
+    return verified;
+  }
+  // Inline budgeted loop, mirroring VerifyPool's cancellable claim loop: a
+  // result finishing at or after the stop is garbage (interrupted search)
+  // and is discarded, so the returned ids are a trusted subset.
   std::vector<GraphId> verified;
   for (GraphId id : candidates) {
-    if (verify(id)) verified.push_back(id);
+    if (control->stopped()) break;
+    const bool hit = verify(id);
+    if (control->stopped()) break;
+    if (hit) verified.push_back(id);
   }
   return verified;
 }
@@ -214,6 +227,245 @@ std::vector<GraphId> QueryEngine::Process(const Graph& query,
   return answer;
 }
 
+QueryResult QueryEngine::ProcessWithBudget(const Graph& query,
+                                           const serving::QueryRequest& request,
+                                           bool collect_stats) {
+  // Zero budget fields fall back to the engine's serving defaults.
+  serving::QueryBudget budget = request.budget;
+  if (budget.deadline_micros == 0) {
+    budget.deadline_micros = options_.serving.default_deadline_micros;
+  }
+  if (budget.max_states == 0) {
+    budget.max_states = options_.serving.default_max_states;
+  }
+  serving::QueryControl control;
+  control.Arm(budget, request.cancel != nullptr ? request.cancel->flag()
+                                                : nullptr);
+  QueryResult result;
+  if (!control.limited()) {
+    // Fully unlimited: run the untouched pipeline — bit-identical cache
+    // trajectory, no checkpoint beyond the free per-state counter.
+    result.answer = Process(query, collect_stats ? &result.stats : nullptr);
+    result.outcome.kind = serving::QueryOutcomeKind::kCompleted;
+    result.outcome.elapsed_micros = control.ElapsedMicros();
+    outcomes_.Record(result.outcome);
+    return result;
+  }
+  result = ProcessBudgeted(query, control, collect_stats);
+  outcomes_.Record(result.outcome);
+  return result;
+}
+
+QueryResult QueryEngine::ProcessBudgeted(const Graph& query,
+                                         serving::QueryControl& control,
+                                         bool collect_stats) {
+  QueryResult result;
+  QueryStats* stats = collect_stats ? &result.stats : nullptr;
+  int64_t* const filter_sink =
+      stats != nullptr ? &stats->filter_micros : nullptr;
+  int64_t* const probe_sink = stats != nullptr ? &stats->probe_micros : nullptr;
+  int64_t* const verify_sink =
+      stats != nullptr ? &stats->verify_micros : nullptr;
+  ScopedTimer total_timer(stats != nullptr ? &stats->total_micros : nullptr);
+
+  // The owning stream's thread runs the probe and (part of) the verify
+  // searches: install the control so the amortized match-core checkpoint
+  // covers them. VerifyPool installs it on its borrowed workers itself.
+  ScopedSearchControl search_guard(MatchContext::ThreadLocal(), &control);
+
+  std::unique_ptr<PreparedQuery> prepared = method_->Prepare(query);
+  prepared->set_control(&control);
+
+  auto stopped_result = [&](bool partial_eligible,
+                            std::vector<GraphId> partial_answer) {
+    const bool partial =
+        partial_eligible && options_.serving.degrade_to_partial;
+    result.outcome = serving::MakeStoppedOutcome(control, partial);
+    result.answer = partial ? std::move(partial_answer)
+                            : std::vector<GraphId>{};
+    if (stats != nullptr) stats->answer_size = result.answer.size();
+    return std::move(result);
+  };
+
+  // Stage: filter. Budgeted queries run filter and cache lookup
+  // sequentially — the Fig. 6 probe thread is a throughput feature, and a
+  // second thread would need its own control installation for no latency
+  // win under a deadline this short.
+  control.set_stage(serving::QueryStage::kFilter);
+  std::vector<GraphId> candidates;
+  {
+    ScopedTimer filter_timer(filter_sink);
+    candidates = method_->Filter(*prepared);
+  }
+  if (control.CheckNow()) return stopped_result(false, {});
+  if (stats != nullptr) stats->candidates_initial = candidates.size();
+  // Memory cap: the post-filter candidate set is the query's dominant
+  // allocation driver, so the cap is enforced here, before pruning and
+  // verification fan out over it.
+  if (control.ChargeCandidates(candidates.size())) {
+    return stopped_result(false, {});
+  }
+
+  if (!options_.enabled) {
+    // Cache disabled: filter + budgeted verify only. A stop degrades to
+    // the verified-so-far subset (still a true subset of the answer).
+    control.set_stage(serving::QueryStage::kVerify);
+    std::vector<GraphId> verified;
+    {
+      ScopedTimer verify_timer(verify_sink);
+      verified = RunVerification(candidates, *prepared, &control);
+    }
+    if (stats != nullptr) {
+      stats->iso_tests = candidates.size();
+      stats->candidates_final = candidates.size();
+    }
+    if (control.stopped()) return stopped_result(true, std::move(verified));
+    result.answer = std::move(verified);
+    result.outcome.kind = serving::QueryOutcomeKind::kCompleted;
+    result.outcome.elapsed_micros = control.ElapsedMicros();
+    if (stats != nullptr) stats->answer_size = result.answer.size();
+    return result;
+  }
+
+  // Stage: probe. All cache commits (query-counter tick, §5.1 credits,
+  // insertion) are DEFERRED and replayed in original order only when the
+  // query completes, so an aborted query leaves the cache bit-identical to
+  // one that never saw it.
+  control.set_stage(serving::QueryStage::kProbe);
+  const size_t query_nodes = query.NumVertices();
+  CacheProbe probe;
+  std::string canonical;
+  size_t exact_position = SIZE_MAX;
+  {
+    ScopedTimer probe_timer(probe_sink);
+    canonical = GraphCanonicalCode(query);
+    exact_position = cache_->FindExactByKey(canonical);
+    if (exact_position == SIZE_MAX) {
+      const PathFeatureCounts features = cache_->ExtractFeatures(query);
+      probe = cache_->Probe(query, features);
+    }
+  }
+  // A stop during the probe makes its results garbage (an interrupted
+  // containment search aliases to a hit/miss) — abort without facts.
+  if (control.CheckNow()) return stopped_result(false, {});
+  if (stats != nullptr) {
+    stats->probe_iso_tests = probe.probe_iso_tests;
+    stats->isub_hits = probe.supergraph_positions.size();
+    stats->isuper_hits = probe.subgraph_positions.size();
+  }
+
+  if (exact_position == SIZE_MAX) exact_position = probe.exact_position;
+  if (exact_position != SIZE_MAX) {
+    // Exact hit: commit in the unbudgeted order (counter tick, then the
+    // single-site §5.1 credit) and return the cached answer.
+    cache_->RecordQueryProcessed();
+    const CachedQuery& entry = cache_->entries()[exact_position];
+    cache_->CreditExactHit(exact_position, candidates.size(),
+                           SumIsomorphismCosts(*db_, method_->Direction(),
+                                               query_nodes, candidates));
+    result.answer = entry.answer.ToVector();
+    result.outcome.kind = serving::QueryOutcomeKind::kCompleted;
+    result.outcome.elapsed_micros = control.ElapsedMicros();
+    if (stats != nullptr) {
+      stats->shortcut = ShortcutKind::kExactHit;
+      stats->candidates_final = 0;
+      stats->answer_size = result.answer.size();
+    }
+    return result;
+  }
+
+  const bool subgraph_query =
+      method_->Direction() == QueryDirection::kSubgraph;
+  const std::vector<size_t>& guarantee_positions =
+      subgraph_query ? probe.supergraph_positions : probe.subgraph_positions;
+  const std::vector<size_t>& intersect_positions =
+      subgraph_query ? probe.subgraph_positions : probe.supergraph_positions;
+
+  // Deferred §5.1 credits: buffered during prune, replayed in the original
+  // order at commit. Costs are computed inside the callback (the removed
+  // span is only scratch-valid there).
+  struct PendingCredit {
+    size_t position;
+    uint64_t removed;
+    LogValue cost;
+  };
+  std::vector<PendingCredit> pending_credits;
+
+  PruneScratch& prune_scratch = PruneScratch::ThreadLocal();
+  {
+    ScopedTimer prune_timer(probe_sink);
+    std::vector<const CachedQuery*> guarantee, intersect;
+    guarantee.reserve(guarantee_positions.size());
+    for (size_t position : guarantee_positions) {
+      guarantee.push_back(&cache_->entries()[position]);
+    }
+    intersect.reserve(intersect_positions.size());
+    for (size_t position : intersect_positions) {
+      intersect.push_back(&cache_->entries()[position]);
+    }
+    PruneCandidates(
+        candidates, guarantee, intersect,
+        [&](PruneSide side, size_t index, std::span<const GraphId> removed) {
+          const size_t position = side == PruneSide::kGuarantee
+                                      ? guarantee_positions[index]
+                                      : intersect_positions[index];
+          pending_credits.push_back(
+              {position, removed.size(),
+               SumIsomorphismCosts(*db_, method_->Direction(), query_nodes,
+                                   removed)});
+        },
+        prune_scratch, &control);
+  }
+  const PruneOutcome& pruned = prune_scratch.outcome;
+
+  if (stats != nullptr) {
+    stats->candidates_final = pruned.remaining.size();
+    if (pruned.empty_answer_shortcut) {
+      stats->shortcut = ShortcutKind::kEmptyAnswerPruning;
+    }
+  }
+
+  // A stop during prune: the entries consulted so far yielded true facts,
+  // so the guaranteed set is a valid partial answer (§4.3 composition).
+  if (control.stopped()) {
+    std::vector<GraphId> partial;
+    AssembleAnswer(pruned, {}, prune_scratch, &partial);
+    return stopped_result(true, std::move(partial));
+  }
+
+  control.set_stage(serving::QueryStage::kVerify);
+  std::vector<GraphId> verified;
+  {
+    ScopedTimer verify_timer(verify_sink);
+    verified = RunVerification(pruned.remaining, *prepared, &control);
+  }
+  if (stats != nullptr) stats->iso_tests = pruned.remaining.size();
+
+  std::vector<GraphId> answer;
+  AssembleAnswer(pruned, verified, prune_scratch, &answer);
+  if (stats != nullptr) stats->answer_size = answer.size();
+
+  if (control.stopped()) {
+    // Verified ids are the trusted subset (RunVerification contract), so
+    // guaranteed ∪ verified is still a true partial answer. Never cached.
+    return stopped_result(true, std::move(answer));
+  }
+
+  // Completed: replay the deferred commits in the unbudgeted order —
+  // counter tick, prune credits (hit + prune per consulted entry, in
+  // consultation order), then the insertion.
+  cache_->RecordQueryProcessed();
+  for (const PendingCredit& credit : pending_credits) {
+    cache_->CreditHit(credit.position);
+    cache_->CreditPrune(credit.position, credit.removed, credit.cost);
+  }
+  cache_->Insert(query, answer, std::move(canonical));
+  result.answer = std::move(answer);
+  result.outcome.kind = serving::QueryOutcomeKind::kCompleted;
+  result.outcome.elapsed_micros = control.ElapsedMicros();
+  return result;
+}
+
 bool QueryEngine::SaveSnapshot(std::ostream& out, std::string* error) const {
   snapshot::WriteSnapshotHeader(out);
 
@@ -313,8 +565,12 @@ bool QueryEngine::LoadSnapshot(std::istream& in, std::string* error,
   uint64_t mutation_epoch = 0;
   size_t num_tombstones = 0;
   if (have_mutation) {
+    const uint64_t mutation_payload_size = mutation_payload.size();
     std::istringstream mutation_stream(std::move(mutation_payload));
     snapshot::BinaryReader mutation_reader(mutation_stream);
+    // Length fields inside the section cannot claim more than the section
+    // itself holds — forged counts fail before allocating.
+    mutation_reader.LimitRemainingBytes(mutation_payload_size);
     if (!snapshot::ValidateMutationState(mutation_reader, *db_,
                                          &mutation_epoch, &num_tombstones,
                                          error, &kind)) {
@@ -355,8 +611,11 @@ bool QueryEngine::LoadSnapshot(std::istream& in, std::string* error,
   // index (if any) also loads, so every failure path leaves the engine —
   // cache and method alike — exactly as it was.
   auto fresh_cache = std::make_unique<QueryCache>(options_, db_->graphs.size());
+  const uint64_t cache_payload_size = cache_payload.size();
   std::istringstream cache_stream(std::move(cache_payload));
   snapshot::BinaryReader cache_reader(cache_stream);
+  // Same forged-length arming as the mutation section above.
+  cache_reader.LimitRemainingBytes(cache_payload_size);
   if (!fresh_cache->Load(cache_reader, db_->graphs.size(),
                          snapshot::DatasetFingerprint(db_->graphs))) {
     SetError(error,
@@ -443,10 +702,22 @@ std::vector<BatchResult> QueryEngine::ProcessBatch(
     std::span<const Graph> queries, const BatchOptions& batch) {
   std::vector<BatchResult> results;
   results.reserve(queries.size());
+  const bool budgeted = !batch.budget.Unlimited() || batch.cancel != nullptr;
   for (const Graph& query : queries) {
     BatchResult result;
-    result.answer = Process(query, batch.collect_stats ? &result.stats
-                                                       : nullptr);
+    if (budgeted) {
+      serving::QueryRequest request;
+      request.budget = batch.budget;
+      request.cancel = batch.cancel;
+      QueryResult budgeted_result =
+          ProcessWithBudget(query, request, batch.collect_stats);
+      result.answer = std::move(budgeted_result.answer);
+      result.stats = budgeted_result.stats;
+      result.outcome = budgeted_result.outcome;
+    } else {
+      result.answer = Process(query, batch.collect_stats ? &result.stats
+                                                         : nullptr);
+    }
     results.push_back(std::move(result));
   }
   return results;

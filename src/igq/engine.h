@@ -22,6 +22,7 @@
 #include "igq/options.h"
 #include "igq/verify_pool.h"
 #include "methods/method.h"
+#include "serving/budget.h"
 #include "snapshot/snapshot.h"
 
 namespace igq {
@@ -67,11 +68,34 @@ struct BatchOptions {
   /// for the measurement plumbing; every BatchResult::stats stays
   /// value-initialized. Answers and cache maintenance are unaffected.
   bool collect_stats = true;
+
+  /// Per-query budget applied to every query of the batch (serving/budget.h).
+  /// Default-constructed (all zeros) = unlimited: the batch runs the plain,
+  /// bit-identical pipeline. Zero fields fall back to the engine's
+  /// IgqOptions::ServingOptions defaults when the budget is otherwise
+  /// active.
+  serving::QueryBudget budget;
+
+  /// Optional external cancellation flag shared by the whole batch; may be
+  /// flipped from any thread. Null = not cancellable. Not owned.
+  const serving::CancelSource* cancel = nullptr;
 };
 
 /// Per-query outcome of a batch run.
 struct BatchResult {
   std::vector<GraphId> answer;
+  QueryStats stats;
+  /// Lifecycle disposition (always kCompleted on the unbudgeted path).
+  serving::QueryOutcome outcome;
+};
+
+/// Result of one budgeted query (ProcessWithBudget): `answer` is the full
+/// answer (kCompleted), a cache-composed partial answer flagged by the
+/// outcome (kPartial — a true subset of the full answer), or empty for the
+/// rejection outcomes.
+struct QueryResult {
+  std::vector<GraphId> answer;
+  serving::QueryOutcome outcome;
   QueryStats stats;
 };
 
@@ -121,6 +145,29 @@ class QueryEngine {
   /// `stats` if non-null; a null `stats` skips stats collection entirely
   /// (no per-stage clock reads, no counter writes), not just the copy-out.
   std::vector<GraphId> Process(const Graph& query, QueryStats* stats = nullptr);
+
+  /// Budgeted execution (serving/budget.h): runs the same pipeline under
+  /// `request`'s deadline/caps/cancellation and returns the typed outcome.
+  /// Budget fields left at zero fall back to the engine's
+  /// IgqOptions::ServingOptions defaults; a fully unlimited request runs
+  /// the plain Process pipeline (bit-identical cache trajectory) and
+  /// reports kCompleted. A query stopped mid-pipeline commits NOTHING —
+  /// no query-counter tick, no §5.1 credits, no insertion — so the cache
+  /// state stays bit-identical to an engine that never saw the query; a
+  /// stop during or after the prune stage degrades to a cache-composed
+  /// partial answer (§4.3 guaranteed set ∪ verified-so-far, flagged
+  /// kPartial, never cached) when ServingOptions::degrade_to_partial is on.
+  /// `collect_stats` fills QueryResult::stats (same contract as Process's
+  /// null-stats mode when false).
+  QueryResult ProcessWithBudget(const Graph& query,
+                                const serving::QueryRequest& request,
+                                bool collect_stats = false);
+
+  /// Lifecycle outcome counters since construction (snapshot-independent:
+  /// never serialized, a restored engine starts fresh).
+  serving::OutcomeCounters serving_counters() const {
+    return outcomes_.Snapshot();
+  }
 
   /// Executes the queries in order against the same cache, reusing the
   /// engine's verification pool across the whole batch. Answers are
@@ -180,8 +227,20 @@ class QueryEngine {
 
  private:
   /// Verification over `candidates`, on the pool when one exists.
+  /// `control` (null on the unbudgeted path) propagates cancellation into
+  /// the workers; on a stopped control the result is the trusted subset
+  /// (VerifyPool::Run contract).
   std::vector<GraphId> RunVerification(const std::vector<GraphId>& candidates,
-                                       const PreparedQuery& prepared) const;
+                                       const PreparedQuery& prepared,
+                                       serving::QueryControl* control =
+                                           nullptr) const;
+
+  /// The budgeted pipeline behind ProcessWithBudget: same stages as
+  /// Process, with stage checkpoints, deferred cache commits, and the
+  /// degradation ladder. `control` must be armed and limited.
+  QueryResult ProcessBudgeted(const Graph& query,
+                              serving::QueryControl& control,
+                              bool collect_stats);
 
   const GraphDatabase* db_;
   Method* method_;
@@ -189,6 +248,7 @@ class QueryEngine {
   std::unique_ptr<QueryCache> cache_;
   std::unique_ptr<VerifyPool> pool_;  // null when verify_threads == 1
   durability::WalWriter* wal_ = nullptr;  // not owned; see AttachWal
+  serving::OutcomeAccumulator outcomes_;
 };
 
 }  // namespace igq

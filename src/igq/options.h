@@ -4,6 +4,7 @@
 #define IGQ_IGQ_OPTIONS_H_
 
 #include <cstddef>
+#include <cstdint>
 
 namespace igq {
 
@@ -53,6 +54,38 @@ struct IgqOptions {
 
   /// Eviction policy (§5.1); kUtility unless running the ablation.
   ReplacementPolicy replacement_policy = ReplacementPolicy::kUtility;
+
+  /// Query-lifecycle defaults (serving/budget.h, serving/admission.h). All
+  /// zeros / false = budgets and admission fully off, which keeps every
+  /// engine path bit-identical to the pre-lifecycle pipeline.
+  struct ServingOptions {
+    /// Default wall-clock deadline applied to budgeted queries that do not
+    /// carry their own (ProcessWithBudget with a zero-deadline request).
+    /// 0 = no default deadline.
+    int64_t default_deadline_micros = 0;
+
+    /// Default recursion-state cap for budgeted queries. 0 = unlimited.
+    /// Nonzero values below kBudgetCheckInterval (1024) are rounded up to
+    /// it — the amortized checkpoint cannot enforce a finer grain.
+    uint64_t default_max_states = 0;
+
+    /// Admission watermark for ConcurrentQueryEngine: total in-flight query
+    /// cost (vertices + edges of each admitted query) beyond which new
+    /// non-fast-path queries queue and, past the queue bound, are shed.
+    /// 0 = admission control off.
+    uint64_t admission_watermark = 0;
+
+    /// Bound on the admission queue; queries arriving beyond it are shed
+    /// immediately with QueryOutcomeKind::kShed.
+    size_t admission_max_waiters = 64;
+
+    /// Degradation ladder: when a budgeted query stops during or after the
+    /// prune stage, compose a partial answer from the cache facts gathered
+    /// so far (§4.3 guaranteed set + verified prefix) instead of rejecting.
+    /// The partial answer is flagged kPartial and never cached.
+    bool degrade_to_partial = true;
+  };
+  ServingOptions serving;
 };
 
 /// Clamps `options` to the documented invariants: cache_capacity >= 1,
@@ -69,6 +102,31 @@ inline IgqOptions ValidatedIgqOptions(IgqOptions options) {
   if (options.cache_shards == 0) options.cache_shards = 1;
   if (options.cache_shards > options.cache_capacity) {
     options.cache_shards = options.cache_capacity;
+  }
+  // Serving knobs. Negative deadlines are nonsense, not "expired": clamp to
+  // "no deadline" so a sign bug cannot silently reject every query.
+  if (options.serving.default_deadline_micros < 0) {
+    options.serving.default_deadline_micros = 0;
+  }
+  // The amortized checkpoint polls every 1024 states (kBudgetCheckInterval
+  // in isomorphism/match_core.h); a finer cap cannot be enforced.
+  if (options.serving.default_max_states != 0 &&
+      options.serving.default_max_states < 1024) {
+    options.serving.default_max_states = 1024;
+  }
+  if (options.serving.admission_watermark > 0) {
+    // Admission with a zero-length queue would shed every query that ever
+    // finds the engine busy; keep at least one waiter slot.
+    if (options.serving.admission_max_waiters == 0) {
+      options.serving.admission_max_waiters = 1;
+    }
+    // Admission with no deadline at all is the nonsensical combination the
+    // subsystem exists to prevent: an admitted query could hold its slot
+    // (and queued queries their threads) unboundedly. Back-stop with a
+    // 30-second default deadline.
+    if (options.serving.default_deadline_micros == 0) {
+      options.serving.default_deadline_micros = 30'000'000;
+    }
   }
   return options;
 }

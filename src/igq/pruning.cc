@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "isomorphism/cost_model.h"
+#include "serving/budget.h"
 
 namespace igq {
 
@@ -19,7 +20,7 @@ const PruneOutcome& PruneCandidates(
     FunctionRef<void(PruneSide side, size_t index,
                      std::span<const GraphId> removed)>
         credit,
-    PruneScratch& scratch) {
+    PruneScratch& scratch, serving::QueryControl* control) {
   // Fast path: candidates arrive sorted-unique (the Method::Filter
   // contract; one O(c) pass to confirm). An out-of-tree method that breaks
   // the contract gets its candidates normalized here rather than silently
@@ -52,6 +53,9 @@ const PruneOutcome& PruneCandidates(
   if (!guarantee.empty()) {
     scratch.unioned.clear();
     for (size_t i = 0; i < guarantee.size(); ++i) {
+      // Budget checkpoint between entries: a stop abandons the remaining
+      // entries but keeps the union built so far — still only true facts.
+      if (control != nullptr && control->CheckNow()) break;
       guarantee[i]->answer.Partition(candidates, &scratch.removed, nullptr);
       credit(PruneSide::kGuarantee, i, scratch.removed);
       UnionSorted(scratch.unioned, scratch.removed, &scratch.kept);
@@ -68,6 +72,7 @@ const PruneOutcome& PruneCandidates(
   // query on the intersection side can still be answers; an empty cached
   // answer proves the final answer empty (§4.3 case 2).
   for (size_t i = 0; i < intersect.size(); ++i) {
+    if (control != nullptr && control->CheckNow()) break;
     const IdSet& answer = intersect[i]->answer;
     answer.Partition(out.remaining, &scratch.kept, &scratch.removed);
     credit(PruneSide::kIntersect, i, scratch.removed);

@@ -30,6 +30,10 @@
 
 namespace igq {
 
+namespace serving {
+class QueryControl;
+}  // namespace serving
+
 /// Which probe side a credited entry came from (§4.4 role inversion: for
 /// subgraph queries the guarantee side is Isub(g), for supergraph queries
 /// it is Isuper(g)).
@@ -80,6 +84,13 @@ class PruneScratch {
 ///
 /// The returned reference points into `scratch` and is invalidated by the
 /// next PruneCandidates call on the same scratch.
+///
+/// `control` (optional) is the query's budget control: it is polled between
+/// cached entries, and a stop abandons the remaining entries — the partial
+/// outcome still only states true facts (entries already consulted), so the
+/// degradation ladder may use `guaranteed` from a stopped prune, but later
+/// entries earn no credit and `remaining` must not be verified. Callers
+/// check control->stopped() afterwards.
 const PruneOutcome& PruneCandidates(
     std::span<const GraphId> candidates,
     std::span<const CachedQuery* const> guarantee,
@@ -87,7 +98,7 @@ const PruneOutcome& PruneCandidates(
     FunctionRef<void(PruneSide side, size_t index,
                      std::span<const GraphId> removed)>
         credit,
-    PruneScratch& scratch);
+    PruneScratch& scratch, serving::QueryControl* control = nullptr);
 
 /// Formula (4) answer assembly: answer = verified ∪ outcome.guaranteed,
 /// both sorted (verified inherits `remaining`'s order) and disjoint by

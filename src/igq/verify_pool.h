@@ -18,6 +18,10 @@
 
 namespace igq {
 
+namespace serving {
+class QueryControl;
+}  // namespace serving
+
 /// Fixed-size pool executing one verification task at a time. The calling
 /// thread participates as a worker, so a pool of size N spawns N-1 threads.
 ///
@@ -48,6 +52,21 @@ class VerifyPool {
   std::vector<GraphId> Run(const std::vector<GraphId>& candidates,
                            FunctionRef<bool(GraphId)> verify);
 
+  /// Cancellable overload: `control` (may be null — then identical to the
+  /// two-argument form) is installed on every participating thread's
+  /// MatchContext for the duration of the task, so the amortized match-core
+  /// checkpoint can stop a search mid-candidate, and it is polled between
+  /// claimed items so a stop drains the batch without starting new work.
+  /// Results recorded at or after the stop are discarded (an interrupted
+  /// search aliases "not contained" — see serving/budget.h), so on a stopped
+  /// control the returned ids are a TRUSTED SUBSET of the full result:
+  /// every id in it truly verified before the stop; ids the stop skipped or
+  /// interrupted are simply absent. Callers must check control->stopped()
+  /// and treat the result as partial.
+  std::vector<GraphId> Run(const std::vector<GraphId>& candidates,
+                           FunctionRef<bool(GraphId)> verify,
+                           serving::QueryControl* control);
+
   /// Total worker count including the calling thread.
   size_t threads() const { return workers_.size() + 1; }
 
@@ -65,6 +84,7 @@ class VerifyPool {
   const std::vector<GraphId>* candidates_ = nullptr;
   FunctionRef<bool(GraphId)> verify_;
   std::vector<char>* outcome_ = nullptr;
+  serving::QueryControl* control_ = nullptr;
   std::atomic<size_t> cursor_{0};
 
   std::vector<std::thread> workers_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "serving/budget.h"
+
 namespace igq {
 
 void MatchPlan::Compile(const Graph& pattern) {
@@ -80,6 +82,21 @@ size_t MatchPlan::MemoryBytes() const {
 MatchContext& MatchContext::ThreadLocal() {
   thread_local MatchContext context;
   return context;
+}
+
+bool MatchContext::BudgetCheckpoint() {
+  const uint32_t charged = states_since_check_;
+  states_since_check_ = 0;
+  if (control_ == nullptr) return false;
+  if (search_stopped_) return true;
+  search_stopped_ = control_->ChargeStates(charged);
+  return search_stopped_;
+}
+
+bool MatchContext::EmbeddingCheckpoint() {
+  if (search_stopped_) return true;
+  search_stopped_ = control_->ChargeEmbedding();
+  return search_stopped_;
 }
 
 bool ContainsIn(const MatchPlan& plan, const Graph& target, MatchContext& ctx,

@@ -42,8 +42,20 @@
 
 namespace igq {
 
+namespace serving {
+class QueryControl;
+}  // namespace serving
+
 /// Sentinel for "no vertex" in plans and mappings.
 inline constexpr VertexId kNoVertex = UINT32_MAX;
+
+/// How many recursion states the search explores between budget polls when
+/// a serving::QueryControl is installed on the context. The poll reads the
+/// cancel flag and the steady clock, so this amortizes both to ~1/1024 of a
+/// state's cost; without an installed control the per-state overhead is one
+/// counter increment and a predictable branch (pinned by the lifecycle
+/// parity test and the bench_micro_core zero-allocation gate).
+inline constexpr uint32_t kBudgetCheckInterval = 1024;
 
 /// Explicit out-parameter for search metrics. Replaces the old thread_local
 /// LastSearchStates() side-channel, which silently misattributed states when
@@ -229,8 +241,39 @@ class MatchContext {
   /// pattern vertex -> target vertex mapping (kNoVertex when unmapped).
   std::vector<VertexId>& mapping() { return mapping_; }
 
+  // --- Cooperative cancellation (serving/budget.h). A QueryControl is
+  // --- installed per query via ScopedSearchControl; the searcher ticks
+  // --- TickBudget() once per recursion state and the out-of-line
+  // --- checkpoint charges the batch + polls flag/clock/caps.
+
+  /// Amortized per-state budget checkpoint: returns true when the installed
+  /// control says stop (always false when none is installed — the counter
+  /// still runs but the checkpoint body exits before touching any atomic or
+  /// the clock).
+  bool TickBudget() {
+    if (++states_since_check_ < kBudgetCheckInterval) return false;
+    return BudgetCheckpoint();
+  }
+
+  /// Per-embedding tick for the embedding-count cap (only when a control is
+  /// installed; no clock read).
+  bool TickEmbedding() {
+    if (control_ == nullptr) return false;
+    return EmbeddingCheckpoint();
+  }
+
+  /// True when the current search was unwound by a budget stop rather than
+  /// by the visitor. While a stopped control is installed, every search
+  /// result on this thread is garbage — see serving::QueryControl.
+  bool search_stopped() const { return search_stopped_; }
+  serving::QueryControl* search_control() const { return control_; }
+
  private:
   friend class ScopedAllowed;
+  friend class ScopedSearchControl;
+
+  bool BudgetCheckpoint();     // out-of-line: charges states, polls control
+  bool EmbeddingCheckpoint();  // out-of-line: charges one embedding
 
   void BumpUsedNeighbors(VertexId x, int32_t delta) {
     if (used_neighbor_epoch_[x] != epoch_) {
@@ -256,6 +299,38 @@ class MatchContext {
   std::vector<uint32_t> allowed_epoch_;
   std::vector<uint32_t> allowed_degree_;
   std::vector<VertexId> allowed_list_;
+
+  serving::QueryControl* control_ = nullptr;
+  uint32_t states_since_check_ = 0;
+  bool search_stopped_ = false;
+};
+
+/// RAII installation of a query's budget control onto a thread's context:
+/// the engine installs it on the owning stream for the whole pipeline, and
+/// VerifyPool installs it on each borrowed worker for the duration of its
+/// claim loop. Restores the previous control (nesting-safe) and clears the
+/// stop latch on both edges, so a stopped query can never bleed its stop
+/// into the next query on this thread.
+class ScopedSearchControl {
+ public:
+  ScopedSearchControl(MatchContext& ctx, serving::QueryControl* control)
+      : ctx_(ctx), previous_(ctx.control_),
+        previous_stopped_(ctx.search_stopped_) {
+    ctx_.control_ = control;
+    ctx_.search_stopped_ = false;
+  }
+  ~ScopedSearchControl() {
+    ctx_.control_ = previous_;
+    ctx_.search_stopped_ = previous_stopped_;
+  }
+
+  ScopedSearchControl(const ScopedSearchControl&) = delete;
+  ScopedSearchControl& operator=(const ScopedSearchControl&) = delete;
+
+ private:
+  MatchContext& ctx_;
+  serving::QueryControl* previous_;
+  bool previous_stopped_;
 };
 
 /// RAII activation of a target-vertex restriction: only vertices passed to
@@ -366,8 +441,14 @@ class Searcher {
 
   bool Recurse(size_t depth) {
     if (stats_ != nullptr) ++stats_->states;
+    // Amortized cancellation checkpoint: unwinds the search (returns false,
+    // exactly like a visitor stop) when the query's budget control fires.
+    // Callers that need to distinguish a stop from "no embedding" check
+    // ctx.search_stopped() / control->stopped() afterwards.
+    if (ctx_.TickBudget()) return false;
     if (depth == plan_.num_vertices()) {
       if (stats_ != nullptr) ++stats_->embeddings;
+      if (ctx_.TickEmbedding()) return false;
       return visit_(ctx_.mapping());
     }
     const VertexId parent = plan_.parent_of(depth);

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "isomorphism/match_core.h"
+#include "serving/budget.h"
 #include "snapshot/serializer.h"
 
 namespace igq {
@@ -164,6 +165,11 @@ void FeatureCountSupergraphMethod::Build(const GraphDatabase& db) {
 std::vector<GraphId> FeatureCountSupergraphMethod::Filter(
     const PreparedQuery& prepared) const {
   const auto& pq = static_cast<const PathPreparedQuery&>(prepared);
+  // Budget checkpoint at the filter boundary. The tally scan itself is
+  // shared with the zero-allocation Isuper probe path, so the poll stays
+  // outside it; the scan is two bounded posting passes, not a search.
+  serving::QueryControl* control = prepared.control();
+  if (control != nullptr && control->CheckNow()) return {};
   std::vector<GraphId> candidates =
       index_.FindPotentialSubgraphsOf(pq.features());
   if (db_ == nullptr || db_->tombstones.empty() || candidates.empty()) {

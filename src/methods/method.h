@@ -125,8 +125,16 @@ class PreparedQuery {
     return query_view_;
   }
 
+  /// Budget control of the query this prepared state serves, or null (the
+  /// default — unbudgeted queries). Set by the engine before Filter(); the
+  /// filter loops poll it between feature chunks (serving/budget.h). Not
+  /// owned.
+  void set_control(serving::QueryControl* control) { control_ = control; }
+  serving::QueryControl* control() const { return control_; }
+
  private:
   Graph query_;
+  serving::QueryControl* control_ = nullptr;
   mutable std::once_flag plan_once_;
   mutable MatchPlan plan_;
   mutable std::once_flag view_once_;

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/id_set.h"
+#include "serving/budget.h"
 #include "snapshot/serializer.h"
 
 namespace igq {
@@ -176,7 +177,12 @@ std::vector<GraphId> PathMethodBase::Filter(
   // serving streams, so the scratch must be thread-local, never a member).
   std::vector<uint32_t>& matched =
       IdSetScratch::ThreadLocal().Tally(db_->graphs.size());
+  serving::QueryControl* control = prepared.control();
   for (const auto& [key, query_count] : features) {
+    // Budget checkpoint between feature postings-chunks; the engine treats
+    // a stopped filter's candidates as garbage, so returning the partial
+    // tally is fine.
+    if (control != nullptr && control->CheckNow()) return {};
     const std::vector<PathPosting>* postings = trie_.Find(key);
     if (postings == nullptr) return {};  // feature absent from every graph
     for (const PathPosting& posting : *postings) {

@@ -1,0 +1,75 @@
+#include "serving/admission.h"
+
+#include <chrono>
+
+namespace igq {
+namespace serving {
+
+AdmissionController::Result AdmissionController::Admit(uint64_t cost,
+                                                       QueryControl& control) {
+  if (!enabled()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++admitted_;
+    inflight_cost_ += cost;
+    return Result::kAdmitted;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto fits = [&] {
+    // An oversized query (cost > watermark) runs alone: admit it only when
+    // nothing else holds cost, so it cannot starve forever.
+    return inflight_cost_ + cost <= watermark_ || inflight_cost_ == 0;
+  };
+  if (!fits()) {
+    if (waiters_ >= max_waiters_) {
+      ++shed_;
+      return Result::kShed;
+    }
+    ++waiters_;
+    for (;;) {
+      if (control.has_deadline()) {
+        if (!capacity_cv_.wait_until(lock, control.deadline(),
+                                     [&] { return fits(); })) {
+          --waiters_;
+          ++expired_in_queue_;
+          control.CheckNow();  // latch the typed stop (kDeadline) too
+          return Result::kDeadline;
+        }
+        break;  // predicate held
+      }
+      // No deadline: wake periodically to notice external cancellation.
+      capacity_cv_.wait_for(lock, std::chrono::milliseconds(50));
+      if (fits()) break;
+      if (control.CheckNow()) {
+        --waiters_;
+        ++expired_in_queue_;
+        return Result::kDeadline;
+      }
+    }
+    --waiters_;
+  }
+  ++admitted_;
+  inflight_cost_ += cost;
+  return Result::kAdmitted;
+}
+
+void AdmissionController::Release(uint64_t cost) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inflight_cost_ = cost <= inflight_cost_ ? inflight_cost_ - cost : 0;
+  }
+  capacity_cv_.notify_all();
+}
+
+AdmissionController::Stats AdmissionController::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats;
+  stats.admitted = admitted_;
+  stats.shed = shed_;
+  stats.expired_in_queue = expired_in_queue_;
+  stats.inflight_cost = inflight_cost_;
+  stats.waiters = waiters_;
+  return stats;
+}
+
+}  // namespace serving
+}  // namespace igq

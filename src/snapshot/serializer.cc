@@ -69,12 +69,28 @@ bool BinaryWriter::ok() const { return out_->good(); }
 
 bool BinaryReader::ReadBytes(void* data, size_t size) {
   if (!ok_) return false;
+  if (size > remaining_) {
+    ok_ = false;
+    length_guard_ = true;
+    return false;
+  }
   in_->read(static_cast<char*>(data), static_cast<std::streamsize>(size));
   if (static_cast<size_t>(in_->gcount()) != size) {
     ok_ = false;
     return false;
   }
+  if (remaining_ != kNoByteLimit) remaining_ -= size;
   crc_ = Crc32(data, size, crc_);
+  return true;
+}
+
+bool BinaryReader::FitsRemaining(uint64_t bytes) {
+  if (!ok_) return false;
+  if (bytes > remaining_) {
+    ok_ = false;
+    length_guard_ = true;
+    return false;
+  }
   return true;
 }
 
@@ -106,8 +122,10 @@ bool BinaryReader::ReadDouble(double* value) {
 bool BinaryReader::ReadString(std::string* value, size_t max_bytes) {
   uint64_t size = 0;
   if (!ReadU64(&size)) return false;
-  if (size > max_bytes) {
+  // Both guards fail before the resize, so a forged length never allocates.
+  if (size > max_bytes || size > remaining_) {
     ok_ = false;
+    length_guard_ = true;
     return false;
   }
   value->resize(static_cast<size_t>(size));
@@ -150,6 +168,11 @@ uint32_t DatasetFingerprint(const std::vector<Graph>& graphs) {
 bool ReadGraph(BinaryReader& reader, Graph* graph) {
   uint32_t num_vertices = 0;
   if (!reader.ReadU32(&num_vertices)) return false;
+  // Count pre-validation against the armed byte budget (no-op when the
+  // caller armed none): a forged vertex/edge count fails here, before the
+  // incremental builds below touch it. Labels are 4 bytes each plus the
+  // 4-byte edge count; edges are 8 bytes each.
+  if (!reader.FitsRemaining(uint64_t{num_vertices} * 4 + 4)) return false;
   Graph g;
   for (uint32_t v = 0; v < num_vertices; ++v) {
     uint32_t label = 0;
@@ -158,6 +181,7 @@ bool ReadGraph(BinaryReader& reader, Graph* graph) {
   }
   uint32_t num_edges = 0;
   if (!reader.ReadU32(&num_edges)) return false;
+  if (!reader.FitsRemaining(uint64_t{num_edges} * 8)) return false;
   for (uint32_t e = 0; e < num_edges; ++e) {
     uint32_t u = 0, v = 0;
     if (!reader.ReadU32(&u) || !reader.ReadU32(&v)) return false;

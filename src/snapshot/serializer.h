@@ -55,6 +55,9 @@ class BinaryWriter {
 /// all subsequent reads fail.
 class BinaryReader {
  public:
+  /// Sentinel for "no byte budget armed" (the default).
+  static constexpr uint64_t kNoByteLimit = ~uint64_t{0};
+
   explicit BinaryReader(std::istream& in) : in_(&in) {}
 
   bool ReadBytes(void* data, size_t size);
@@ -62,8 +65,29 @@ class BinaryReader {
   bool ReadU32(uint32_t* value);
   bool ReadU64(uint64_t* value);
   bool ReadDouble(double* value);
-  /// Fails (without allocating) if the encoded length exceeds `max_bytes`.
+  /// Fails (without allocating) if the encoded length exceeds `max_bytes`
+  /// or the armed byte budget.
   bool ReadString(std::string* value, size_t max_bytes = 1 << 20);
+
+  /// Arms a byte budget: any subsequent read whose size — or whose
+  /// *declared* length, via FitsRemaining/ReadString — exceeds the bytes
+  /// remaining fails, with length_guard_tripped() set, BEFORE reading or
+  /// allocating anything. Loaders arm this with the enclosing payload or
+  /// remaining-file size so an adversarial length field becomes a typed
+  /// clean failure instead of a bad_alloc. Pass kNoByteLimit to disarm.
+  void LimitRemainingBytes(uint64_t remaining) { remaining_ = remaining; }
+  uint64_t remaining_bytes() const { return remaining_; }
+
+  /// Pre-validates a declared byte requirement against the armed budget
+  /// without consuming anything: returns false — tripping the length
+  /// guard — when `bytes` cannot possibly remain. Loaders call this on a
+  /// count field before reserving `count * element_size`.
+  bool FitsRemaining(uint64_t bytes);
+
+  /// True when a read failed because a size or declared length exceeded
+  /// the armed budget (or ReadString's max_bytes) rather than because the
+  /// underlying stream failed — the "forged length field" signature.
+  bool length_guard_tripped() const { return length_guard_; }
 
   uint32_t crc() const { return crc_; }
   void ResetCrc() { crc_ = 0; }
@@ -72,7 +96,9 @@ class BinaryReader {
  private:
   std::istream* in_;
   uint32_t crc_ = 0;
+  uint64_t remaining_ = kNoByteLimit;
   bool ok_ = true;
+  bool length_guard_ = false;
 };
 
 /// Graph encoding shared by snapshots and binary graph files:

@@ -110,6 +110,25 @@ bool ReadSection(std::istream& in, Section* section, std::string* error,
                         "-byte limit");
     return false;
   }
+  // Forged-length guard: on a seekable stream, a declared size larger than
+  // the bytes actually remaining (payload + 4-byte checksum) is rejected
+  // BEFORE any buffer growth — no allocation ever happens for a length the
+  // file cannot back.
+  const std::istream::pos_type here = in.tellg();
+  if (here != std::istream::pos_type(-1)) {
+    in.seekg(0, std::ios::end);
+    const std::istream::pos_type end = in.tellg();
+    in.seekg(here);
+    if (end != std::istream::pos_type(-1) && end >= here &&
+        size + 4 > static_cast<uint64_t>(end - here)) {
+      SetError(error, "corrupt snapshot: section " + std::to_string(id) +
+                          " declares " + std::to_string(size) +
+                          " bytes but only " +
+                          std::to_string(static_cast<uint64_t>(end - here)) +
+                          " remain");
+      return false;
+    }
+  }
   // Chunked read: grow the buffer as bytes actually arrive, so a corrupted
   // size field hits EOF instead of a multi-gigabyte allocation.
   constexpr size_t kChunk = size_t{1} << 20;

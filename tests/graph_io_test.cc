@@ -6,6 +6,8 @@
 
 #include <sstream>
 
+#include "snapshot/serializer.h"
+#include "snapshot/snapshot.h"
 #include "tests/test_util.h"
 
 namespace igq {
@@ -133,6 +135,159 @@ TEST(GraphIoBinaryTest, WrongVersionRejected) {
   bytes[4] = 42;  // little-endian version field follows the 4-byte magic
   std::stringstream wrong(bytes);
   EXPECT_FALSE(ReadGraphs(wrong).has_value());
+}
+
+// ---- Forged-length corpus: adversarial length fields must yield typed
+// ---- errors BEFORE any allocation, never a bad_alloc. Binary layout:
+// ---- magic(4) version(4) count(8) bodies... crc(4); a graph body is
+// ---- nverts(4) labels(4 each) nedges(4) edges(8 each).
+
+namespace {
+
+void PatchU32(std::string& bytes, size_t offset, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    bytes[offset + i] = static_cast<char>(value >> (8 * i));
+  }
+}
+
+void PatchU64(std::string& bytes, size_t offset, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    bytes[offset + i] = static_cast<char>(value >> (8 * i));
+  }
+}
+
+std::string ValidBinaryFile(unsigned seed) {
+  Rng rng(seed);
+  const std::vector<Graph> graphs{RandomConnectedGraph(rng, 8, 4, 3)};
+  std::stringstream buffer;
+  WriteGraphsBinary(buffer, graphs);
+  return buffer.str();
+}
+
+}  // namespace
+
+TEST(GraphIoForgedLengthTest, ForgedGraphCountRejectedBeforeAllocation) {
+  std::string bytes = ValidBinaryFile(41);
+  PatchU64(bytes, 8, uint64_t{1} << 60);  // count field
+  std::stringstream forged(bytes);
+  GraphIoError error = GraphIoError::kNone;
+  EXPECT_FALSE(ReadGraphsChecked(forged, &error).has_value());
+  EXPECT_EQ(error, GraphIoError::kForgedLength);
+}
+
+TEST(GraphIoForgedLengthTest, ForgedVertexCountRejectedBeforeAllocation) {
+  std::string bytes = ValidBinaryFile(43);
+  PatchU32(bytes, 16, 0xFFFFFFFFu);  // first graph's vertex count
+  std::stringstream forged(bytes);
+  GraphIoError error = GraphIoError::kNone;
+  EXPECT_FALSE(ReadGraphsChecked(forged, &error).has_value());
+  EXPECT_EQ(error, GraphIoError::kForgedLength);
+}
+
+TEST(GraphIoForgedLengthTest, ForgedEdgeCountRejectedBeforeAllocation) {
+  Rng rng(47);
+  const std::vector<Graph> graphs{RandomConnectedGraph(rng, 8, 4, 3)};
+  std::stringstream buffer;
+  WriteGraphsBinary(buffer, graphs);
+  std::string bytes = buffer.str();
+  // nedges sits after the vertex count and the per-vertex labels.
+  const size_t edge_count_offset = 16 + 4 + 4 * graphs[0].NumVertices();
+  PatchU32(bytes, edge_count_offset, 0xFFFFFFFFu);
+  std::stringstream forged(bytes);
+  GraphIoError error = GraphIoError::kNone;
+  EXPECT_FALSE(ReadGraphsChecked(forged, &error).has_value());
+  EXPECT_EQ(error, GraphIoError::kForgedLength);
+}
+
+TEST(GraphIoForgedLengthTest, TypedErrorsClassifyEachFailure) {
+  // Checksum: flip a bit in a vertex label — labels carry no range
+  // validation, so the corruption survives parsing and must be caught by
+  // the trailing CRC. (First graph's labels start at offset 20.)
+  {
+    std::string bytes = ValidBinaryFile(53);
+    bytes[21] ^= 0x01;
+    std::stringstream corrupted(bytes);
+    GraphIoError error = GraphIoError::kNone;
+    EXPECT_FALSE(ReadGraphsChecked(corrupted, &error).has_value());
+    EXPECT_EQ(error, GraphIoError::kChecksum);
+  }
+  // Trailing bytes after a valid file.
+  {
+    std::stringstream concatenated(ValidBinaryFile(59) + "x");
+    GraphIoError error = GraphIoError::kNone;
+    EXPECT_FALSE(ReadGraphsChecked(concatenated, &error).has_value());
+    EXPECT_EQ(error, GraphIoError::kTrailingBytes);
+  }
+  // Version skew.
+  {
+    std::string bytes = ValidBinaryFile(61);
+    PatchU32(bytes, 4, 42);
+    std::stringstream wrong(bytes);
+    GraphIoError error = GraphIoError::kNone;
+    EXPECT_FALSE(ReadGraphsChecked(wrong, &error).has_value());
+    EXPECT_EQ(error, GraphIoError::kVersionSkew);
+  }
+  // Malformed text.
+  {
+    std::stringstream text("not-a-header\n3\n");
+    GraphIoError error = GraphIoError::kNone;
+    EXPECT_FALSE(ReadGraphsChecked(text, &error).has_value());
+    EXPECT_EQ(error, GraphIoError::kMalformed);
+  }
+  // Missing file.
+  {
+    GraphIoError error = GraphIoError::kNone;
+    EXPECT_FALSE(
+        ReadGraphsCheckedFromFile("/nonexistent/igq-forged", &error)
+            .has_value());
+    EXPECT_EQ(error, GraphIoError::kIo);
+    EXPECT_STREQ(GraphIoErrorName(error), "io");
+  }
+  // A valid file still loads with kNone.
+  {
+    std::stringstream good(ValidBinaryFile(67));
+    GraphIoError error = GraphIoError::kChecksum;
+    EXPECT_TRUE(ReadGraphsChecked(good, &error).has_value());
+    EXPECT_EQ(error, GraphIoError::kNone);
+  }
+}
+
+TEST(GraphIoForgedLengthTest, SnapshotSectionForgedSizeRejected) {
+  // A snapshot section declaring more bytes than the file holds must be
+  // rejected before any buffer growth (and a forged in-section string
+  // length must fail under the armed byte budget without allocating).
+  std::stringstream out;
+  snapshot::WriteSnapshotHeader(out);
+  snapshot::WriteSection(out, snapshot::kSectionCache, "payload-bytes");
+  snapshot::WriteSnapshotEnd(out);
+  std::string bytes = out.str();
+  // Section framing: header(8) + id(4) then the u64 size field.
+  // Below kMaxSectionBytes so the remaining-bytes guard (not the hard
+  // cap) is what rejects it.
+  PatchU64(bytes, 12, uint64_t{1} << 30);
+  std::stringstream forged(bytes);
+  std::string error;
+  snapshot::SnapshotErrorKind kind = snapshot::SnapshotErrorKind::kNone;
+  ASSERT_TRUE(snapshot::ReadSnapshotHeader(forged, &error, &kind));
+  snapshot::Section section;
+  EXPECT_FALSE(snapshot::ReadSection(forged, &section, &error, &kind));
+  EXPECT_EQ(kind, snapshot::SnapshotErrorKind::kCorrupt);
+  EXPECT_NE(error.find("declares"), std::string::npos) << error;
+}
+
+TEST(GraphIoForgedLengthTest, ArmedReaderStopsForgedStringLength) {
+  std::stringstream payload;
+  snapshot::BinaryWriter writer(payload);
+  writer.WriteString("hello");
+  std::string bytes = payload.str();
+  PatchU64(bytes, 0, uint64_t{1} << 50);  // string length field
+  std::stringstream in(bytes);
+  snapshot::BinaryReader reader(in);
+  reader.LimitRemainingBytes(bytes.size());
+  std::string value;
+  EXPECT_FALSE(reader.ReadString(&value, /*max_bytes=*/uint64_t{1} << 60));
+  EXPECT_TRUE(reader.length_guard_tripped());
+  EXPECT_TRUE(value.empty());  // failed before the resize
 }
 
 TEST(GraphIoBinaryTest, TextFilesStillSniffAsText) {
